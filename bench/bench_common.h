@@ -1,0 +1,49 @@
+// Shared helpers for the figure/table regeneration benches. Every bench is
+// a standalone binary printing the same rows/series the paper reports;
+// EXPERIMENTS.md records paper-vs-measured for each.
+#ifndef GEOTP_BENCH_BENCH_COMMON_H_
+#define GEOTP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/runner.h"
+
+namespace geotp {
+namespace bench {
+
+using workload::ExperimentConfig;
+using workload::ExperimentResult;
+using workload::RunExperiment;
+using workload::SystemKind;
+using workload::SystemName;
+
+/// Default measurement windows: long enough for stable numbers, short
+/// enough that a full bench suite finishes in minutes.
+inline ExperimentConfig DefaultConfig() {
+  ExperimentConfig config;
+  config.driver.terminals = 64;
+  config.driver.warmup = SecToMicros(4);
+  config.driver.measure = SecToMicros(24);
+  return config;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::string& label, const ExperimentResult& r) {
+  std::printf(
+      "%-24s  tput=%8.1f txn/s  mean=%9.1f ms  p99=%10.1f ms  "
+      "abort=%5.1f%%\n",
+      label.c_str(), r.Tps(), r.MeanLatencyMs(), r.P99LatencyMs(),
+      100.0 * r.AbortRate());
+}
+
+inline std::string Label(SystemKind system) { return SystemName(system); }
+
+}  // namespace bench
+}  // namespace geotp
+
+#endif  // GEOTP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,53 @@
+// Figure 6: resource utilisation and per-transaction breakdown.
+//
+// 6a/6b (CPU / memory of a Java process) cannot be reproduced in a
+// discrete-event simulation; we report the simulator-native proxies
+// documented in DESIGN.md: coordination work per committed transaction
+// (events + messages — CPU proxy) and metadata bytes (memory proxy).
+// 6c (the per-phase latency breakdown of one transaction lifecycle) is
+// reproduced directly.
+#include "bench_common.h"
+
+using namespace geotp;
+using namespace geotp::bench;
+
+int main() {
+  PrintHeader("Fig. 6a/6b — resource proxies (SSP vs GeoTP, YCSB MC)");
+  std::printf("%-12s %16s %16s %16s\n", "system", "events/commit",
+              "msgs/commit", "footprint bytes");
+  for (SystemKind system : {SystemKind::kSSP, SystemKind::kGeoTP}) {
+    ExperimentConfig config = DefaultConfig();
+    config.system = system;
+    config.ycsb.theta = 0.9;
+    config.ycsb.distributed_ratio = 0.2;
+    const auto r = RunExperiment(config);
+    const double commits = static_cast<double>(
+        r.run.committed > 0 ? r.run.committed : 1);
+    std::printf("%-12s %16.1f %16.1f %16zu\n", Label(system).c_str(),
+                static_cast<double>(r.events_processed) / commits,
+                static_cast<double>(r.network_messages) / commits,
+                r.footprint_bytes);
+  }
+  std::printf(
+      "Expected shape: GeoTP does LESS coordination per committed txn\n"
+      "(~30%% CPU-efficiency win in the paper) while holding extra hot-\n"
+      "record metadata (the paper's ~300MB memory delta).\n");
+
+  PrintHeader("Fig. 6c — per-transaction phase breakdown (GeoTP, YCSB MC)");
+  ExperimentConfig config = DefaultConfig();
+  config.system = SystemKind::kGeoTP;
+  config.ycsb.theta = 0.9;
+  config.ycsb.distributed_ratio = 0.2;
+  const auto r = RunExperiment(config);
+  for (int p = 0; p < static_cast<int>(metrics::TxnPhase::kNumPhases); ++p) {
+    const auto phase = static_cast<metrics::TxnPhase>(p);
+    std::printf("%-12s %10.2f ms\n", metrics::TxnPhaseName(phase),
+                r.dm.breakdown.MeanMs(phase));
+  }
+  std::printf("mean end-to-end latency: %.1f ms\n", r.MeanLatencyMs());
+  std::printf(
+      "Expected shape (paper Fig. 6c): analysis ~1ms, prepare-wait a few\n"
+      "ms (decentralized prepare overlaps execution), execution and commit\n"
+      "each ~1 WAN round trip and dominating.\n");
+  return 0;
+}

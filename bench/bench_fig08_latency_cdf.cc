@@ -1,0 +1,48 @@
+// Figure 8: latency CDFs at 60% distributed transactions under low /
+// medium / high contention for SSP, SSP(local) and GeoTP. Prints selected
+// CDF points (P10..P99.9) plus the "turning point" — the fraction of
+// transactions unaffected by distributed-transaction latency (latency
+// below ~2 local RTTs).
+#include "bench_common.h"
+
+using namespace geotp;
+using namespace geotp::bench;
+
+int main() {
+  for (double theta : {0.3, 0.9, 1.5}) {
+    PrintHeader("Fig. 8 — latency distribution, theta=" +
+                std::to_string(theta) + ", dr=0.6");
+    std::printf("%-14s %9s %9s %9s %9s %9s %9s %12s\n", "system", "p10(ms)",
+                "p25", "p50", "p90", "p99", "p99.9", "turning-pt");
+    for (SystemKind system :
+         {SystemKind::kSSP, SystemKind::kSSPLocal, SystemKind::kGeoTP}) {
+      ExperimentConfig config = DefaultConfig();
+      config.system = system;
+      config.ycsb.theta = theta;
+      config.ycsb.distributed_ratio = 0.6;
+      const auto r = RunExperiment(config);
+      // Turning point: cumulative fraction of txns completing within
+      // ~60ms (fast local commits, unaffected by remote links).
+      double turning = 0.0;
+      for (const auto& [lat, frac] : r.run.latency.Cdf()) {
+        if (lat > MsToMicros(60)) break;
+        turning = frac;
+      }
+      std::printf("%-14s %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f %11.2f\n",
+                  Label(system).c_str(),
+                  MicrosToMs(r.run.latency.Percentile(10)),
+                  MicrosToMs(r.run.latency.Percentile(25)),
+                  MicrosToMs(r.run.latency.P50()),
+                  MicrosToMs(r.run.latency.Percentile(90)),
+                  MicrosToMs(r.run.latency.P99()),
+                  MicrosToMs(r.run.latency.P999()), turning);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 8): at LC all systems keep a large\n"
+      "fraction of fast transactions; at MC the SSP turning point drops\n"
+      "(~0.2) while GeoTP holds (~0.4) with p99 up to 35.9%% lower; at HC\n"
+      "SSP's turning point collapses to ~0 while GeoTP degrades smoothly.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 11: (a) random network latencies — mean and spread of throughput
+// over repeated runs with jittered links, vs distributed ratio; (b) online
+// adaptivity — link latencies re-shaped every 40s over a 320s run, with
+// per-interval throughput (EWMA-driven re-adaptation).
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace geotp;
+using namespace geotp::bench;
+
+int main() {
+  PrintHeader("Fig. 11a — random latency (20 seeds, jitter 1.5x): tput");
+  std::printf("%-6s %16s %16s\n", "dr", "SSP min/avg/max", "GeoTP min/avg/max");
+  for (double dr : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::string cells[2];
+    int i = 0;
+    for (SystemKind system : {SystemKind::kSSP, SystemKind::kGeoTP}) {
+      double sum = 0, lo = 1e18, hi = 0;
+      const int kSeeds = 20;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        ExperimentConfig config = DefaultConfig();
+        config.system = system;
+        config.ycsb.theta = 0.9;
+        config.ycsb.distributed_ratio = dr;
+        config.jitter_frac = 0.25;  // per-message jitter (latency x ~1.5 tail)
+        config.seed = 1000 + static_cast<uint64_t>(seed);
+        config.driver.measure = SecToMicros(12);
+        const double tps = RunExperiment(config).Tps();
+        sum += tps;
+        lo = std::min(lo, tps);
+        hi = std::max(hi, tps);
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.0f/%.0f/%.0f", lo, sum / kSeeds, hi);
+      cells[i++] = buf;
+    }
+    std::printf("%-6.1f %16s %16s\n", dr, cells[0].c_str(), cells[1].c_str());
+    std::fflush(stdout);
+  }
+
+  PrintHeader("Fig. 11b — online adaptivity: latency re-shaped every 40s");
+  std::printf("%-10s %12s %12s\n", "t (s)", "SSP tput", "GeoTP tput");
+  std::vector<std::vector<std::pair<double, double>>> series;
+  for (SystemKind system : {SystemKind::kSSP, SystemKind::kGeoTP}) {
+    ExperimentConfig config = DefaultConfig();
+    config.system = system;
+    config.ycsb.theta = 0.9;
+    config.ycsb.distributed_ratio = 0.5;
+    config.driver.warmup = 0;
+    config.driver.measure = SecToMicros(320);
+    config.pre_run = [](sim::EventLoop* loop, sim::Network* network) {
+      // Every 40s, rotate the remote links' RTTs (27/73/251 permuted).
+      static const double kRtts[][3] = {
+          {27, 73, 251}, {251, 27, 73}, {73, 251, 27}, {27, 251, 73},
+          {251, 73, 27}, {73, 27, 251}, {27, 73, 251}, {251, 27, 73}};
+      for (int epoch = 1; epoch < 8; ++epoch) {
+        loop->Schedule(SecToMicros(40.0 * epoch), [network, epoch]() {
+          for (int ds = 0; ds < 3; ++ds) {
+            network->matrix().SetSymmetric(
+                1, 3 + ds, sim::LinkSpec::FromRttMs(kRtts[epoch][ds]));
+          }
+        });
+      }
+    };
+    series.push_back(RunExperiment(config).throughput_series);
+  }
+  const size_t n = std::min(series[0].size(), series[1].size());
+  for (size_t i = 9; i < n; i += 10) {  // print every 10s
+    std::printf("%-10.0f %12.1f %12.1f\n", series[0][i].first,
+                series[0][i].second, series[1][i].second);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 11): (a) GeoTP above SSP at every dr\n"
+      "with bounded jitter spread; (b) GeoTP re-adapts after each 40s\n"
+      "switch via its EWMA monitor and stays above SSP (1.1x-10.5x).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 12: ablation of the three optimizations over the skew factor.
+// x: theta 0.1..1.7; y: throughput, p99 latency, abort rate; systems:
+// SSP, GeoTP(O1), GeoTP(O1~O2), GeoTP(O1~O3). 50% distributed txns.
+#include "bench_common.h"
+
+using namespace geotp;
+using namespace geotp::bench;
+
+int main() {
+  const std::vector<double> thetas = {0.1, 0.3, 0.5, 0.7, 0.9,
+                                      1.1, 1.3, 1.5, 1.7};
+  const std::vector<SystemKind> systems = {
+      SystemKind::kSSP, SystemKind::kGeoTPO1, SystemKind::kGeoTPO1O2,
+      SystemKind::kGeoTP};
+
+  struct Cell { double tps, p99, abort; };
+  std::vector<std::vector<Cell>> grid(systems.size());
+  for (size_t s = 0; s < systems.size(); ++s) {
+    for (double theta : thetas) {
+      ExperimentConfig config = DefaultConfig();
+      config.system = systems[s];
+      config.ycsb.theta = theta;
+      config.ycsb.distributed_ratio = 0.5;
+      const auto r = RunExperiment(config);
+      grid[s].push_back(Cell{r.Tps(), r.P99LatencyMs(),
+                             100.0 * r.AbortRate()});
+    }
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+
+  auto print_metric = [&](const char* title, auto pick) {
+    PrintHeader(std::string("Fig. 12 — ") + title);
+    std::printf("%-14s", "system\\theta");
+    for (double theta : thetas) std::printf(" %8.1f", theta);
+    std::printf("\n");
+    for (size_t s = 0; s < systems.size(); ++s) {
+      std::printf("%-14s", Label(systems[s]).c_str());
+      for (const Cell& cell : grid[s]) std::printf(" %8.1f", pick(cell));
+      std::printf("\n");
+    }
+  };
+  print_metric("throughput (txn/s)", [](const Cell& c) { return c.tps; });
+  print_metric("p99 latency (ms)", [](const Cell& c) { return c.p99; });
+  print_metric("abort rate (%)", [](const Cell& c) { return c.abort; });
+
+  std::printf(
+      "\nExpected shape (paper Fig. 12): at low skew O1 captures nearly\n"
+      "all the gain; at medium skew O2 adds concurrency; at high skew O1\n"
+      "alone collapses with SSP while O1~O2 holds and O1~O3 keeps the\n"
+      "lowest p99 and near-lowest abort rate (paper: up to 17.7x SSP,\n"
+      "abort -32.1pp, p99 -84.3%%).\n");
+  return 0;
+}

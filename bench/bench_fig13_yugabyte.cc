@@ -1,0 +1,41 @@
+// Figure 13: GeoTP vs YugabyteDB-style distributed database (and SSP as
+// reference) across contention levels: throughput and average latency.
+#include "bench_common.h"
+
+using namespace geotp;
+using namespace geotp::bench;
+
+int main() {
+  PrintHeader("Fig. 13 — vs YugabyteDB over YCSB (dr=0.2)");
+  std::printf("%-12s %14s %14s %14s\n", "contention", "SSP", "GeoTP",
+              "YugabyteDB");
+  struct Level { const char* name; double theta; };
+  for (Level level : {Level{"low", 0.3}, Level{"medium", 0.9},
+                      Level{"high", 1.5}}) {
+    double tput[3], lat[3];
+    int i = 0;
+    for (SystemKind system : {SystemKind::kSSP, SystemKind::kGeoTP,
+                              SystemKind::kYugabyte}) {
+      ExperimentConfig config = DefaultConfig();
+      config.system = system;
+      config.ycsb.theta = level.theta;
+      config.ycsb.distributed_ratio = 0.2;
+      const auto r = RunExperiment(config);
+      tput[i] = r.Tps();
+      lat[i] = r.MeanLatencyMs();
+      ++i;
+      std::fflush(stdout);
+    }
+    std::printf("%-12s", level.name);
+    for (int j = 0; j < 3; ++j) {
+      std::printf("  %7.1f/%-6.0f", tput[j], lat[j]);
+    }
+    std::printf("   (txn/s / mean ms)\n");
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 13): Yugabyte wins at low contention\n"
+      "(1-RTT single-shard commits, async apply), parity at medium, and\n"
+      "GeoTP ~4.9x ahead at high contention where fail-fast intent\n"
+      "conflicts collapse the distributed database.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 14: impact of transaction length (a: 5..25 ops, one round, MC)
+// and of interactive round count (b: LC, c: MC; 1..6 rounds) on SSP vs
+// GeoTP.
+#include "bench_common.h"
+
+using namespace geotp;
+using namespace geotp::bench;
+
+int main() {
+  PrintHeader("Fig. 14a — transaction length (medium contention, dr=0.2)");
+  std::printf("%-10s %10s %10s\n", "ops/txn", "SSP", "GeoTP");
+  for (int len : {5, 10, 15, 20, 25}) {
+    double tput[2];
+    int i = 0;
+    for (SystemKind system : {SystemKind::kSSP, SystemKind::kGeoTP}) {
+      ExperimentConfig config = DefaultConfig();
+      config.system = system;
+      config.ycsb.theta = 0.9;
+      config.ycsb.distributed_ratio = 0.2;
+      config.ycsb.ops_per_txn = len;
+      tput[i++] = RunExperiment(config).Tps();
+    }
+    std::printf("%-10d %10.1f %10.1f\n", len, tput[0], tput[1]);
+    std::fflush(stdout);
+  }
+
+  for (double theta : {0.3, 0.9}) {
+    PrintHeader(std::string("Fig. 14") + (theta < 0.5 ? "b" : "c") +
+                " — interaction rounds (" +
+                (theta < 0.5 ? "low" : "medium") + " contention)");
+    std::printf("%-10s %10s %10s\n", "rounds", "SSP", "GeoTP");
+    for (int rounds : {1, 2, 3, 4, 5, 6}) {
+      double tput[2];
+      int i = 0;
+      for (SystemKind system : {SystemKind::kSSP, SystemKind::kGeoTP}) {
+        ExperimentConfig config = DefaultConfig();
+        config.system = system;
+        config.ycsb.theta = theta;
+        config.ycsb.distributed_ratio = 0.2;
+        config.ycsb.ops_per_txn = 6;  // divisible into up to 6 rounds
+        config.ycsb.rounds = rounds;
+        tput[i++] = RunExperiment(config).Tps();
+      }
+      std::printf("%-10d %10.1f %10.1f\n", rounds, tput[0], tput[1]);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 14): length hurts mildly (paper: -19%%\n"
+      "GeoTP / -41%% SSP from 5 to 25 ops); round count hurts much more\n"
+      "(each round is a WAN interaction); at 6 rounds GeoTP keeps ~1.5x\n"
+      "(LC) and ~3.4x (MC) over SSP — the decentralized-prepare saving\n"
+      "shrinks but scheduling gains persist.\n");
+  return 0;
+}

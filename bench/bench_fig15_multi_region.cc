@@ -1,0 +1,139 @@
+// Figure 15: multi-region deployment — two middlewares, each co-located
+// with its own clients, sharing the four data sources. DM1 sees RTTs
+// {0, 27, 73, 251} ms; DM2 sees {251, 226, 175, 0} ms (paper §VII-I).
+// Assembled from library pieces directly (the single-DM runner does not
+// cover this topology).
+#include <memory>
+
+#include "bench_common.h"
+#include "datasource/data_source.h"
+#include "middleware/middleware.h"
+#include "sim/topology.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+using namespace geotp;
+using namespace geotp::bench;
+
+namespace {
+
+struct MultiRegionResult {
+  double tput_dm1 = 0;
+  double tput_dm2 = 0;
+};
+
+MultiRegionResult Run(workload::SystemKind system, bool two_middlewares) {
+  // Nodes: 0=client1, 1=dm1, 2..5=ds1..ds4, 6=client2, 7=dm2.
+  sim::TopologyBuilder builder;
+  const NodeId client1 = builder.AddNode(sim::NodeRole::kClient, "c1", "bj");
+  const NodeId dm1 = builder.AddNode(sim::NodeRole::kMiddleware, "dm1", "bj");
+  const double dm1_rtts[4] = {0.5, 27, 73, 251};
+  const double dm2_rtts[4] = {251, 226, 175, 0.5};
+  std::vector<NodeId> sources;
+  for (int i = 0; i < 4; ++i) {
+    sources.push_back(builder.AddNode(sim::NodeRole::kDataSource,
+                                      "ds" + std::to_string(i + 1),
+                                      "region" + std::to_string(i)));
+  }
+  const NodeId client2 = builder.AddNode(sim::NodeRole::kClient, "c2", "ld");
+  const NodeId dm2 = builder.AddNode(sim::NodeRole::kMiddleware, "dm2", "ld");
+  for (int i = 0; i < 4; ++i) {
+    builder.SetRttMs(dm1, sources[static_cast<size_t>(i)], dm1_rtts[i]);
+    builder.SetRttMs(client1, sources[static_cast<size_t>(i)], dm1_rtts[i]);
+    builder.SetRttMs(dm2, sources[static_cast<size_t>(i)], dm2_rtts[i]);
+    builder.SetRttMs(client2, sources[static_cast<size_t>(i)], dm2_rtts[i]);
+    for (int j = 0; j < i; ++j) {
+      builder.SetRttMs(sources[static_cast<size_t>(j)],
+                       sources[static_cast<size_t>(i)],
+                       std::max(dm1_rtts[i], dm1_rtts[j]));
+    }
+  }
+  builder.SetRttMs(client1, dm1, 0.5);
+  builder.SetRttMs(client2, dm2, 0.5);
+
+  sim::EventLoop loop;
+  sim::Network network(&loop, builder.Build());
+
+  middleware::MiddlewareConfig dm_config = ConfigForSystem(system);
+  std::vector<std::unique_ptr<datasource::DataSourceNode>> nodes;
+  for (NodeId ds : sources) {
+    datasource::DataSourceConfig ds_config =
+        datasource::DataSourceConfig::MySql();
+    ds_config.early_abort = dm_config.early_abort;
+    nodes.push_back(
+        std::make_unique<datasource::DataSourceNode>(ds, &network, ds_config));
+    nodes.back()->Attach();
+  }
+
+  workload::YcsbConfig ycsb;
+  ycsb.data_sources = sources;
+  ycsb.theta = 0.9;
+  ycsb.distributed_ratio = 0.2;
+  workload::YcsbGenerator gen1(ycsb);
+  // Region 2's clients are hot on their own region's data (ds4, which is
+  // DM2-local); both workloads share the cold middle of the key space.
+  workload::YcsbConfig ycsb2 = ycsb;
+  ycsb2.mirror_keyspace = true;
+  workload::YcsbGenerator gen2(ycsb2);
+  middleware::Catalog catalog1, catalog2;
+  gen1.RegisterTables(&catalog1);
+  gen2.RegisterTables(&catalog2);
+
+  middleware::MiddlewareNode node_dm1(dm1, 0, &network, std::move(catalog1),
+                                      dm_config);
+  node_dm1.Attach();
+  middleware::MiddlewareNode node_dm2(dm2, 1, &network, std::move(catalog2),
+                                      dm_config);
+  node_dm2.Attach();
+
+  workload::DriverConfig driver_config;
+  driver_config.terminals = two_middlewares ? 32 : 64;
+  driver_config.warmup = SecToMicros(4);
+  driver_config.measure = SecToMicros(24);
+  workload::ClientDriver driver1(client1, &network, dm1, &gen1,
+                                 driver_config);
+  driver1.Attach();
+  driver1.Start();
+  std::unique_ptr<workload::ClientDriver> driver2;
+  if (two_middlewares) {
+    driver_config.seed = 4242;
+    driver2 = std::make_unique<workload::ClientDriver>(client2, &network,
+                                                       dm2, &gen2,
+                                                       driver_config);
+    driver2->Attach();
+    driver2->Start();
+  } else {
+    // Single-middleware baseline still registers a handler for client2 /
+    // dm2 so stray messages (none expected) are not fatal.
+    network.RegisterNode(client2, [](std::unique_ptr<sim::MessageBase>) {});
+  }
+
+  loop.RunUntil(driver_config.warmup + driver_config.measure);
+  MultiRegionResult result;
+  result.tput_dm1 = driver1.stats().ThroughputTps();
+  if (driver2) result.tput_dm2 = driver2->stats().ThroughputTps();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 15 — single vs multi-middleware deployment (YCSB MC)");
+  std::printf("%-12s %20s %20s\n", "system", "single-DM (txn/s)",
+              "multi-DM (txn/s)");
+  for (workload::SystemKind system :
+       {workload::SystemKind::kSSP, workload::SystemKind::kGeoTP}) {
+    const auto single = Run(system, /*two_middlewares=*/false);
+    const auto multi = Run(system, /*two_middlewares=*/true);
+    std::printf("%-12s %20.1f %20.1f  (dm1 %.1f + dm2 %.1f)\n",
+                Label(system).c_str(), single.tput_dm1,
+                multi.tput_dm1 + multi.tput_dm2, multi.tput_dm1,
+                multi.tput_dm2);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 15): multi-middleware scales the\n"
+      "aggregate throughput (GeoTP's optimizations need no centralized\n"
+      "component), and GeoTP holds up to ~6.7x over SSP.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Cross-border e-commerce checkout (the paper's §I motivation): US user
+// accounts in one region, warehouse stock in another. Modeled with TPC-C
+// NewOrder/Payment over four geo-distributed data sources; compares every
+// middleware system on the checkout-heavy mix and prints per-transaction-
+// type results.
+#include <cstdio>
+
+#include "workload/runner.h"
+
+using namespace geotp;
+using namespace geotp::workload;
+
+int main() {
+  std::printf(
+      "Cross-border checkout: TPC-C NewOrder(45%%)+Payment(43%%) mix,\n"
+      "20%% of checkouts source stock / charge customers across regions.\n\n");
+  std::printf("%-14s %10s %12s %12s | %s\n", "system", "txn/s", "mean(ms)",
+              "p99(ms)", "per-type committed (NO/Pay/OS/Del/SL)");
+  for (SystemKind system :
+       {SystemKind::kSSP, SystemKind::kSSPLocal, SystemKind::kQuro,
+        SystemKind::kChiller, SystemKind::kScalarDb, SystemKind::kYugabyte,
+        SystemKind::kGeoTP}) {
+    ExperimentConfig config;
+    config.system = system;
+    config.workload = WorkloadKind::kTpcc;
+    config.tpcc.distributed_ratio = 0.2;
+    config.driver.terminals = 64;
+    config.driver.warmup = SecToMicros(4);
+    config.driver.measure = SecToMicros(20);
+    const auto result = RunExperiment(config);
+    std::printf("%-14s %10.1f %12.1f %12.1f | ", SystemName(system),
+                result.Tps(), result.MeanLatencyMs(), result.P99LatencyMs());
+    for (int type = 0; type < 5; ++type) {
+      auto it = result.per_type.find(type);
+      std::printf("%llu ",
+                  static_cast<unsigned long long>(
+                      it == result.per_type.end() ? 0 : it->second.committed));
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nTakeaway: the checkout path commits cross-region stock updates\n"
+      "and payments atomically; GeoTP's decentralized prepare and\n"
+      "latency-aware scheduling keep the warehouse-row hotspots (W_YTD,\n"
+      "D_NEXT_O_ID) locked for milliseconds instead of WAN round trips.\n");
+  return 0;
+}

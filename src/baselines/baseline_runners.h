@@ -1,0 +1,26 @@
+// Entry points for the non-middleware baselines: ScalarDB(-style) and
+// YugabyteDB(-style). They accept the same ExperimentConfig as
+// workload::RunExperiment, which dispatches here.
+#ifndef GEOTP_BASELINES_BASELINE_RUNNERS_H_
+#define GEOTP_BASELINES_BASELINE_RUNNERS_H_
+
+#include "workload/runner.h"
+
+namespace geotp {
+namespace baselines {
+
+/// ScalarDB-style run: DM-side concurrency control (consensus commit over
+/// non-transactional stores). SystemKind::kScalarDbPlus additionally
+/// enables GeoTP's latency-aware scheduling + heuristics at the DM.
+workload::ExperimentResult RunScalarDbExperiment(
+    const workload::ExperimentConfig& config);
+
+/// YugabyteDB-style run: per-node transaction coordinators, provisional
+/// records, 1-RTT single-shard commits with asynchronous apply.
+workload::ExperimentResult RunYugabyteExperiment(
+    const workload::ExperimentConfig& config);
+
+}  // namespace baselines
+}  // namespace geotp
+
+#endif  // GEOTP_BASELINES_BASELINE_RUNNERS_H_

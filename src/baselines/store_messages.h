@@ -1,0 +1,101 @@
+// Messages for the non-XA baselines.
+//
+// ScalarDB treats data sources as plain (non-transactional) stores and
+// runs its own concurrency control at the middleware ("consensus commit"):
+// read records with versions, validate + install intents at prepare,
+// promote at commit. YugabyteDB writes provisional records (intents)
+// during execution and resolves them asynchronously after commit.
+#ifndef GEOTP_BASELINES_STORE_MESSAGES_H_
+#define GEOTP_BASELINES_STORE_MESSAGES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/network.h"
+
+namespace geotp {
+namespace baselines {
+
+/// Versioned read of a batch of records.
+struct StoreReadRequest : sim::MessageBase {
+  TxnId txn = kInvalidTxn;
+  uint64_t req_id = 0;
+  std::vector<RecordKey> keys;
+  size_t WireSize() const override { return 48 + keys.size() * 16; }
+};
+
+struct ReadResult {
+  int64_t value = 0;
+  uint64_t version = 0;
+};
+
+struct StoreReadResponse : sim::MessageBase {
+  TxnId txn = kInvalidTxn;
+  uint64_t req_id = 0;
+  Status status;
+  std::vector<ReadResult> results;
+  size_t WireSize() const override { return 48 + results.size() * 16; }
+};
+
+/// One staged operation for prepare-time validation.
+struct StagedOp {
+  RecordKey key;
+  uint64_t expected_version = 0;
+  bool is_write = false;
+  int64_t write_value = 0;
+};
+
+/// Consensus-commit prepare: validate read versions, install intents.
+struct StorePrepareRequest : sim::MessageBase {
+  TxnId txn = kInvalidTxn;
+  std::vector<StagedOp> ops;
+  size_t WireSize() const override { return 48 + ops.size() * 32; }
+};
+
+struct StorePrepareResponse : sim::MessageBase {
+  TxnId txn = kInvalidTxn;
+  Status status;
+};
+
+/// Promote (commit=true) or discard (commit=false) the txn's intents.
+struct StoreDecisionRequest : sim::MessageBase {
+  TxnId txn = kInvalidTxn;
+  bool commit = true;
+};
+
+struct StoreDecisionAck : sim::MessageBase {
+  TxnId txn = kInvalidTxn;
+  bool commit = true;
+};
+
+// ---------------------------------------------------------------------------
+// Yugabyte-style tablet messages
+// ---------------------------------------------------------------------------
+
+/// Execute a batch at an owner tablet: reads return committed values;
+/// writes install provisional intents immediately (fail-fast on conflict).
+struct YbBatchRequest : sim::MessageBase {
+  TxnId txn = kInvalidTxn;
+  uint64_t req_id = 0;
+  std::vector<StagedOp> ops;  ///< expected_version unused (pessimistic write)
+  size_t WireSize() const override { return 48 + ops.size() * 32; }
+};
+
+struct YbBatchResponse : sim::MessageBase {
+  TxnId txn = kInvalidTxn;
+  uint64_t req_id = 0;
+  Status status;
+  std::vector<ReadResult> results;  ///< read ops only, in order
+};
+
+/// Asynchronous intent resolution after the status record committed.
+struct YbResolveRequest : sim::MessageBase {
+  TxnId txn = kInvalidTxn;
+  bool commit = true;
+};
+
+}  // namespace baselines
+}  // namespace geotp
+
+#endif  // GEOTP_BASELINES_STORE_MESSAGES_H_

@@ -1,0 +1,56 @@
+// StoreNode: a plain versioned record store exposed over the network.
+// This is what a data source looks like to ScalarDB: no transactions, just
+// reads-with-version, conditional intent installation and intent
+// promotion. Costs mirror the XA engine's cost model.
+#ifndef GEOTP_BASELINES_STORE_NODE_H_
+#define GEOTP_BASELINES_STORE_NODE_H_
+
+#include <memory>
+
+#include "baselines/store_messages.h"
+#include "protocol/messages.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "storage/engine.h"
+#include "storage/versioned_store.h"
+
+namespace geotp {
+namespace baselines {
+
+struct StoreNodeStats {
+  uint64_t reads = 0;
+  uint64_t prepares_ok = 0;
+  uint64_t prepare_conflicts = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+};
+
+class StoreNode {
+ public:
+  StoreNode(NodeId id, sim::Network* network,
+            storage::EngineConfig cost_model = storage::EngineConfig());
+
+  void Attach();
+
+  NodeId id() const { return id_; }
+  storage::VersionedStore& store() { return store_; }
+  const StoreNodeStats& stats() const { return stats_; }
+  sim::EventLoop* loop() { return network_->loop(); }
+
+ private:
+  void HandleMessage(std::unique_ptr<sim::MessageBase> msg);
+  void OnRead(const StoreReadRequest& req);
+  void OnPrepare(const StorePrepareRequest& req);
+  void OnDecision(const StoreDecisionRequest& req);
+
+  NodeId id_;
+  sim::Network* network_;
+  storage::EngineConfig cost_;
+  storage::VersionedStore store_;
+  StoreNodeStats stats_;
+};
+
+}  // namespace baselines
+}  // namespace geotp
+
+#endif  // GEOTP_BASELINES_STORE_NODE_H_

@@ -1,0 +1,54 @@
+// Minimal leveled logging. Disabled (kWarn) by default so simulations stay
+// quiet; tests and examples can raise the level for debugging.
+#ifndef GEOTP_COMMON_LOGGING_H_
+#define GEOTP_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace geotp {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Process-wide log threshold. Messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+}  // namespace internal
+
+#define GEOTP_LOG(level, ...)                                             \
+  do {                                                                    \
+    if (static_cast<int>(level) >= static_cast<int>(::geotp::GetLogLevel())) { \
+      std::ostringstream _oss;                                            \
+      _oss << __VA_ARGS__;                                                \
+      ::geotp::internal::LogMessage(level, __FILE__, __LINE__, _oss.str()); \
+    }                                                                     \
+  } while (0)
+
+#define GEOTP_TRACE(...) GEOTP_LOG(::geotp::LogLevel::kTrace, __VA_ARGS__)
+#define GEOTP_DEBUG(...) GEOTP_LOG(::geotp::LogLevel::kDebug, __VA_ARGS__)
+#define GEOTP_INFO(...) GEOTP_LOG(::geotp::LogLevel::kInfo, __VA_ARGS__)
+#define GEOTP_WARN(...) GEOTP_LOG(::geotp::LogLevel::kWarn, __VA_ARGS__)
+#define GEOTP_ERROR(...) GEOTP_LOG(::geotp::LogLevel::kError, __VA_ARGS__)
+
+/// Fatal invariant check: prints and aborts. Used for programmer errors
+/// (simulation invariants), never for recoverable runtime conditions.
+#define GEOTP_CHECK(cond, ...)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream _oss;                                        \
+      _oss << "CHECK failed: " #cond " " << __VA_ARGS__;              \
+      ::geotp::internal::LogMessage(::geotp::LogLevel::kError,        \
+                                    __FILE__, __LINE__, _oss.str());  \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+}  // namespace geotp
+
+#endif  // GEOTP_COMMON_LOGGING_H_

@@ -1,0 +1,14 @@
+#include "common/types.h"
+
+namespace geotp {
+
+std::string Xid::ToString() const {
+  return "xid(" + std::to_string(txn_id) + "," + std::to_string(data_source) +
+         ")";
+}
+
+std::string RecordKey::ToString() const {
+  return "t" + std::to_string(table) + ":k" + std::to_string(key);
+}
+
+}  // namespace geotp

@@ -1,0 +1,360 @@
+#include "core/hotspot_footprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace geotp {
+namespace core {
+
+struct HotspotFootprint::Node {
+  RecordKey key;
+  RecordStats stats;
+  Node* left = nullptr;
+  Node* right = nullptr;
+  int height = 1;
+  // Intrusive LRU links.
+  Node* lru_prev = nullptr;
+  Node* lru_next = nullptr;
+};
+
+HotspotFootprint::HotspotFootprint(FootprintConfig config)
+    : config_(config) {
+  GEOTP_CHECK(config_.capacity > 0, "capacity must be positive");
+}
+
+HotspotFootprint::~HotspotFootprint() { FreeTree(root_); }
+
+void HotspotFootprint::FreeTree(Node* node) {
+  if (node == nullptr) return;
+  FreeTree(node->left);
+  FreeTree(node->right);
+  delete node;
+}
+
+// ---------------------------------------------------------------------------
+// AVL primitives
+// ---------------------------------------------------------------------------
+
+int HotspotFootprint::HeightOf(Node* node) {
+  return node == nullptr ? 0 : node->height;
+}
+
+void HotspotFootprint::UpdateHeight(Node* node) {
+  node->height = 1 + std::max(HeightOf(node->left), HeightOf(node->right));
+}
+
+HotspotFootprint::Node* HotspotFootprint::RotateLeft(Node* node) {
+  Node* pivot = node->right;
+  node->right = pivot->left;
+  pivot->left = node;
+  UpdateHeight(node);
+  UpdateHeight(pivot);
+  return pivot;
+}
+
+HotspotFootprint::Node* HotspotFootprint::RotateRight(Node* node) {
+  Node* pivot = node->left;
+  node->left = pivot->right;
+  pivot->right = node;
+  UpdateHeight(node);
+  UpdateHeight(pivot);
+  return pivot;
+}
+
+HotspotFootprint::Node* HotspotFootprint::Rebalance(Node* node) {
+  UpdateHeight(node);
+  const int balance = HeightOf(node->left) - HeightOf(node->right);
+  if (balance > 1) {
+    if (HeightOf(node->left->left) < HeightOf(node->left->right)) {
+      node->left = RotateLeft(node->left);
+    }
+    return RotateRight(node);
+  }
+  if (balance < -1) {
+    if (HeightOf(node->right->right) < HeightOf(node->right->left)) {
+      node->right = RotateRight(node->right);
+    }
+    return RotateLeft(node);
+  }
+  return node;
+}
+
+HotspotFootprint::Node* HotspotFootprint::Insert(Node* node,
+                                                 const RecordKey& key,
+                                                 Node** out) {
+  if (node == nullptr) {
+    Node* fresh = new Node();
+    fresh->key = key;
+    fresh->stats.w_lat = config_.initial_w_lat;
+    *out = fresh;
+    return fresh;
+  }
+  if (key < node->key) {
+    node->left = Insert(node->left, key, out);
+  } else if (node->key < key) {
+    node->right = Insert(node->right, key, out);
+  } else {
+    *out = node;
+    return node;
+  }
+  return Rebalance(node);
+}
+
+HotspotFootprint::Node* HotspotFootprint::MinNode(Node* node) {
+  while (node->left != nullptr) node = node->left;
+  return node;
+}
+
+HotspotFootprint::Node* HotspotFootprint::Remove(Node* node,
+                                                 const RecordKey& key) {
+  if (node == nullptr) return nullptr;
+  if (key < node->key) {
+    node->left = Remove(node->left, key);
+  } else if (node->key < key) {
+    node->right = Remove(node->right, key);
+  } else {
+    if (node->left == nullptr || node->right == nullptr) {
+      Node* child = node->left != nullptr ? node->left : node->right;
+      delete node;
+      node = child;
+    } else {
+      // Two children: splice the in-order successor's payload in, then
+      // remove the successor node. LRU links must follow the payload.
+      Node* successor = MinNode(node->right);
+      node->key = successor->key;
+      node->stats = successor->stats;
+      // Re-point the LRU list entry of `successor` at `node`.
+      LruUnlink(node);
+      if (successor->lru_prev != nullptr) {
+        successor->lru_prev->lru_next = node;
+      } else if (lru_head_ == successor) {
+        lru_head_ = node;
+      }
+      if (successor->lru_next != nullptr) {
+        successor->lru_next->lru_prev = node;
+      } else if (lru_tail_ == successor) {
+        lru_tail_ = node;
+      }
+      node->lru_prev = successor->lru_prev;
+      node->lru_next = successor->lru_next;
+      // Detach successor from LRU so the recursive Remove's unlink of it
+      // (via delete path) cannot corrupt the list.
+      successor->lru_prev = successor->lru_next = nullptr;
+      // Mark: the successor node itself is deleted below; its LRU entry
+      // was transplanted.
+      node->right = Remove(node->right, node->key);
+    }
+  }
+  if (node == nullptr) return nullptr;
+  return Rebalance(node);
+}
+
+// ---------------------------------------------------------------------------
+// LRU primitives
+// ---------------------------------------------------------------------------
+
+void HotspotFootprint::LruPushFront(Node* node) {
+  node->lru_prev = nullptr;
+  node->lru_next = lru_head_;
+  if (lru_head_ != nullptr) lru_head_->lru_prev = node;
+  lru_head_ = node;
+  if (lru_tail_ == nullptr) lru_tail_ = node;
+}
+
+void HotspotFootprint::LruUnlink(Node* node) {
+  if (node->lru_prev != nullptr) {
+    node->lru_prev->lru_next = node->lru_next;
+  } else if (lru_head_ == node) {
+    lru_head_ = node->lru_next;
+  }
+  if (node->lru_next != nullptr) {
+    node->lru_next->lru_prev = node->lru_prev;
+  } else if (lru_tail_ == node) {
+    lru_tail_ = node->lru_prev;
+  }
+  node->lru_prev = node->lru_next = nullptr;
+}
+
+void HotspotFootprint::EvictIfNeeded() {
+  while (size_ > config_.capacity && lru_tail_ != nullptr) {
+    // Do not evict records with transactions in flight: their a_cnt would
+    // be lost and Eq. 9 would undercount the queue.
+    Node* victim = lru_tail_;
+    while (victim != nullptr && victim->stats.a_cnt > 0) {
+      victim = victim->lru_prev;
+    }
+    if (victim == nullptr) return;  // everything busy; allow soft overflow
+    const RecordKey key = victim->key;
+    LruUnlink(victim);
+    root_ = Remove(root_, key);
+    --size_;
+    ++evictions_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+HotspotFootprint::Node* HotspotFootprint::FindNode(
+    const RecordKey& key) const {
+  Node* node = root_;
+  while (node != nullptr) {
+    if (key < node->key) {
+      node = node->left;
+    } else if (node->key < key) {
+      node = node->right;
+    } else {
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+HotspotFootprint::Node* HotspotFootprint::Touch(const RecordKey& key) {
+  Node* node = nullptr;
+  root_ = Insert(root_, key, &node);
+  if (node->lru_prev == nullptr && node->lru_next == nullptr &&
+      lru_head_ != node) {
+    // Fresh node (not yet in the LRU list).
+    ++size_;
+    LruPushFront(node);
+    EvictIfNeeded();
+  } else {
+    LruUnlink(node);
+    LruPushFront(node);
+  }
+  return node;
+}
+
+void HotspotFootprint::OnDispatch(const std::vector<RecordKey>& keys) {
+  for (const RecordKey& key : keys) {
+    Node* node = Touch(key);
+    node->stats.a_cnt++;
+  }
+}
+
+void HotspotFootprint::OnComplete(const std::vector<RecordKey>& keys,
+                                  Micros measured_lel, bool committed) {
+  if (keys.empty()) return;
+  // Eq. 4 weights: w_r = w_lat_r / sum of w_lat over the accessed records.
+  double w_sum = 0.0;
+  for (const RecordKey& key : keys) {
+    Node* node = FindNode(key);
+    w_sum += node != nullptr ? node->stats.w_lat : config_.initial_w_lat;
+  }
+  if (w_sum <= 0.0) w_sum = 1.0;
+
+  for (const RecordKey& key : keys) {
+    Node* node = Touch(key);
+    RecordStats& stats = node->stats;
+    if (committed) {
+      const double weight = stats.w_lat > 0.0 ? stats.w_lat / w_sum
+                                              : 1.0 / keys.size();
+      const double contribution =
+          static_cast<double>(measured_lel) * weight;
+      stats.w_lat = config_.alpha * stats.w_lat +
+                    (1.0 - config_.alpha) * contribution;
+    }
+    stats.t_cnt++;
+    if (committed) stats.c_cnt++;
+    if (stats.a_cnt > 0) stats.a_cnt--;
+  }
+}
+
+void HotspotFootprint::OnRelease(const std::vector<RecordKey>& keys) {
+  for (const RecordKey& key : keys) {
+    Node* node = FindNode(key);
+    if (node != nullptr && node->stats.a_cnt > 0) node->stats.a_cnt--;
+  }
+}
+
+Micros HotspotFootprint::ForecastLel(
+    const std::vector<RecordKey>& keys) const {
+  double total = 0.0;
+  for (const RecordKey& key : keys) {
+    const Node* node = FindNode(key);
+    if (node != nullptr) total += node->stats.w_lat;
+  }
+  return static_cast<Micros>(total);
+}
+
+double HotspotFootprint::AbortProbability(
+    const std::vector<RecordKey>& keys) const {
+  double success = 1.0;
+  for (const RecordKey& key : keys) {
+    const Node* node = FindNode(key);
+    if (node == nullptr) continue;
+    const RecordStats& stats = node->stats;
+    const auto queue_len =
+        static_cast<double>(std::max<int64_t>(stats.a_cnt - 1, 0));
+    if (queue_len <= 0.0) continue;
+    success *= std::pow(stats.SuccessRatio(), queue_len);
+  }
+  return 1.0 - success;
+}
+
+const RecordStats* HotspotFootprint::Lookup(const RecordKey& key) const {
+  const Node* node = FindNode(key);
+  return node == nullptr ? nullptr : &node->stats;
+}
+
+std::vector<std::pair<RecordKey, RecordStats>> HotspotFootprint::Range(
+    const RecordKey& lo, const RecordKey& hi) const {
+  std::vector<std::pair<RecordKey, RecordStats>> out;
+  // Iterative in-order traversal pruned to [lo, hi].
+  std::vector<Node*> stack;
+  Node* node = root_;
+  while (node != nullptr || !stack.empty()) {
+    while (node != nullptr) {
+      if (node->key < lo) {
+        node = node->right;  // entire left subtree below range
+      } else {
+        stack.push_back(node);
+        node = node->left;
+      }
+    }
+    if (stack.empty()) break;
+    node = stack.back();
+    stack.pop_back();
+    if (hi < node->key) break;
+    out.emplace_back(node->key, node->stats);
+    node = node->right;
+  }
+  return out;
+}
+
+size_t HotspotFootprint::ApproxBytes() const {
+  return size_ * (sizeof(Node) + 16);
+}
+
+bool HotspotFootprint::CheckInvariants() const {
+  // Recursive lambda validating order and balance, returning height or -1.
+  struct Checker {
+    static int Check(Node* node, const RecordKey* lo, const RecordKey* hi) {
+      if (node == nullptr) return 0;
+      if (lo != nullptr && !(*lo < node->key)) return -1;
+      if (hi != nullptr && !(node->key < *hi)) return -1;
+      const int lh = Check(node->left, lo, &node->key);
+      if (lh < 0) return -1;
+      const int rh = Check(node->right, &node->key, hi);
+      if (rh < 0) return -1;
+      if (std::abs(lh - rh) > 1) return -1;
+      if (node->height != 1 + std::max(lh, rh)) return -1;
+      return 1 + std::max(lh, rh);
+    }
+  };
+  if (Checker::Check(root_, nullptr, nullptr) < 0) return false;
+  // LRU list size must match the tree size.
+  size_t lru_count = 0;
+  for (Node* node = lru_head_; node != nullptr; node = node->lru_next) {
+    ++lru_count;
+    if (lru_count > size_ + 1) return false;
+  }
+  return lru_count == size_;
+}
+
+}  // namespace core
+}  // namespace geotp

@@ -1,0 +1,134 @@
+// HotspotFootprint: per-record runtime statistics for the high-contention
+// optimizations (paper §IV-C, "Hotspot statistics collecting").
+//
+// For each hot record r it maintains the paper's four fields:
+//   w_lat_r  — weighted average latency of subtransactions touching r
+//   t_cnt_r  — total transactions that accessed r
+//   c_cnt_r  — committed transactions that accessed r
+//   a_cnt_r  — transactions currently accessing r
+//
+// The records are organized in an AVL tree (point and range access in
+// O(log n)) with an intrusive LRU list evicting cold entries, exactly as
+// the paper describes. w_lat updates follow Eq. 4: the measured local
+// execution latency LEL(Tij) of a subtransaction is split across the
+// records it touched proportionally to their current w_lat, then folded
+// in with coefficient alpha.
+#ifndef GEOTP_CORE_HOTSPOT_FOOTPRINT_H_
+#define GEOTP_CORE_HOTSPOT_FOOTPRINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geotp {
+namespace core {
+
+struct FootprintConfig {
+  /// Maximum tracked records; beyond it the LRU tail is evicted.
+  size_t capacity = 100000;
+  /// Weighted-update coefficient alpha in Eq. 4 (history weight).
+  double alpha = 0.7;
+  /// Initial w_lat for a record first seen (us). A small value so cold
+  /// records contribute little to forecasts until measured.
+  double initial_w_lat = 100.0;
+};
+
+struct RecordStats {
+  double w_lat = 0.0;   ///< us
+  uint64_t t_cnt = 0;
+  uint64_t c_cnt = 0;
+  int64_t a_cnt = 0;
+
+  /// Probability that one queued transaction acquires the lock on this
+  /// record without being aborted: c_cnt / t_cnt (1.0 with no history).
+  double SuccessRatio() const {
+    return t_cnt == 0 ? 1.0
+                      : static_cast<double>(c_cnt) /
+                            static_cast<double>(t_cnt);
+  }
+};
+
+class HotspotFootprint {
+ public:
+  explicit HotspotFootprint(FootprintConfig config = FootprintConfig());
+  ~HotspotFootprint();
+
+  HotspotFootprint(const HotspotFootprint&) = delete;
+  HotspotFootprint& operator=(const HotspotFootprint&) = delete;
+
+  /// Marks the records as being accessed (a_cnt++). Called when the DM
+  /// dispatches a subtransaction.
+  void OnDispatch(const std::vector<RecordKey>& keys);
+
+  /// Feedback after a subtransaction finishes: updates w_lat (Eq. 4,
+  /// committed only — aborted latencies embed timeout noise), t_cnt,
+  /// c_cnt, and releases a_cnt.
+  void OnComplete(const std::vector<RecordKey>& keys, Micros measured_lel,
+                  bool committed);
+
+  /// Releases a_cnt only (no completion statistics): used when a dispatch
+  /// was cancelled or the transaction settled before its response arrived,
+  /// i.e. no lock acquisition outcome was observed.
+  void OnRelease(const std::vector<RecordKey>& keys);
+
+  /// Eq. 5: forecasted local execution latency for a subtransaction that
+  /// will access `keys` — the sum of tracked w_lat values.
+  Micros ForecastLel(const std::vector<RecordKey>& keys) const;
+
+  /// Eq. 9: predicted abort probability for a transaction accessing
+  /// `keys`: 1 - prod (c/t)^max(a-1, 0).
+  double AbortProbability(const std::vector<RecordKey>& keys) const;
+
+  /// Point lookup (nullptr if not tracked). Does not touch LRU order.
+  const RecordStats* Lookup(const RecordKey& key) const;
+
+  /// Ordered range scan [lo, hi] — the paper stores hot records in an AVL
+  /// tree precisely to support predicate (range) estimation in O(log n).
+  std::vector<std::pair<RecordKey, RecordStats>> Range(
+      const RecordKey& lo, const RecordKey& hi) const;
+
+  size_t size() const { return size_; }
+  uint64_t evictions() const { return evictions_; }
+
+  /// Approximate resident bytes (memory proxy for Fig. 6b).
+  size_t ApproxBytes() const;
+
+  /// Validates AVL balance and BST order; test hook.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  Node* FindNode(const RecordKey& key) const;
+  /// Finds or inserts (possibly evicting); returns the node.
+  Node* Touch(const RecordKey& key);
+
+  // AVL primitives.
+  static int HeightOf(Node* node);
+  static void UpdateHeight(Node* node);
+  static Node* RotateLeft(Node* node);
+  static Node* RotateRight(Node* node);
+  static Node* Rebalance(Node* node);
+  Node* Insert(Node* node, const RecordKey& key, Node** out);
+  Node* Remove(Node* node, const RecordKey& key);
+  static Node* MinNode(Node* node);
+  void FreeTree(Node* node);
+
+  // LRU primitives (intrusive list; head = most recent).
+  void LruPushFront(Node* node);
+  void LruUnlink(Node* node);
+  void EvictIfNeeded();
+
+  FootprintConfig config_;
+  Node* root_ = nullptr;
+  Node* lru_head_ = nullptr;
+  Node* lru_tail_ = nullptr;
+  size_t size_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace core
+}  // namespace geotp
+
+#endif  // GEOTP_CORE_HOTSPOT_FOOTPRINT_H_

@@ -1,0 +1,66 @@
+#include "core/latency_monitor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/event_loop.h"
+
+namespace geotp {
+namespace core {
+
+LatencyMonitor::LatencyMonitor(NodeId self, sim::Network* network,
+                               std::vector<NodeId> targets,
+                               LatencyMonitorConfig config)
+    : self_(self),
+      network_(network),
+      targets_(std::move(targets)),
+      config_(config) {}
+
+void LatencyMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  SendPings();
+}
+
+void LatencyMonitor::SendPings() {
+  if (!running_) return;
+  for (NodeId target : targets_) {
+    auto ping = std::make_unique<protocol::PingRequest>();
+    ping->from = self_;
+    ping->to = target;
+    ping->seq = ++seq_;
+    ping->sent_at = network_->loop()->Now();
+    network_->Send(std::move(ping));
+    ++pings_sent_;
+  }
+  network_->loop()->Schedule(config_.ping_interval, [this]() { SendPings(); });
+}
+
+void LatencyMonitor::OnPong(const protocol::PingResponse& pong) {
+  ++pongs_received_;
+  const Micros sample = network_->loop()->Now() - pong.sent_at;
+  const NodeId node = pong.from;
+  if (config_.bootstrap_first_sample && !seeded_[node]) {
+    seeded_[node] = true;
+    estimates_[node] = sample;
+    return;
+  }
+  const double alpha = config_.ewma_alpha;
+  estimates_[node] = static_cast<Micros>(
+      alpha * static_cast<double>(estimates_[node]) +
+      (1.0 - alpha) * static_cast<double>(sample));
+}
+
+Micros LatencyMonitor::RttEstimate(NodeId node) const {
+  auto it = estimates_.find(node);
+  return it == estimates_.end() ? 0 : it->second;
+}
+
+Micros LatencyMonitor::MaxRtt(const std::vector<NodeId>& nodes) const {
+  Micros max_rtt = 0;
+  for (NodeId node : nodes) max_rtt = std::max(max_rtt, RttEstimate(node));
+  return max_rtt;
+}
+
+}  // namespace core
+}  // namespace geotp

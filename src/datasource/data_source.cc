@@ -1,0 +1,297 @@
+#include "datasource/data_source.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace geotp {
+namespace datasource {
+
+using protocol::BranchExecuteRequest;
+using protocol::BranchExecuteResponse;
+using protocol::DecisionAck;
+using protocol::DecisionRequest;
+using protocol::PeerAbortRequest;
+using protocol::PingRequest;
+using protocol::PingResponse;
+using protocol::PrepareRequest;
+using protocol::Vote;
+using protocol::VoteMessage;
+
+DataSourceNode::DataSourceNode(NodeId id, sim::Network* network,
+                               DataSourceConfig config)
+    : id_(id),
+      network_(network),
+      config_(config),
+      engine_(config.engine),
+      agent_(std::make_unique<GeoAgent>(this)) {}
+
+void DataSourceNode::Attach() {
+  network_->RegisterNode(id_, [this](std::unique_ptr<sim::MessageBase> msg) {
+    HandleMessage(std::move(msg));
+  });
+}
+
+void DataSourceNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
+  if (crashed_) return;
+  if (auto* exec = dynamic_cast<BranchExecuteRequest*>(msg.get())) {
+    OnExecute(*exec);
+  } else if (auto* prep = dynamic_cast<PrepareRequest*>(msg.get())) {
+    OnPrepare(*prep);
+  } else if (auto* decision = dynamic_cast<DecisionRequest*>(msg.get())) {
+    OnDecision(*decision);
+  } else if (auto* peer = dynamic_cast<PeerAbortRequest*>(msg.get())) {
+    agent_->OnPeerAbort(*peer);
+  } else if (auto* ping = dynamic_cast<PingRequest*>(msg.get())) {
+    OnPing(*ping);
+  } else {
+    GEOTP_CHECK(false, "data source " << id_ << ": unknown message");
+  }
+}
+
+void DataSourceNode::OnExecute(const BranchExecuteRequest& req) {
+  auto state = std::make_shared<ExecState>();
+  state->xid = req.xid;
+  state->round_seq = req.round_seq;
+  state->ops = req.ops;
+  state->last_statement = req.last_statement;
+  state->started_at = loop()->Now();
+  state->reply_to = req.from;
+
+  // Early abort may have outrun this (possibly postponed) request.
+  if (agent_->IsTombstoned(req.xid.txn_id)) {
+    SendExecuteResponse(state, Status::Aborted("transaction early-aborted"),
+                        /*rolled_back=*/true);
+    return;
+  }
+
+  if (req.begin_branch) {
+    Status st = engine_.Begin(req.xid);
+    if (!st.ok()) {
+      SendExecuteResponse(state, st, /*rolled_back=*/false);
+      return;
+    }
+    BranchInfo info;
+    info.peers = req.peers;
+    info.coordinator = req.coordinator;
+    branches_[req.xid.txn_id] = std::move(info);
+  } else if (branches_.count(req.xid.txn_id) == 0) {
+    SendExecuteResponse(state, Status::Aborted("branch gone"),
+                        /*rolled_back=*/true);
+    return;
+  }
+
+  stats_.batches_executed++;
+  RunNextOp(state);
+}
+
+void DataSourceNode::RunNextOp(const std::shared_ptr<ExecState>& state) {
+  if (state->finished) return;
+  if (state->next_op >= state->ops.size()) {
+    FinishExecSuccess(state);
+    return;
+  }
+  const protocol::ClientOp& cop = state->ops[state->next_op];
+  storage::Operation op;
+  op.key = cop.key;
+  op.is_write = cop.is_write;
+  op.write_value = cop.value;
+  // Deltas resolve inside the engine after the lock grant; resolving here
+  // would read a stale base while the batch waits in a lock queue.
+  op.is_delta = cop.is_delta;
+
+  auto self = this;
+  state->timeout_event = sim::kInvalidEvent;
+  engine_.ExecuteOp(
+      state->xid, op,
+      [self, state, is_write = cop.is_write](Status status, int64_t value) {
+        if (state->timeout_event != sim::kInvalidEvent) {
+          self->loop()->Cancel(state->timeout_event);
+          state->timeout_event = sim::kInvalidEvent;
+        }
+        if (state->finished) return;
+        if (!status.ok()) {
+          self->FinishExecFailure(state, status);
+          return;
+        }
+        // Lock granted and the operation applied; charge the row cost.
+        const Micros cost = is_write ? self->config_.engine.write_cost
+                                     : self->config_.engine.read_cost;
+        self->stats_.ops_executed++;
+        self->loop()->Schedule(cost, [self, state, value]() {
+          if (state->finished) return;
+          state->values.push_back(value);
+          state->next_op++;
+          self->RunNextOp(state);
+        });
+      });
+
+  // If the request parked in the lock queue, arm the lock-wait timeout
+  // (innodb_lock_wait_timeout; paper default 5 s).
+  if (engine_.HasPendingOp(state->xid)) {
+    state->timeout_event = loop()->Schedule(
+        config_.engine.lock_wait_timeout, [self, state]() {
+          state->timeout_event = sim::kInvalidEvent;
+          if (state->finished) return;
+          self->stats_.lock_timeouts++;
+          self->engine_.CancelPendingOp(
+              state->xid, Status::TimedOut("lock wait timeout"));
+        });
+  }
+}
+
+void DataSourceNode::FinishExecSuccess(const std::shared_ptr<ExecState>& state) {
+  state->finished = true;
+  SendExecuteResponse(state, Status::OK(), /*rolled_back=*/false);
+  if (state->last_statement) {
+    auto it = branches_.find(state->xid.txn_id);
+    if (it != branches_.end()) {
+      agent_->AsyncPrepare(state->xid, it->second.peers,
+                           it->second.coordinator);
+    }
+  }
+}
+
+void DataSourceNode::FinishExecFailure(const std::shared_ptr<ExecState>& state,
+                                       Status status) {
+  if (state->finished) return;
+  state->finished = true;
+  if (state->timeout_event != sim::kInvalidEvent) {
+    loop()->Cancel(state->timeout_event);
+    state->timeout_event = sim::kInvalidEvent;
+  }
+  auto it = branches_.find(state->xid.txn_id);
+  if (it != branches_.end()) {
+    // Local failure: roll back the branch, then (early abort) notify peers
+    // directly, bypassing the DM (§IV-A, Fig. 4b).
+    const std::vector<NodeId> peers = it->second.peers;
+    const NodeId coordinator = it->second.coordinator;
+    branches_.erase(it);
+    agent_->Tombstone(state->xid.txn_id);
+    (void)engine_.Rollback(state->xid, loop()->Now());
+    stats_.rollbacks++;
+    if (config_.early_abort && !peers.empty()) {
+      agent_->AsyncRollback(state->xid, peers, coordinator,
+                            /*notify_dm=*/false);
+    }
+  }
+  SendExecuteResponse(state, std::move(status), /*rolled_back=*/true);
+}
+
+void DataSourceNode::SendExecuteResponse(
+    const std::shared_ptr<ExecState>& state, Status status,
+    bool rolled_back) {
+  auto resp = std::make_unique<BranchExecuteResponse>();
+  resp->from = id_;
+  resp->to = state->reply_to;
+  resp->xid = state->xid;
+  resp->round_seq = state->round_seq;
+  resp->status = std::move(status);
+  resp->values = state->values;
+  resp->local_exec_latency = loop()->Now() - state->started_at;
+  resp->rolled_back = rolled_back;
+  network_->Send(std::move(resp));
+}
+
+void DataSourceNode::OnPrepare(const PrepareRequest& req) {
+  // Explicit prepare: the classic 2PC path, or the §III case of a source
+  // that is not processing the transaction's last statement.
+  stats_.explicit_prepares++;
+  const Xid xid = req.xid;
+  const NodeId coordinator = req.from;
+  loop()->Schedule(config_.engine.prepare_fsync_cost, [this, xid,
+                                                       coordinator]() {
+    if (crashed_) return;
+    Status st = engine_.Prepare(xid, loop()->Now());
+    auto vote = std::make_unique<VoteMessage>();
+    vote->from = id_;
+    vote->to = coordinator;
+    vote->xid = xid;
+    if (st.ok()) {
+      vote->vote = Vote::kPrepared;
+    } else {
+      vote->vote = Vote::kFailure;
+      (void)engine_.Rollback(xid, loop()->Now());
+      branches_.erase(xid.txn_id);
+    }
+    network_->Send(std::move(vote));
+  });
+}
+
+void DataSourceNode::OnDecision(const DecisionRequest& req) {
+  agent_->ClearTombstone(req.xid.txn_id);
+  const Xid xid = req.xid;
+  const NodeId coordinator = req.from;
+  if (req.commit) {
+    const bool one_phase = req.one_phase;
+    loop()->Schedule(
+        config_.engine.commit_fsync_cost,
+        [this, xid, coordinator, one_phase]() {
+          if (crashed_) return;
+          Status st = engine_.Commit(xid, loop()->Now());
+          if (st.ok()) stats_.commits++;
+          branches_.erase(xid.txn_id);
+          auto ack = std::make_unique<DecisionAck>();
+          ack->from = id_;
+          ack->to = coordinator;
+          ack->xid = xid;
+          ack->committed = st.ok();
+          ack->one_phase = one_phase;
+          ack->status = std::move(st);
+          network_->Send(std::move(ack));
+        });
+  } else {
+    (void)engine_.Rollback(xid, loop()->Now());
+    stats_.rollbacks++;
+    branches_.erase(xid.txn_id);
+    auto ack = std::make_unique<DecisionAck>();
+    ack->from = id_;
+    ack->to = coordinator;
+    ack->xid = xid;
+    ack->committed = false;
+    ack->status = Status::OK();
+    network_->Send(std::move(ack));
+  }
+}
+
+void DataSourceNode::OnPing(const PingRequest& req) {
+  auto pong = std::make_unique<PingResponse>();
+  pong->from = id_;
+  pong->to = req.from;
+  pong->seq = req.seq;
+  pong->sent_at = req.sent_at;
+  network_->Send(std::move(pong));
+}
+
+void DataSourceNode::OnCoordinatorFailure(NodeId middleware) {
+  std::vector<TxnId> to_abort;
+  for (const auto& [txn, info] : branches_) {
+    if (info.coordinator != middleware) continue;
+    const Xid xid{txn, id_};
+    if (engine_.StateOf(xid) == storage::TxnState::kActive) {
+      to_abort.push_back(txn);
+    }
+  }
+  for (TxnId txn : to_abort) {
+    (void)engine_.Rollback(Xid{txn, id_}, loop()->Now());
+    stats_.rollbacks++;
+    branches_.erase(txn);
+  }
+}
+
+void DataSourceNode::Crash() {
+  crashed_ = true;
+  network_->Partition(id_);
+  // Data sources abort every branch that has not completed the prepare
+  // phase (paper §V-A common setting ❷).
+  engine_.Crash(loop()->Now());
+  branches_.clear();
+}
+
+void DataSourceNode::Restart() {
+  crashed_ = false;
+  network_->Restore(id_);
+}
+
+}  // namespace datasource
+}  // namespace geotp

@@ -1,0 +1,148 @@
+// DataSourceNode: one geo-distributed data source — an XA-capable engine
+// (MySQL- or PostgreSQL-flavoured) fronted by a GeoTP geo-agent.
+//
+// The node is an actor on the simulated network. It owns:
+//   * a storage::TransactionEngine (strict 2PL + XA state machine),
+//   * the cost model (per-op execution time, fsync time, agent LAN hop),
+//   * the geo-agent, which implements the paper's two data-source-side
+//     mechanisms: decentralized prepare (§IV-A) and early abort (§IV-A).
+//
+// Batches of operations within one BranchExecuteRequest run sequentially
+// (charging engine costs on the event loop); lock waits park the batch and
+// a 5 s lock-wait timeout aborts the branch, mirroring
+// innodb_lock_wait_timeout.
+#ifndef GEOTP_DATASOURCE_DATA_SOURCE_H_
+#define GEOTP_DATASOURCE_DATA_SOURCE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "datasource/geo_agent.h"
+#include "protocol/messages.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "sql/rewriter.h"
+#include "storage/engine.h"
+
+namespace geotp {
+namespace datasource {
+
+struct DataSourceConfig {
+  sql::Dialect dialect = sql::Dialect::kMySql;
+  storage::EngineConfig engine;
+  /// Geo-agent <-> database LAN round trip (the decentralized prepare costs
+  /// one of these instead of a WAN round trip; paper §IV-A).
+  Micros agent_lan_rtt = 300;
+  /// Early abort (geo-agent notifies peers directly). Usually set from the
+  /// middleware's mode; kept here because the behaviour is agent-side.
+  bool early_abort = true;
+
+  static DataSourceConfig MySql() {
+    DataSourceConfig config;
+    config.dialect = sql::Dialect::kMySql;
+    config.engine = storage::MySqlEngineConfig();
+    return config;
+  }
+  static DataSourceConfig Postgres() {
+    DataSourceConfig config;
+    config.dialect = sql::Dialect::kPostgres;
+    config.engine = storage::PostgresEngineConfig();
+    return config;
+  }
+};
+
+struct DataSourceStats {
+  uint64_t batches_executed = 0;
+  uint64_t ops_executed = 0;
+  uint64_t lock_timeouts = 0;
+  uint64_t decentralized_prepares = 0;
+  uint64_t explicit_prepares = 0;
+  uint64_t early_aborts_sent = 0;
+  uint64_t early_aborts_received = 0;
+  uint64_t commits = 0;
+  uint64_t rollbacks = 0;
+};
+
+class DataSourceNode {
+ public:
+  DataSourceNode(NodeId id, sim::Network* network, DataSourceConfig config);
+
+  /// Registers the node's message handler with the network.
+  void Attach();
+
+  NodeId id() const { return id_; }
+  const DataSourceConfig& config() const { return config_; }
+  storage::TransactionEngine& engine() { return engine_; }
+  GeoAgent& agent() { return *agent_; }
+  const DataSourceStats& stats() const { return stats_; }
+  sim::EventLoop* loop() { return network_->loop(); }
+  sim::Network* network() { return network_; }
+
+  /// Crash simulation: partitions the node, rolls back non-prepared
+  /// branches (paper §V-A setting ❷). Restart() reconnects it.
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
+
+  /// True if this node currently executes/holds the branch of `txn`.
+  bool HasBranch(TxnId txn) const { return branches_.count(txn) > 0; }
+
+  /// Common setting ❶ (§V-A): when a DM disconnects, its branches that
+  /// have not completed the prepare phase are aborted. Prepared branches
+  /// survive as in-doubt until the DM recovers.
+  void OnCoordinatorFailure(NodeId middleware);
+
+ private:
+  friend class GeoAgent;
+
+  struct BranchInfo {
+    std::vector<NodeId> peers;
+    NodeId coordinator = kInvalidNode;
+  };
+
+  /// In-flight execution of one BranchExecuteRequest.
+  struct ExecState {
+    Xid xid;
+    uint64_t round_seq = 0;
+    std::vector<protocol::ClientOp> ops;
+    size_t next_op = 0;
+    std::vector<int64_t> values;
+    bool last_statement = false;
+    Micros started_at = 0;
+    NodeId reply_to = kInvalidNode;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+    bool finished = false;
+  };
+
+  void HandleMessage(std::unique_ptr<sim::MessageBase> msg);
+  void OnExecute(const protocol::BranchExecuteRequest& req);
+  void RunNextOp(const std::shared_ptr<ExecState>& state);
+  void FinishExecSuccess(const std::shared_ptr<ExecState>& state);
+  void FinishExecFailure(const std::shared_ptr<ExecState>& state,
+                         Status status);
+  void OnPrepare(const protocol::PrepareRequest& req);
+  void OnDecision(const protocol::DecisionRequest& req);
+  void OnPing(const protocol::PingRequest& req);
+
+  void SendExecuteResponse(const std::shared_ptr<ExecState>& state,
+                           Status status, bool rolled_back);
+
+  NodeId id_;
+  sim::Network* network_;
+  DataSourceConfig config_;
+  storage::TransactionEngine engine_;
+  std::unique_ptr<GeoAgent> agent_;
+  DataSourceStats stats_;
+  bool crashed_ = false;
+
+  std::unordered_map<TxnId, BranchInfo> branches_;
+};
+
+}  // namespace datasource
+}  // namespace geotp
+
+#endif  // GEOTP_DATASOURCE_DATA_SOURCE_H_

@@ -1,0 +1,111 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace geotp {
+namespace metrics {
+
+namespace {
+// Number of geometric buckets needed to cover ~1 hour of latency.
+int GeometricBucketCount() {
+  static const int kCount = []() {
+    double bound = 1000.0;  // 1 ms, in us
+    int n = 0;
+    while (bound < 3.6e9) {  // 1 hour in us
+      bound *= 1.01;
+      ++n;
+    }
+    return n;
+  }();
+  return kCount;
+}
+}  // namespace
+
+Histogram::Histogram()
+    : buckets_(static_cast<size_t>(kLinearBuckets + GeometricBucketCount()),
+               0) {}
+
+int Histogram::BucketFor(Micros value) const {
+  if (value < 0) value = 0;
+  if (value < kLinearBuckets) return static_cast<int>(value);
+  const double ratio = static_cast<double>(value) / kLinearBuckets;
+  int idx = kLinearBuckets +
+            static_cast<int>(std::log(ratio) / std::log(kGrowth));
+  if (idx >= static_cast<int>(buckets_.size())) {
+    idx = static_cast<int>(buckets_.size()) - 1;
+  }
+  return idx;
+}
+
+Micros Histogram::BucketUpperBound(int bucket) const {
+  if (bucket < kLinearBuckets) return bucket;
+  return static_cast<Micros>(
+      kLinearBuckets * std::pow(kGrowth, bucket - kLinearBuckets + 1));
+}
+
+void Histogram::Record(Micros value) {
+  if (value < 0) value = 0;
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += static_cast<double>(value);
+  ++count_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  GEOTP_CHECK(buckets_.size() == other.buckets_.size(), "bucket mismatch");
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+Micros Histogram::Percentile(double pct) const {
+  if (count_ == 0) return 0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  const auto target = static_cast<uint64_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(BucketUpperBound(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<Micros, double>> Histogram::Cdf() const {
+  std::vector<std::pair<Micros, double>> points;
+  if (count_ == 0) return points;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    points.emplace_back(BucketUpperBound(static_cast<int>(i)),
+                        static_cast<double>(seen) /
+                            static_cast<double>(count_));
+  }
+  return points;
+}
+
+}  // namespace metrics
+}  // namespace geotp

@@ -1,0 +1,62 @@
+// Latency histogram with HDR-style logarithmic buckets.
+//
+// Records Micros values; supports mean, percentiles (p50/p99/p99.9), CDF
+// extraction (Fig. 8) and merging. Bucket resolution: values up to 1 ms are
+// exact to 1 us; beyond that, buckets grow geometrically with ~1% relative
+// error, which is far below the differences the paper reports.
+#ifndef GEOTP_METRICS_HISTOGRAM_H_
+#define GEOTP_METRICS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geotp {
+namespace metrics {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(Micros value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  Micros min() const { return count_ == 0 ? 0 : min_; }
+  Micros max() const { return max_; }
+  double Mean() const;
+
+  /// Percentile in [0, 100]; returns an upper bound of the bucket containing
+  /// the requested rank. Empty histogram returns 0.
+  Micros Percentile(double pct) const;
+
+  Micros P50() const { return Percentile(50.0); }
+  Micros P95() const { return Percentile(95.0); }
+  Micros P99() const { return Percentile(99.0); }
+  Micros P999() const { return Percentile(99.9); }
+
+  /// Extracts (latency_us, cumulative_fraction) points — one per non-empty
+  /// bucket — for CDF plots.
+  std::vector<std::pair<Micros, double>> Cdf() const;
+
+ private:
+  static constexpr int kLinearBuckets = 1000;   // [0, 1ms) at 1us each
+  static constexpr double kGrowth = 1.01;       // geometric growth after 1ms
+
+  int BucketFor(Micros value) const;
+  Micros BucketUpperBound(int bucket) const;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  Micros min_ = 0;
+  Micros max_ = 0;
+};
+
+}  // namespace metrics
+}  // namespace geotp
+
+#endif  // GEOTP_METRICS_HISTOGRAM_H_

@@ -1,0 +1,57 @@
+#include "middleware/catalog.h"
+
+#include <algorithm>
+
+namespace geotp {
+namespace middleware {
+
+namespace {
+void MergeNodes(std::vector<NodeId>& all, const std::vector<NodeId>& add) {
+  for (NodeId node : add) {
+    if (std::find(all.begin(), all.end(), node) == all.end()) {
+      all.push_back(node);
+    }
+  }
+}
+}  // namespace
+
+void Catalog::AddRangePartitionedTable(uint32_t table, uint64_t keys_per_node,
+                                       std::vector<NodeId> nodes) {
+  GEOTP_CHECK(!nodes.empty() && keys_per_node > 0,
+              "bad partitioning for table " << table);
+  MergeNodes(all_nodes_, nodes);
+  routes_[table] = [keys_per_node, nodes](const RecordKey& key) {
+    uint64_t idx = key.key / keys_per_node;
+    if (idx >= nodes.size()) idx = nodes.size() - 1;
+    return nodes[idx];
+  };
+}
+
+void Catalog::AddHighBitsPartitionedTable(uint32_t table, int shift,
+                                          uint64_t groups_per_node,
+                                          std::vector<NodeId> nodes) {
+  GEOTP_CHECK(!nodes.empty() && groups_per_node > 0 && shift >= 0 &&
+                  shift < 64,
+              "bad partitioning for table " << table);
+  MergeNodes(all_nodes_, nodes);
+  routes_[table] = [shift, groups_per_node, nodes](const RecordKey& key) {
+    uint64_t idx = (key.key >> shift) / groups_per_node;
+    if (idx >= nodes.size()) idx = nodes.size() - 1;
+    return nodes[idx];
+  };
+}
+
+void Catalog::AddCustomTable(uint32_t table, RouteFn route) {
+  routes_[table] = std::move(route);
+}
+
+NodeId Catalog::Route(const RecordKey& key) const {
+  auto it = routes_.find(key.table);
+  GEOTP_CHECK(it != routes_.end(), "unroutable table " << key.table);
+  return it->second(key);
+}
+
+std::vector<NodeId> Catalog::AllDataSources() const { return all_nodes_; }
+
+}  // namespace middleware
+}  // namespace geotp

@@ -1,0 +1,56 @@
+// Catalog: data distribution metadata at the middleware.
+//
+// Maps record keys to the data source hosting them. YCSB uses range
+// partitioning (1M-record slices per node, paper §VII-A2); TPC-C routes by
+// the warehouse id encoded in the key's high bits. Arbitrary routing
+// functions are supported for custom deployments.
+#ifndef GEOTP_MIDDLEWARE_CATALOG_H_
+#define GEOTP_MIDDLEWARE_CATALOG_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace geotp {
+namespace middleware {
+
+class Catalog {
+ public:
+  using RouteFn = std::function<NodeId(const RecordKey&)>;
+
+  /// Range partitioning for `table`: keys [i*keys_per_node,
+  /// (i+1)*keys_per_node) live on nodes[i]; keys beyond the last boundary
+  /// stay on the last node.
+  void AddRangePartitionedTable(uint32_t table, uint64_t keys_per_node,
+                                std::vector<NodeId> nodes);
+
+  /// High-bits partitioning: node = nodes[(key >> shift) / groups_per_node].
+  /// TPC-C encodes the warehouse id in the top bits of every key.
+  void AddHighBitsPartitionedTable(uint32_t table, int shift,
+                                   uint64_t groups_per_node,
+                                   std::vector<NodeId> nodes);
+
+  /// Fully custom routing.
+  void AddCustomTable(uint32_t table, RouteFn route);
+
+  /// Routes a key to its data source. Aborts on unknown tables
+  /// (programmer error: the workload must register its tables).
+  NodeId Route(const RecordKey& key) const;
+
+  /// All data sources any registered table can route to.
+  std::vector<NodeId> AllDataSources() const;
+
+  bool HasTable(uint32_t table) const { return routes_.count(table) > 0; }
+
+ private:
+  std::unordered_map<uint32_t, RouteFn> routes_;
+  std::vector<NodeId> all_nodes_;
+};
+
+}  // namespace middleware
+}  // namespace geotp
+
+#endif  // GEOTP_MIDDLEWARE_CATALOG_H_

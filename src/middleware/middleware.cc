@@ -1,0 +1,639 @@
+#include "middleware/middleware.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "datasource/data_source.h"
+
+namespace geotp {
+namespace middleware {
+
+using protocol::BranchExecuteRequest;
+using protocol::BranchExecuteResponse;
+using protocol::ClientFinishRequest;
+using protocol::ClientOp;
+using protocol::ClientRoundRequest;
+using protocol::ClientRoundResponse;
+using protocol::ClientTxnResult;
+using protocol::DecisionAck;
+using protocol::DecisionRequest;
+using protocol::PingResponse;
+using protocol::PrepareRequest;
+using protocol::Vote;
+using protocol::VoteMessage;
+
+const char* CommitProtocolName(CommitProtocol protocol) {
+  switch (protocol) {
+    case CommitProtocol::kTwoPhase:
+      return "2pc";
+    case CommitProtocol::kDecentralized:
+      return "decentralized-prepare";
+    case CommitProtocol::kLocalNoAtomicity:
+      return "local-no-atomicity";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Presets (paper §VII-A1 baselines)
+// ---------------------------------------------------------------------------
+
+MiddlewareConfig MiddlewareConfig::SSP() {
+  MiddlewareConfig config;
+  config.name = "SSP";
+  config.commit_protocol = CommitProtocol::kTwoPhase;
+  config.scheduler.policy = core::SchedulerPolicy::kImmediate;
+  return config;
+}
+
+MiddlewareConfig MiddlewareConfig::SSPLocal() {
+  MiddlewareConfig config;
+  config.name = "SSP(local)";
+  config.commit_protocol = CommitProtocol::kLocalNoAtomicity;
+  config.scheduler.policy = core::SchedulerPolicy::kImmediate;
+  return config;
+}
+
+MiddlewareConfig MiddlewareConfig::Quro() {
+  MiddlewareConfig config;
+  config.name = "QURO";
+  config.commit_protocol = CommitProtocol::kTwoPhase;
+  config.scheduler.policy = core::SchedulerPolicy::kImmediate;
+  config.quro_reorder = true;
+  return config;
+}
+
+MiddlewareConfig MiddlewareConfig::Chiller() {
+  MiddlewareConfig config;
+  config.name = "Chiller";
+  config.commit_protocol = CommitProtocol::kDecentralized;
+  config.scheduler.policy = core::SchedulerPolicy::kChiller;
+  return config;
+}
+
+MiddlewareConfig MiddlewareConfig::GeoTPO1() {
+  MiddlewareConfig config;
+  config.name = "GeoTP(O1)";
+  config.commit_protocol = CommitProtocol::kDecentralized;
+  config.scheduler.policy = core::SchedulerPolicy::kImmediate;
+  config.early_abort = true;
+  return config;
+}
+
+MiddlewareConfig MiddlewareConfig::GeoTPO1O2() {
+  MiddlewareConfig config = GeoTPO1();
+  config.name = "GeoTP(O1~O2)";
+  config.scheduler.policy = core::SchedulerPolicy::kLatencyAware;
+  return config;
+}
+
+MiddlewareConfig MiddlewareConfig::GeoTP() {
+  MiddlewareConfig config = GeoTPO1();
+  config.name = "GeoTP";
+  config.scheduler.policy = core::SchedulerPolicy::kLatencyAwareForecast;
+  config.scheduler.admission.enabled = true;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+MiddlewareNode::MiddlewareNode(NodeId id, uint32_t ordinal,
+                               sim::Network* network, Catalog catalog,
+                               MiddlewareConfig config)
+    : id_(id),
+      ordinal_(ordinal),
+      network_(network),
+      catalog_(std::move(catalog)),
+      config_(std::move(config)),
+      footprint_(std::make_unique<core::HotspotFootprint>(config_.footprint)),
+      monitor_(std::make_unique<core::LatencyMonitor>(
+          id, network, catalog_.AllDataSources(), config_.monitor)),
+      scheduler_(std::make_unique<core::GeoScheduler>(
+          config_.scheduler, monitor_.get(), footprint_.get())),
+      rng_(0xD1CEBA5E + id) {}
+
+MiddlewareNode::~MiddlewareNode() = default;
+
+void MiddlewareNode::Attach() {
+  network_->RegisterNode(id_, [this](std::unique_ptr<sim::MessageBase> msg) {
+    HandleMessage(std::move(msg));
+  });
+  monitor_->Start();
+}
+
+void MiddlewareNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
+  if (crashed_) return;
+  if (auto* round = dynamic_cast<ClientRoundRequest*>(msg.get())) {
+    OnClientRound(*round);
+  } else if (auto* resp = dynamic_cast<BranchExecuteResponse*>(msg.get())) {
+    OnExecResponse(*resp);
+  } else if (auto* vote = dynamic_cast<VoteMessage*>(msg.get())) {
+    OnVote(*vote);
+  } else if (auto* finish = dynamic_cast<ClientFinishRequest*>(msg.get())) {
+    OnClientFinish(*finish);
+  } else if (auto* ack = dynamic_cast<DecisionAck*>(msg.get())) {
+    OnDecisionAck(*ack);
+  } else if (auto* pong = dynamic_cast<PingResponse*>(msg.get())) {
+    monitor_->OnPong(*pong);
+  } else {
+    GEOTP_CHECK(false, "middleware " << id_ << ": unknown message");
+  }
+}
+
+MiddlewareNode::Txn* MiddlewareNode::FindTxn(TxnId id) {
+  auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> MiddlewareNode::ParticipantIds(const Txn& txn) const {
+  std::vector<NodeId> ids;
+  ids.reserve(txn.participants.size());
+  for (const auto& [node, p] : txn.participants) ids.push_back(node);
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// Execution phase
+// ---------------------------------------------------------------------------
+
+void MiddlewareNode::OnClientRound(const ClientRoundRequest& req) {
+  TxnId id = req.txn_id;
+  if (id == kInvalidTxn) {
+    id = MakeTxnId(ordinal_, next_seq_++);
+    Txn txn;
+    txn.id = id;
+    txn.client_tag = req.client_tag;
+    txn.client = req.from;
+    txn.ts_begin = loop()->Now();
+    txns_.emplace(id, std::move(txn));
+  }
+  Txn* txn = FindTxn(id);
+  GEOTP_CHECK(txn != nullptr, "round for unknown txn");
+  if (txn->aborting) return;  // result message will settle the client
+
+  txn->pending_ops = req.ops;
+  txn->last_round = req.last_round;
+  txn->round_values.assign(req.ops.size(), 0);
+  txn->analysis_total += config_.analysis_cost;
+  // Parse / rewrite / route / schedule cost at the DM.
+  loop()->Schedule(config_.analysis_cost,
+                   [this, id]() { PlanAndDispatchRound(id); });
+}
+
+void MiddlewareNode::PlanAndDispatchRound(TxnId id) {
+  Txn* txn = FindTxn(id);
+  if (txn == nullptr || txn->aborting) return;
+
+  // Group operations (with their positions in the round) per data source.
+  std::map<NodeId, std::vector<std::pair<ClientOp, size_t>>> groups;
+  for (size_t i = 0; i < txn->pending_ops.size(); ++i) {
+    const ClientOp& op = txn->pending_ops[i];
+    groups[catalog_.Route(op.key)].emplace_back(op, i);
+  }
+  GEOTP_CHECK(!groups.empty(), "empty round");
+
+  std::vector<core::ParticipantPlanInput> inputs;
+  inputs.reserve(groups.size());
+  for (const auto& [node, ops] : groups) {
+    core::ParticipantPlanInput input;
+    input.data_source = node;
+    for (const auto& [op, slot] : ops) input.keys.push_back(op.key);
+    inputs.push_back(std::move(input));
+  }
+
+  // Admission control (late transaction scheduling) applies to the first
+  // round — the paper's Algorithm 2 admits whole transactions.
+  const bool allow_admission = txn->round_seq == 0;
+  core::ScheduleDecision decision = scheduler_->ScheduleRound(
+      inputs, allow_admission ? txn->admission_attempts : -1, rng_);
+  if (allow_admission) {
+    if (decision.verdict == core::AdmissionVerdict::kBlock) {
+      stats_.admission_blocks++;
+      txn->admission_attempts++;
+      loop()->Schedule(decision.retry_backoff,
+                       [this, id]() { PlanAndDispatchRound(id); });
+      return;
+    }
+    if (decision.verdict == core::AdmissionVerdict::kAbort) {
+      stats_.admission_aborts++;
+      StartAbort(*txn, Status::Aborted("late-scheduling admission abort"));
+      return;
+    }
+  }
+
+  const uint64_t round_seq = txn->round_seq;
+  txn->round_outstanding = groups.size();
+
+  // Participants begun in earlier rounds but absent from the final round
+  // are told to prepare right away (§III).
+  if (txn->last_round &&
+      config_.commit_protocol == CommitProtocol::kDecentralized) {
+    for (auto& [node, p] : txn->participants) {
+      if (p.begun && groups.count(node) == 0) {
+        auto prep = std::make_unique<PrepareRequest>();
+        prep->from = id_;
+        prep->to = node;
+        prep->xid = Xid{txn->id, node};
+        network_->Send(std::move(prep));
+        stats_.prepare_requests_sent++;
+      }
+    }
+  }
+
+  size_t plan_idx = 0;
+  for (auto& [node, ops_slots] : groups) {
+    auto batch = ops_slots;
+    if (config_.quro_reorder) {
+      // QURO: exclusive locks as late as possible inside the batch.
+      std::stable_partition(
+          batch.begin(), batch.end(),
+          [](const std::pair<ClientOp, size_t>& e) { return !e.first.is_write; });
+    }
+    Participant& p = txn->participants[node];
+    p.exec_outstanding = true;
+    p.round_keys.clear();
+    p.op_slots.clear();
+    for (const auto& [op, slot] : batch) {
+      p.round_keys.push_back(op.key);
+      p.op_slots.push_back(slot);
+    }
+
+    const Micros postpone = decision.plans[plan_idx++].postpone;
+    const NodeId target = node;
+    std::vector<ClientOp> batch_ops;
+    batch_ops.reserve(batch.size());
+    for (const auto& [op, slot] : batch) batch_ops.push_back(op);
+
+    loop()->Schedule(postpone, [this, id, target, round_seq,
+                                ops = std::move(batch_ops)]() {
+      Txn* txn = FindTxn(id);
+      if (txn == nullptr || txn->aborting) return;
+      Participant& p = txn->participants[target];
+      auto req = std::make_unique<BranchExecuteRequest>();
+      req->from = id_;
+      req->to = target;
+      req->xid = Xid{id, target};
+      req->round_seq = round_seq;
+      req->begin_branch = !p.begun;
+      req->ops = ops;
+      req->last_statement =
+          txn->last_round &&
+          config_.commit_protocol == CommitProtocol::kDecentralized;
+      req->peers = ParticipantIds(*txn);
+      // peers excludes the target itself.
+      req->peers.erase(
+          std::remove(req->peers.begin(), req->peers.end(), target),
+          req->peers.end());
+      req->coordinator = id_;
+      p.begun = true;
+      // Charge the hotspot footprint at actual dispatch (a_cnt++); the
+      // matching release happens in OnExecResponse or FinishTxn.
+      footprint_->OnDispatch(p.round_keys);
+      p.footprint_charged = true;
+      network_->Send(std::move(req));
+    });
+  }
+  txn->round_seq++;
+}
+
+void MiddlewareNode::OnExecResponse(const BranchExecuteResponse& resp) {
+  Txn* txn = FindTxn(resp.xid.txn_id);
+  if (txn == nullptr) return;  // late response after the txn settled
+  auto it = txn->participants.find(resp.from);
+  if (it == txn->participants.end()) return;
+  Participant& p = it->second;
+  if (!p.exec_outstanding) return;  // duplicate/stale
+  p.exec_outstanding = false;
+
+  // Feed the hotspot footprint (Eq. 4 update + counter maintenance).
+  if (p.footprint_charged) {
+    footprint_->OnComplete(p.round_keys, resp.local_exec_latency,
+                           resp.status.ok());
+    p.footprint_charged = false;
+  }
+
+  if (!resp.status.ok()) {
+    if (resp.rolled_back) p.rollback_confirmed = true;
+    if (txn->aborting) {
+      CheckAbortDone(*txn);
+    } else {
+      StartAbort(*txn, resp.status);
+    }
+    return;
+  }
+
+  // Place read results into their slots in the client round.
+  for (size_t i = 0; i < p.op_slots.size() && i < resp.values.size(); ++i) {
+    txn->round_values[p.op_slots[i]] = resp.values[i];
+  }
+  if (txn->round_outstanding > 0) txn->round_outstanding--;
+  MaybeCompleteRound(*txn);
+}
+
+void MiddlewareNode::MaybeCompleteRound(Txn& txn) {
+  if (txn.aborting || txn.round_outstanding != 0) return;
+  txn.ts_exec_done = loop()->Now();
+  auto resp = std::make_unique<ClientRoundResponse>();
+  resp->from = id_;
+  resp->to = txn.client;
+  resp->client_tag = txn.client_tag;
+  resp->txn_id = txn.id;
+  resp->status = Status::OK();
+  resp->values = txn.round_values;
+  network_->Send(std::move(resp));
+}
+
+// ---------------------------------------------------------------------------
+// Commit phase
+// ---------------------------------------------------------------------------
+
+void MiddlewareNode::OnClientFinish(const ClientFinishRequest& req) {
+  Txn* txn = FindTxn(req.txn_id);
+  if (txn == nullptr) return;  // settled already (client will see result)
+  txn->commit_requested = true;
+  txn->ts_commit_req = loop()->Now();
+  if (txn->aborting) return;  // abort result is on its way
+  if (!req.commit) {
+    StartAbort(*txn, Status::Aborted("client rollback"));
+    return;
+  }
+  StartCommit(*txn);
+}
+
+void MiddlewareNode::StartCommit(Txn& txn) {
+  switch (config_.commit_protocol) {
+    case CommitProtocol::kDecentralized: {
+      // Votes arrive asynchronously from the geo-agents (implicit
+      // decentralized prepare, Algorithm 1): wait for them.
+      txn.phase = Phase::kWaitCommitVotes;
+      CheckVotesComplete(txn);
+      return;
+    }
+    case CommitProtocol::kTwoPhase: {
+      if (txn.participants.size() == 1) {
+        // XA one-phase commit for centralized transactions: 1 WAN RTT.
+        txn.ts_votes = loop()->Now();
+        DispatchDecision(txn, /*commit=*/true, /*one_phase=*/true);
+        return;
+      }
+      txn.phase = Phase::kWaitCommitVotes;
+      for (auto& [node, p] : txn.participants) {
+        if (!p.begun) continue;
+        auto prep = std::make_unique<PrepareRequest>();
+        prep->from = id_;
+        prep->to = node;
+        prep->xid = Xid{txn.id, node};
+        network_->Send(std::move(prep));
+        stats_.prepare_requests_sent++;
+      }
+      return;
+    }
+    case CommitProtocol::kLocalNoAtomicity: {
+      // SSP(local): decentralized commit, no atomicity guarantee — the
+      // decision goes out without a prepare phase.
+      txn.ts_votes = loop()->Now();
+      DispatchDecision(txn, /*commit=*/true, /*one_phase=*/true);
+      return;
+    }
+  }
+}
+
+void MiddlewareNode::OnVote(const VoteMessage& vote) {
+  Txn* txn = FindTxn(vote.xid.txn_id);
+  if (txn == nullptr) return;
+  auto it = txn->participants.find(vote.from);
+  if (it == txn->participants.end()) return;
+  Participant& p = it->second;
+  p.has_vote = true;
+  p.vote = vote.vote;
+
+  switch (vote.vote) {
+    case Vote::kPrepared:
+    case Vote::kIdle:
+      if (txn->phase == Phase::kWaitCommitVotes) CheckVotesComplete(*txn);
+      return;
+    case Vote::kFailure:
+    case Vote::kRollbackOnly:
+    case Vote::kRollbacked:
+      p.rollback_confirmed = true;
+      if (txn->aborting) {
+        CheckAbortDone(*txn);
+      } else {
+        StartAbort(*txn, Status::Aborted("participant voted " +
+                                         std::string(VoteName(vote.vote))));
+      }
+      return;
+  }
+}
+
+void MiddlewareNode::CheckVotesComplete(Txn& txn) {
+  GEOTP_CHECK(txn.phase == Phase::kWaitCommitVotes, "wrong phase");
+  size_t begun = 0;
+  for (auto& [node, p] : txn.participants) {
+    if (!p.begun) continue;
+    ++begun;
+    if (!p.has_vote) return;  // still waiting (Algorithm 1 line 21)
+    const bool good_vote =
+        p.vote == Vote::kPrepared ||
+        (p.vote == Vote::kIdle && txn.participants.size() == 1);
+    if (!good_vote) return;  // failure votes route through OnVote
+  }
+  if (begun == 0) {
+    // Degenerate: nothing begun (all rounds empty) — commit trivially.
+    txn.ts_votes = loop()->Now();
+    FinishTxn(txn, /*committed=*/true);
+    return;
+  }
+  txn.ts_votes = loop()->Now();
+  const bool one_phase = txn.participants.size() == 1 &&
+                         txn.participants.begin()->second.vote == Vote::kIdle;
+  if (one_phase) {
+    // Centralized fast path: no decision log needed; the single source's
+    // commit is the decision.
+    DispatchDecision(txn, /*commit=*/true, /*one_phase=*/true);
+  } else {
+    FlushLogAndDispatch(txn, /*commit=*/true);
+  }
+}
+
+void MiddlewareNode::FlushLogAndDispatch(Txn& txn, bool commit) {
+  const TxnId id = txn.id;
+  loop()->Schedule(config_.log_flush_cost, [this, id, commit]() {
+    Txn* txn = FindTxn(id);
+    if (txn == nullptr) return;
+    log_.push_back(DecisionLogEntry{id, commit});
+    DispatchDecision(*txn, commit, /*one_phase=*/false);
+  });
+}
+
+void MiddlewareNode::DispatchDecision(Txn& txn, bool commit, bool one_phase) {
+  txn.phase = commit ? Phase::kCommitDispatched : Phase::kAborting;
+  txn.ts_decision = loop()->Now();
+  size_t sent = 0;
+  for (auto& [node, p] : txn.participants) {
+    if (!p.begun) continue;
+    if (!commit && p.rollback_confirmed) continue;  // already rolled back
+    auto decision = std::make_unique<DecisionRequest>();
+    decision->from = id_;
+    decision->to = node;
+    decision->xid = Xid{txn.id, node};
+    decision->commit = commit;
+    decision->one_phase = one_phase;
+    network_->Send(std::move(decision));
+    stats_.decisions_sent++;
+    ++sent;
+  }
+  if (!commit) {
+    CheckAbortDone(txn);
+  } else if (sent == 0) {
+    FinishTxn(txn, /*committed=*/true);
+  }
+}
+
+void MiddlewareNode::OnDecisionAck(const DecisionAck& ack) {
+  Txn* txn = FindTxn(ack.xid.txn_id);
+  if (txn == nullptr) return;
+  auto it = txn->participants.find(ack.from);
+  if (it == txn->participants.end()) return;
+  Participant& p = it->second;
+  if (txn->phase == Phase::kCommitDispatched) {
+    if (!ack.committed) {
+      if (ack.one_phase) {
+        // A one-phase commit can fail cleanly (e.g. the source crashed and
+        // aborted the never-prepared branch): the transaction aborts.
+        txn->abort_status = Status::Aborted("one-phase commit failed");
+        FinishTxn(*txn, /*committed=*/false);
+        return;
+      }
+      // A PREPARED participant failed a logged commit decision — only
+      // tolerated in kLocalNoAtomicity (the paper's SSP(local) accepts
+      // inconsistency); in XA modes it would be an atomicity violation.
+      GEOTP_CHECK(
+          config_.commit_protocol == CommitProtocol::kLocalNoAtomicity,
+          "participant failed a committed decision");
+    }
+    p.decision_acked = true;
+    for (auto& [node, q] : txn->participants) {
+      if (q.begun && !q.decision_acked) return;
+    }
+    FinishTxn(*txn, /*committed=*/true);
+    return;
+  }
+  if (txn->phase == Phase::kAborting) {
+    p.rollback_confirmed = true;
+    CheckAbortDone(*txn);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Abort path
+// ---------------------------------------------------------------------------
+
+void MiddlewareNode::StartAbort(Txn& txn, Status status) {
+  if (txn.aborting) return;
+  txn.aborting = true;
+  txn.abort_status = std::move(status);
+  txn.phase = Phase::kAborting;
+  // Flush the abort decision, then notify unconfirmed participants. With
+  // early abort the geo-agents have already propagated peer aborts; the
+  // DM's decisions are belt-and-braces so no participant is orphaned, and
+  // whichever confirmation arrives first settles the participant.
+  FlushLogAndDispatch(txn, /*commit=*/false);
+}
+
+void MiddlewareNode::CheckAbortDone(Txn& txn) {
+  if (!txn.aborting) return;
+  if (txn.phase != Phase::kAborting) return;  // log flush still pending
+  for (auto& [node, p] : txn.participants) {
+    if (p.begun && !p.rollback_confirmed) return;
+  }
+  FinishTxn(txn, /*committed=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Completion
+// ---------------------------------------------------------------------------
+
+void MiddlewareNode::FinishTxn(Txn& txn, bool committed) {
+  const Micros now = loop()->Now();
+  // Release footprint charges for participants whose execute response
+  // never arrived (dispatch skipped mid-abort, or settled early) so a_cnt
+  // does not leak — a leaked a_cnt drives Eq. 9 to 1 permanently.
+  for (auto& [node, p] : txn.participants) {
+    if (p.footprint_charged) {
+      footprint_->OnRelease(p.round_keys);
+      p.footprint_charged = false;
+    }
+  }
+  if (committed) {
+    stats_.committed++;
+    stats_.breakdown.Record(metrics::TxnPhase::kAnalysis, txn.analysis_total);
+    stats_.breakdown.Record(metrics::TxnPhase::kExecution,
+                            txn.ts_exec_done - txn.ts_begin);
+    if (txn.ts_votes > 0 && txn.ts_commit_req > 0) {
+      stats_.breakdown.Record(
+          metrics::TxnPhase::kPrepare,
+          std::max<Micros>(0, txn.ts_votes - txn.ts_commit_req));
+    }
+    if (txn.ts_decision > 0) {
+      stats_.breakdown.Record(metrics::TxnPhase::kCommit,
+                              now - txn.ts_decision);
+    }
+  } else {
+    stats_.aborted++;
+  }
+
+  auto result = std::make_unique<ClientTxnResult>();
+  result->from = id_;
+  result->to = txn.client;
+  result->client_tag = txn.client_tag;
+  result->txn_id = txn.id;
+  result->status = committed ? Status::OK() : txn.abort_status;
+  network_->Send(std::move(result));
+  txns_.erase(txn.id);
+}
+
+// ---------------------------------------------------------------------------
+// Failure & recovery (§V-A)
+// ---------------------------------------------------------------------------
+
+void MiddlewareNode::Crash() {
+  crashed_ = true;
+  network_->Partition(id_);
+  txns_.clear();  // in-memory coordinator state is lost; log_ survives
+}
+
+void MiddlewareNode::Restart(
+    const std::vector<datasource::DataSourceNode*>& sources) {
+  crashed_ = false;
+  network_->Restore(id_);
+  // ❶: on DM disconnect, sources abort branches that have not prepared.
+  for (auto* src : sources) {
+    src->OnCoordinatorFailure(id_);
+  }
+  // Collect in-doubt (prepared) branches of this DM and resolve them from
+  // the decision log: logged commit -> commit; otherwise abort.
+  for (auto* src : sources) {
+    for (const Xid& xid : src->engine().PreparedXids()) {
+      if ((xid.txn_id >> 48) != ordinal_) continue;  // another DM's txn
+      bool committed = false;
+      for (const auto& entry : log_) {
+        if (entry.txn_id == xid.txn_id) committed = entry.commit;
+      }
+      auto decision = std::make_unique<DecisionRequest>();
+      decision->from = id_;
+      decision->to = src->id();
+      decision->xid = xid;
+      decision->commit = committed;
+      decision->one_phase = false;
+      network_->Send(std::move(decision));
+      stats_.decisions_sent++;
+    }
+  }
+}
+
+}  // namespace middleware
+}  // namespace geotp

@@ -1,0 +1,220 @@
+// MiddlewareNode: the database middleware (DM) actor.
+//
+// It implements the coordinator side of every XA-middleware variant the
+// paper evaluates:
+//
+//   * SSP          — classic 2PC: prepare round + commit round (3 WAN RTTs
+//                    per distributed transaction including execution);
+//   * SSP(local)   — decentralized commit without atomicity guarantees
+//                    (commit dispatched directly, no prepare);
+//   * QURO         — SSP plus read-before-write reordering inside batches;
+//   * Chiller      — decentralized prepare merged with execution plus
+//                    inner-region-last scheduling;
+//   * GeoTP        — decentralized prepare (O1), latency-aware scheduling
+//                    (O2), forecast + late transaction scheduling (O3),
+//                    early abort.
+//
+// One MiddlewareNode serves many concurrent interactive transactions from
+// client terminals (closed loop, src/workload). The per-transaction state
+// machine follows Algorithm 1; scheduling follows Algorithm 2.
+#ifndef GEOTP_MIDDLEWARE_MIDDLEWARE_H_
+#define GEOTP_MIDDLEWARE_MIDDLEWARE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/geo_scheduler.h"
+#include "core/hotspot_footprint.h"
+#include "core/latency_monitor.h"
+#include "metrics/stats.h"
+#include "middleware/catalog.h"
+#include "protocol/messages.h"
+#include "sim/network.h"
+
+namespace geotp {
+namespace datasource {
+class DataSourceNode;
+}  // namespace datasource
+
+namespace middleware {
+
+enum class CommitProtocol : uint8_t {
+  kTwoPhase,         ///< DM-driven prepare + commit rounds (SSP)
+  kDecentralized,    ///< geo-agent-driven prepare (GeoTP O1, Chiller)
+  kLocalNoAtomicity, ///< direct commit, no prepare (SSP "local" mode)
+};
+
+const char* CommitProtocolName(CommitProtocol protocol);
+
+struct MiddlewareConfig {
+  std::string name = "dm";
+  CommitProtocol commit_protocol = CommitProtocol::kTwoPhase;
+  core::SchedulerConfig scheduler;
+  /// QURO preprocessing: reorder each batch reads-first/writes-last.
+  bool quro_reorder = false;
+  /// Early abort via geo-agents (the agents do the peer notification; the
+  /// DM additionally dispatches aborts so no participant is orphaned).
+  bool early_abort = false;
+  /// Per-round DM work: parse/rewrite/route/schedule (Fig. 6c "analysis").
+  Micros analysis_cost = 300;
+  /// Commit/abort decision log fsync at the DM (Algorithm 1 FlushLog).
+  Micros log_flush_cost = 500;
+  core::LatencyMonitorConfig monitor;
+  core::FootprintConfig footprint;
+
+  // ----- paper system presets ---------------------------------------------
+  static MiddlewareConfig SSP();
+  static MiddlewareConfig SSPLocal();
+  static MiddlewareConfig Quro();
+  static MiddlewareConfig Chiller();
+  static MiddlewareConfig GeoTPO1();    ///< decentralized prepare only
+  static MiddlewareConfig GeoTPO1O2();  ///< + latency-aware scheduling
+  static MiddlewareConfig GeoTP();      ///< + forecast & late scheduling (O1~O3)
+};
+
+/// Completion record handed to the workload driver for accounting.
+struct TxnOutcome {
+  TxnId txn_id = kInvalidTxn;
+  bool committed = false;
+  bool distributed = false;
+  Status status;
+  Micros latency = 0;  ///< DM-side: first round arrival to final result
+  int admission_retries = 0;
+};
+
+struct MiddlewareStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t admission_blocks = 0;
+  uint64_t admission_aborts = 0;
+  uint64_t prepare_requests_sent = 0;
+  uint64_t decisions_sent = 0;
+  metrics::PhaseBreakdown breakdown;
+};
+
+/// Durable commit/abort decision log (survives DM crashes).
+struct DecisionLogEntry {
+  TxnId txn_id;
+  bool commit;
+};
+
+class MiddlewareNode {
+ public:
+  MiddlewareNode(NodeId id, uint32_t ordinal, sim::Network* network,
+                 Catalog catalog, MiddlewareConfig config);
+  ~MiddlewareNode();
+
+  /// Registers with the network and starts the latency monitor.
+  void Attach();
+
+  NodeId id() const { return id_; }
+  const MiddlewareConfig& config() const { return config_; }
+  const MiddlewareStats& stats() const { return stats_; }
+  core::LatencyMonitor& monitor() { return *monitor_; }
+  core::HotspotFootprint& footprint() { return *footprint_; }
+  const std::vector<DecisionLogEntry>& decision_log() const { return log_; }
+  sim::EventLoop* loop() { return network_->loop(); }
+
+  /// Number of transactions currently coordinated (in any phase).
+  size_t InFlight() const { return txns_.size(); }
+
+  /// Crash simulation: in-memory transaction state is lost; the decision
+  /// log survives. Clients receive no further messages.
+  void Crash();
+
+  /// Restart + §V-A recovery: queries the data sources for in-doubt
+  /// (prepared) branches of this DM; commits those with a logged commit
+  /// decision, aborts the rest, and asks sources to abort non-prepared
+  /// branches (common setting ❶).
+  void Restart(const std::vector<datasource::DataSourceNode*>& sources);
+
+ private:
+  struct Participant {
+    bool begun = false;
+    bool exec_outstanding = false;
+    bool footprint_charged = false;  ///< a_cnt++ done, awaiting release
+    bool has_vote = false;
+    protocol::Vote vote = protocol::Vote::kPrepared;
+    bool rollback_confirmed = false;
+    bool decision_acked = false;
+    std::vector<RecordKey> round_keys;
+    std::vector<size_t> op_slots;  ///< positions in the client round
+  };
+
+  enum class Phase : uint8_t {
+    kExecuting,
+    kWaitCommitVotes,
+    kCommitDispatched,
+    kAborting,
+  };
+
+  struct Txn {
+    TxnId id = kInvalidTxn;
+    uint64_t client_tag = 0;
+    NodeId client = kInvalidNode;
+    Phase phase = Phase::kExecuting;
+    std::map<NodeId, Participant> participants;
+    uint64_t round_seq = 0;
+    size_t round_outstanding = 0;
+    std::vector<int64_t> round_values;
+    bool last_round = false;
+    bool commit_requested = false;
+    bool aborting = false;
+    Status abort_status;
+    int admission_attempts = 0;
+    // Pending round kept for admission retries.
+    std::vector<protocol::ClientOp> pending_ops;
+    // Timestamps for the Fig. 6c breakdown.
+    Micros ts_begin = 0;
+    Micros ts_exec_done = 0;
+    Micros ts_commit_req = 0;
+    Micros ts_votes = 0;
+    Micros ts_decision = 0;
+    Micros analysis_total = 0;
+  };
+
+  void HandleMessage(std::unique_ptr<sim::MessageBase> msg);
+  void OnClientRound(const protocol::ClientRoundRequest& req);
+  void PlanAndDispatchRound(TxnId id);
+  void OnExecResponse(const protocol::BranchExecuteResponse& resp);
+  void OnVote(const protocol::VoteMessage& vote);
+  void OnClientFinish(const protocol::ClientFinishRequest& req);
+  void OnDecisionAck(const protocol::DecisionAck& ack);
+
+  void MaybeCompleteRound(Txn& txn);
+  void StartCommit(Txn& txn);
+  void CheckVotesComplete(Txn& txn);
+  void FlushLogAndDispatch(Txn& txn, bool commit);
+  void DispatchDecision(Txn& txn, bool commit, bool one_phase);
+  void StartAbort(Txn& txn, Status status);
+  void CheckAbortDone(Txn& txn);
+  void FinishTxn(Txn& txn, bool committed);
+
+  Txn* FindTxn(TxnId id);
+  std::vector<NodeId> ParticipantIds(const Txn& txn) const;
+
+  NodeId id_;
+  uint32_t ordinal_;
+  sim::Network* network_;
+  Catalog catalog_;
+  MiddlewareConfig config_;
+  std::unique_ptr<core::HotspotFootprint> footprint_;
+  std::unique_ptr<core::LatencyMonitor> monitor_;
+  std::unique_ptr<core::GeoScheduler> scheduler_;
+  Rng rng_;
+  MiddlewareStats stats_;
+  std::vector<DecisionLogEntry> log_;  // durable
+  uint64_t next_seq_ = 1;
+  bool crashed_ = false;
+  std::unordered_map<TxnId, Txn> txns_;
+};
+
+}  // namespace middleware
+}  // namespace geotp
+
+#endif  // GEOTP_MIDDLEWARE_MIDDLEWARE_H_

@@ -1,0 +1,172 @@
+// Wire messages exchanged between clients, middlewares, geo-agents and
+// data sources. Everything derives from sim::MessageBase so the simulated
+// network can deliver it with per-link latency.
+//
+// Naming follows the paper's Algorithm 1: data sources answer the implicit
+// prepare with votes (PREPARED / FAILURE / IDLE / ROLLBACK_ONLY /
+// ROLLBACKED); the DM dispatches a Decision (commit or abort).
+#ifndef GEOTP_PROTOCOL_MESSAGES_H_
+#define GEOTP_PROTOCOL_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/network.h"
+
+namespace geotp {
+namespace protocol {
+
+/// One record operation as submitted by a client (already parsed /
+/// partition-routed form; the SQL path in src/sql produces these).
+struct ClientOp {
+  RecordKey key;
+  bool is_write = false;
+  int64_t value = 0;     ///< write literal or delta
+  bool is_delta = false; ///< UPDATE ... SET val = val + value
+};
+
+// ---------------------------------------------------------------------------
+// Client <-> middleware
+// ---------------------------------------------------------------------------
+
+/// One interactive round of a transaction. The first round opens the
+/// transaction; `last_round` carries the last-statement annotation that
+/// lets GeoTP trigger the decentralized prepare (paper §IV-A).
+struct ClientRoundRequest : sim::MessageBase {
+  uint64_t client_tag = 0;  ///< client-side correlation handle
+  TxnId txn_id = kInvalidTxn;  ///< 0 on the first round; DM assigns
+  std::vector<ClientOp> ops;
+  bool last_round = false;
+  size_t WireSize() const override { return 64 + ops.size() * 24; }
+};
+
+struct ClientRoundResponse : sim::MessageBase {
+  uint64_t client_tag = 0;
+  TxnId txn_id = kInvalidTxn;
+  Status status;
+  std::vector<int64_t> values;  ///< read results, in op order
+  size_t WireSize() const override { return 64 + values.size() * 8; }
+};
+
+/// COMMIT (or ROLLBACK) submitted by the client.
+struct ClientFinishRequest : sim::MessageBase {
+  uint64_t client_tag = 0;
+  TxnId txn_id = kInvalidTxn;
+  bool commit = true;
+};
+
+/// Final transaction outcome to the client.
+struct ClientTxnResult : sim::MessageBase {
+  uint64_t client_tag = 0;
+  TxnId txn_id = kInvalidTxn;
+  Status status;
+};
+
+// ---------------------------------------------------------------------------
+// Middleware <-> data source (geo-agent)
+// ---------------------------------------------------------------------------
+
+/// Executes a batch of operations of one subtransaction branch.
+struct BranchExecuteRequest : sim::MessageBase {
+  Xid xid;
+  uint64_t round_seq = 0;
+  bool begin_branch = false;      ///< first batch for this branch
+  std::vector<ClientOp> ops;      ///< executed sequentially at the source
+  /// Last statement of this branch (annotation): the geo-agent initiates
+  /// the decentralized prepare when the batch completes.
+  bool last_statement = false;
+  /// Peer data sources of the transaction (for early abort and for the
+  /// centralized/distributed distinction in Algorithm 1).
+  std::vector<NodeId> peers;
+  /// Middleware to send the implicit-prepare vote to.
+  NodeId coordinator = kInvalidNode;
+  size_t WireSize() const override { return 96 + ops.size() * 24; }
+};
+
+struct BranchExecuteResponse : sim::MessageBase {
+  Xid xid;
+  uint64_t round_seq = 0;
+  Status status;
+  std::vector<int64_t> values;
+  /// Local execution latency measured at the source (request arrival to
+  /// batch completion) — feeds the hotspot footprint (Eq. 4).
+  Micros local_exec_latency = 0;
+  /// True if the branch already rolled back locally (failure path).
+  bool rolled_back = false;
+  size_t WireSize() const override { return 96 + values.size() * 8; }
+};
+
+/// Explicit prepare request (classic 2PC path, and the "notify sources not
+/// processing the last statement" case of §III).
+struct PrepareRequest : sim::MessageBase {
+  Xid xid;
+};
+
+/// Vote values, per Algorithm 1.
+enum class Vote : uint8_t {
+  kPrepared,      ///< branch prepared, ready to commit
+  kIdle,          ///< branch ended but not prepared (centralized fast path)
+  kFailure,       ///< prepare failed; branch rolled back
+  kRollbackOnly,  ///< end failed; branch rolled back
+  kRollbacked,    ///< branch rolled back (early abort / abort ack)
+};
+
+const char* VoteName(Vote vote);
+
+struct VoteMessage : sim::MessageBase {
+  Xid xid;
+  Vote vote = Vote::kPrepared;
+};
+
+/// Final decision from the DM. `one_phase` commits an un-prepared branch
+/// directly (XA COMMIT ... ONE PHASE; centralized transactions).
+struct DecisionRequest : sim::MessageBase {
+  Xid xid;
+  bool commit = true;
+  bool one_phase = false;
+};
+
+struct DecisionAck : sim::MessageBase {
+  Xid xid;
+  bool committed = false;
+  /// Echo of the request's one_phase flag: a failed one-phase commit is a
+  /// clean abort (the branch was never prepared anywhere); a failed
+  /// two-phase commit of a prepared branch would be an atomicity bug.
+  bool one_phase = false;
+  Status status;
+};
+
+// ---------------------------------------------------------------------------
+// Geo-agent <-> geo-agent (early abort, §IV-A)
+// ---------------------------------------------------------------------------
+
+/// Proactive peer-abort notification, sent data-source to data-source
+/// without DM coordination.
+struct PeerAbortRequest : sim::MessageBase {
+  TxnId txn_id = kInvalidTxn;
+  NodeId origin = kInvalidNode;  ///< the data source where the failure hit
+};
+
+// ---------------------------------------------------------------------------
+// Latency monitoring (paper §VI: ping thread at 10 ms intervals)
+// ---------------------------------------------------------------------------
+
+struct PingRequest : sim::MessageBase {
+  uint64_t seq = 0;
+  Micros sent_at = 0;
+  size_t WireSize() const override { return 32; }
+};
+
+struct PingResponse : sim::MessageBase {
+  uint64_t seq = 0;
+  Micros sent_at = 0;
+  size_t WireSize() const override { return 32; }
+};
+
+}  // namespace protocol
+}  // namespace geotp
+
+#endif  // GEOTP_PROTOCOL_MESSAGES_H_

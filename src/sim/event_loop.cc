@@ -1,0 +1,75 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace geotp {
+namespace sim {
+
+EventId EventLoop::Schedule(Micros delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId EventLoop::ScheduleAt(Micros when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventLoop::Cancel(EventId id) {
+  if (id == kInvalidEvent || pending_.erase(id) == 0) return false;
+  // Lazy cancellation: the heap entry stays put and is skipped on pop.
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventLoop::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;  // skip cancelled
+    pending_.erase(ev.id);
+    GEOTP_CHECK(ev.when >= now_, "time went backwards");
+    now_ = ev.when;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventLoop::Run() {
+  uint64_t n = 0;
+  while (Step()) ++n;
+  return n;
+}
+
+uint64_t EventLoop::RunUntil(Micros until) {
+  uint64_t n = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > until) break;
+    Step();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+void EventLoop::Clear() {
+  while (!queue_.empty()) queue_.pop();
+  cancelled_.clear();
+  pending_.clear();
+}
+
+}  // namespace sim
+}  // namespace geotp

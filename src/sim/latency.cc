@@ -1,0 +1,67 @@
+#include "sim/latency.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace geotp {
+namespace sim {
+
+LinkSpec LinkSpec::FromRttMsJitter(double rtt_ms, double jitter_fraction) {
+  LinkSpec spec;
+  spec.one_way_mean = MsToMicros(rtt_ms / 2.0);
+  spec.jitter_stddev =
+      static_cast<Micros>(static_cast<double>(spec.one_way_mean) * jitter_fraction);
+  spec.jitter = JitterModel::kGaussian;
+  spec.min_one_way = spec.one_way_mean / 4;
+  return spec;
+}
+
+LatencyMatrix::LatencyMatrix(int num_nodes)
+    : num_nodes_(num_nodes),
+      links_(static_cast<size_t>(num_nodes) * num_nodes) {}
+
+void LatencyMatrix::SetSymmetric(NodeId a, NodeId b, const LinkSpec& spec) {
+  SetDirected(a, b, spec);
+  SetDirected(b, a, spec);
+}
+
+void LatencyMatrix::SetDirected(NodeId from, NodeId to, const LinkSpec& spec) {
+  GEOTP_CHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_,
+              "link " << from << "->" << to);
+  links_[static_cast<size_t>(from) * num_nodes_ + to] = spec;
+}
+
+const LinkSpec& LatencyMatrix::Get(NodeId from, NodeId to) const {
+  GEOTP_CHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_,
+              "link " << from << "->" << to);
+  return links_[static_cast<size_t>(from) * num_nodes_ + to];
+}
+
+Micros LatencyMatrix::SampleOneWay(NodeId from, NodeId to, Rng& rng) const {
+  const LinkSpec& spec = Get(from, to);
+  Micros sample = spec.one_way_mean;
+  switch (spec.jitter) {
+    case JitterModel::kNone:
+      break;
+    case JitterModel::kGaussian:
+      sample = static_cast<Micros>(
+          rng.NextGaussian(static_cast<double>(spec.one_way_mean),
+                           static_cast<double>(spec.jitter_stddev)));
+      break;
+    case JitterModel::kUniform: {
+      const Micros lo = spec.one_way_mean - spec.jitter_stddev;
+      const Micros hi = spec.one_way_mean + spec.jitter_stddev;
+      sample = rng.NextInt(lo, std::max(lo, hi));
+      break;
+    }
+  }
+  return std::max(sample, spec.min_one_way);
+}
+
+Micros LatencyMatrix::MeanRtt(NodeId a, NodeId b) const {
+  return Get(a, b).one_way_mean + Get(b, a).one_way_mean;
+}
+
+}  // namespace sim
+}  // namespace geotp

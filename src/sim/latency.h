@@ -1,0 +1,77 @@
+// Link latency models and the node-to-node latency matrix.
+//
+// The paper's testbed shapes WAN latency with `tc` (§VII-A3); here every
+// directed link carries a LinkSpec describing its one-way delay
+// distribution, and the matrix can be rewritten at virtual runtime to
+// reproduce the random-latency (Fig. 11a) and online-adaptivity (Fig. 11b)
+// experiments.
+#ifndef GEOTP_SIM_LATENCY_H_
+#define GEOTP_SIM_LATENCY_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace geotp {
+namespace sim {
+
+/// Shape of the per-message latency distribution around the mean.
+enum class JitterModel {
+  kNone,      ///< always exactly the mean
+  kGaussian,  ///< N(mean, stddev), clamped at min
+  kUniform,   ///< U[mean - spread, mean + spread], spread = stddev
+};
+
+/// One directed link's delay model. All fields are one-way times.
+struct LinkSpec {
+  Micros one_way_mean = 0;
+  Micros jitter_stddev = 0;
+  JitterModel jitter = JitterModel::kNone;
+  /// Lower bound for samples; physical links never deliver instantly.
+  Micros min_one_way = 0;
+
+  /// Convenience: a fixed-delay link from an RTT in milliseconds.
+  static LinkSpec FromRttMs(double rtt_ms) {
+    LinkSpec spec;
+    spec.one_way_mean = MsToMicros(rtt_ms / 2.0);
+    return spec;
+  }
+
+  /// Convenience: gaussian jitter expressed as a fraction of the mean.
+  static LinkSpec FromRttMsJitter(double rtt_ms, double jitter_fraction);
+};
+
+/// Dense matrix of LinkSpec for all ordered node pairs. Self-links default
+/// to zero latency (a node messaging itself is a local function call
+/// deferred by one event).
+class LatencyMatrix {
+ public:
+  explicit LatencyMatrix(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Sets both directions to the same spec.
+  void SetSymmetric(NodeId a, NodeId b, const LinkSpec& spec);
+
+  /// Sets a single directed link.
+  void SetDirected(NodeId from, NodeId to, const LinkSpec& spec);
+
+  const LinkSpec& Get(NodeId from, NodeId to) const;
+
+  /// Samples the one-way delay for one message on the link.
+  Micros SampleOneWay(NodeId from, NodeId to, Rng& rng) const;
+
+  /// Mean RTT (both directions' means summed) — what an oracle would report;
+  /// the middleware's LatencyMonitor estimates this by pinging.
+  Micros MeanRtt(NodeId a, NodeId b) const;
+
+ private:
+  int num_nodes_;
+  std::vector<LinkSpec> links_;  // row-major [from * n + to]
+};
+
+}  // namespace sim
+}  // namespace geotp
+
+#endif  // GEOTP_SIM_LATENCY_H_

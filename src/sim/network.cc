@@ -1,0 +1,70 @@
+#include "sim/network.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace geotp {
+namespace sim {
+
+Network::Network(EventLoop* loop, LatencyMatrix matrix, uint64_t seed)
+    : loop_(loop),
+      matrix_(std::move(matrix)),
+      rng_(seed),
+      handlers_(static_cast<size_t>(matrix_.num_nodes())),
+      stats_(static_cast<size_t>(matrix_.num_nodes())),
+      partitioned_(static_cast<size_t>(matrix_.num_nodes()), false) {}
+
+void Network::RegisterNode(NodeId node, Handler handler) {
+  GEOTP_CHECK(node >= 0 && node < num_nodes(), "node " << node);
+  handlers_[static_cast<size_t>(node)] = std::move(handler);
+}
+
+void Network::Partition(NodeId node) {
+  GEOTP_CHECK(node >= 0 && node < num_nodes(), "node " << node);
+  partitioned_[static_cast<size_t>(node)] = true;
+}
+
+void Network::Restore(NodeId node) {
+  GEOTP_CHECK(node >= 0 && node < num_nodes(), "node " << node);
+  partitioned_[static_cast<size_t>(node)] = false;
+}
+
+bool Network::IsPartitioned(NodeId node) const {
+  GEOTP_CHECK(node >= 0 && node < num_nodes(), "node " << node);
+  return partitioned_[static_cast<size_t>(node)];
+}
+
+void Network::Send(std::unique_ptr<MessageBase> msg) {
+  const NodeId from = msg->from;
+  const NodeId to = msg->to;
+  GEOTP_CHECK(from >= 0 && from < num_nodes(), "from " << from);
+  GEOTP_CHECK(to >= 0 && to < num_nodes(), "to " << to);
+  // A partitioned sender cannot emit messages either.
+  if (partitioned_[static_cast<size_t>(from)]) return;
+
+  auto& sender_stats = stats_[static_cast<size_t>(from)];
+  sender_stats.messages_sent++;
+  sender_stats.bytes_sent += msg->WireSize();
+  ++total_messages_;
+
+  const Micros delay = matrix_.SampleOneWay(from, to, rng_);
+  // std::function requires copyable callables, so park the unique_ptr in a
+  // shared holder; the event fires exactly once and moves it out.
+  auto holder = std::make_shared<std::unique_ptr<MessageBase>>(std::move(msg));
+  loop_->Schedule(delay, [this, to, holder]() {
+    if (partitioned_[static_cast<size_t>(to)]) return;  // dropped at the NIC
+    auto& handler = handlers_[static_cast<size_t>(to)];
+    GEOTP_CHECK(handler != nullptr, "no handler for node " << to);
+    stats_[static_cast<size_t>(to)].messages_received++;
+    handler(std::move(*holder));
+  });
+}
+
+const TrafficStats& Network::StatsFor(NodeId node) const {
+  GEOTP_CHECK(node >= 0 && node < num_nodes(), "node " << node);
+  return stats_[static_cast<size_t>(node)];
+}
+
+}  // namespace sim
+}  // namespace geotp

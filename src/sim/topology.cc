@@ -1,0 +1,102 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace geotp {
+namespace sim {
+
+NodeId TopologyBuilder::AddNode(NodeRole role, std::string name,
+                                std::string region) {
+  NodeInfo info;
+  info.id = static_cast<NodeId>(nodes_.size());
+  info.role = role;
+  info.name = std::move(name);
+  info.region = std::move(region);
+  nodes_.push_back(info);
+  return info.id;
+}
+
+void TopologyBuilder::SetRttMs(NodeId a, NodeId b, double rtt_ms) {
+  overrides_.push_back(Override{a, b, LinkSpec::FromRttMs(rtt_ms)});
+}
+
+void TopologyBuilder::SetRttMsJitter(NodeId a, NodeId b, double rtt_ms,
+                                     double jitter_frac) {
+  overrides_.push_back(
+      Override{a, b, LinkSpec::FromRttMsJitter(rtt_ms, jitter_frac)});
+}
+
+LatencyMatrix TopologyBuilder::Build(double lan_rtt_ms,
+                                     double default_wan_rtt_ms) const {
+  LatencyMatrix matrix(num_nodes());
+  for (NodeId a = 0; a < num_nodes(); ++a) {
+    for (NodeId b = 0; b < num_nodes(); ++b) {
+      if (a == b) continue;
+      const bool same_region = nodes_[static_cast<size_t>(a)].region ==
+                               nodes_[static_cast<size_t>(b)].region;
+      matrix.SetDirected(
+          a, b,
+          LinkSpec::FromRttMs(same_region ? lan_rtt_ms : default_wan_rtt_ms));
+    }
+  }
+  for (const auto& ov : overrides_) {
+    matrix.SetSymmetric(ov.a, ov.b, ov.spec);
+  }
+  return matrix;
+}
+
+DefaultTopology DefaultTopology::Make(std::vector<double> ds_rtts_ms,
+                                      double jitter_frac) {
+  GEOTP_CHECK(!ds_rtts_ms.empty(), "need at least one data source");
+  static const char* kRegions[] = {"beijing", "shanghai", "singapore",
+                                   "london", "frankfurt", "oregon",
+                                   "sydney", "saopaulo"};
+  const size_t num_regions = sizeof(kRegions) / sizeof(kRegions[0]);
+
+  TopologyBuilder builder;
+  DefaultTopology topo;
+  topo.client = builder.AddNode(NodeRole::kClient, "client", "beijing");
+  topo.middleware = builder.AddNode(NodeRole::kMiddleware, "dm", "beijing");
+  for (size_t i = 0; i < ds_rtts_ms.size(); ++i) {
+    // A 0 ms RTT means co-located with the DM (same region → LAN latency).
+    const char* region = ds_rtts_ms[i] <= 0.0
+                             ? "beijing"
+                             : kRegions[(i + 1) % num_regions];
+    const NodeId ds = builder.AddNode(NodeRole::kDataSource,
+                                      "ds" + std::to_string(i + 1), region);
+    topo.data_sources.push_back(ds);
+    if (ds_rtts_ms[i] > 0.0) {
+      if (jitter_frac > 0.0) {
+        builder.SetRttMsJitter(topo.middleware, ds, ds_rtts_ms[i],
+                               jitter_frac);
+      } else {
+        builder.SetRttMs(topo.middleware, ds, ds_rtts_ms[i]);
+      }
+      // Client reaches remote data sources at the same cost as the DM
+      // (client and DM are co-located in Beijing).
+      builder.SetRttMs(topo.client, ds, ds_rtts_ms[i]);
+    }
+  }
+  // Inter-data-source links (used by geo-agent early abort): approximate by
+  // the triangle through their DM RTTs — |rtt_a - rtt_b| would be a lower
+  // bound; the sum an upper bound. Use max(rtt_a, rtt_b) as a realistic
+  // WAN distance between distinct regions.
+  for (size_t i = 0; i < ds_rtts_ms.size(); ++i) {
+    for (size_t j = i + 1; j < ds_rtts_ms.size(); ++j) {
+      const double a = ds_rtts_ms[i];
+      const double b = ds_rtts_ms[j];
+      if (a <= 0.0 && b <= 0.0) continue;  // both co-located: LAN default
+      builder.SetRttMs(topo.data_sources[i], topo.data_sources[j],
+                       std::max(a, b));
+    }
+  }
+  topo.nodes = builder.nodes();
+  topo.matrix = builder.Build();
+  return topo;
+}
+
+}  // namespace sim
+}  // namespace geotp

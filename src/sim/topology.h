@@ -1,0 +1,75 @@
+// Topology builder: names the simulated nodes and produces the latency
+// matrix. Provides the paper's default deployment (§VII-A3): client + DM +
+// one data node in Beijing, data nodes in Shanghai, Singapore and London
+// with 27 / 73 / 251 ms RTTs to the DM.
+#ifndef GEOTP_SIM_TOPOLOGY_H_
+#define GEOTP_SIM_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/latency.h"
+
+namespace geotp {
+namespace sim {
+
+enum class NodeRole { kClient, kMiddleware, kDataSource };
+
+struct NodeInfo {
+  NodeId id = kInvalidNode;
+  NodeRole role = NodeRole::kDataSource;
+  std::string name;
+  std::string region;
+};
+
+/// Incrementally builds a node table and latency matrix.
+class TopologyBuilder {
+ public:
+  /// Adds a node; returns its id.
+  NodeId AddNode(NodeRole role, std::string name, std::string region);
+
+  /// Declares the symmetric RTT (ms) between two nodes.
+  void SetRttMs(NodeId a, NodeId b, double rtt_ms);
+
+  /// Declares the symmetric RTT with gaussian jitter (fraction of mean).
+  void SetRttMsJitter(NodeId a, NodeId b, double rtt_ms, double jitter_frac);
+
+  /// Finalizes into a LatencyMatrix. Unset links default to the LAN RTT
+  /// (nodes in the same region) or `default_wan_rtt_ms` otherwise.
+  LatencyMatrix Build(double lan_rtt_ms = 0.5,
+                      double default_wan_rtt_ms = 100.0) const;
+
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Override {
+    NodeId a;
+    NodeId b;
+    LinkSpec spec;
+  };
+  std::vector<NodeInfo> nodes_;
+  std::vector<Override> overrides_;
+};
+
+/// The paper's default 6-machine deployment. Node ids, in order:
+/// 0 = client host (Beijing), 1 = middleware (Beijing),
+/// 2..5 = data sources (Beijing / Shanghai / Singapore / London).
+struct DefaultTopology {
+  NodeId client = 0;
+  NodeId middleware = 1;
+  std::vector<NodeId> data_sources;  // {2,3,4,5}
+  std::vector<NodeInfo> nodes;
+  LatencyMatrix matrix{1};
+
+  /// RTTs from the DM to each data source, in ms (paper: 0, 27, 73, 251).
+  static DefaultTopology Make(std::vector<double> ds_rtts_ms = {0.0, 27.0,
+                                                                73.0, 251.0},
+                              double jitter_frac = 0.0);
+};
+
+}  // namespace sim
+}  // namespace geotp
+
+#endif  // GEOTP_SIM_TOPOLOGY_H_

@@ -1,0 +1,290 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace geotp {
+namespace sql {
+
+namespace {
+
+bool IsLastAnnotation(std::string_view comment) {
+  // Accepted spellings: "last statement", "geotp:last" (case-insensitive).
+  std::string lower;
+  lower.reserve(comment.size());
+  for (char c : comment) lower.push_back(static_cast<char>(std::tolower(c)));
+  return lower.find("last statement") != std::string::npos ||
+         lower.find("geotp:last") != std::string::npos;
+}
+
+}  // namespace
+
+std::string Parser::StripComments(std::string_view sql, bool* is_last) {
+  std::string out;
+  out.reserve(sql.size());
+  *is_last = false;
+  size_t i = 0;
+  while (i < sql.size()) {
+    if (i + 1 < sql.size() && sql[i] == '/' && sql[i + 1] == '*') {
+      const size_t close = sql.find("*/", i + 2);
+      const size_t end = close == std::string_view::npos ? sql.size() : close;
+      if (IsLastAnnotation(sql.substr(i + 2, end - i - 2))) *is_last = true;
+      i = close == std::string_view::npos ? sql.size() : close + 2;
+      out.push_back(' ');
+      continue;
+    }
+    if (i + 1 < sql.size() && sql[i] == '-' && sql[i + 1] == '-') {
+      const size_t nl = sql.find('\n', i);
+      if (nl == std::string_view::npos) {
+        if (IsLastAnnotation(sql.substr(i + 2))) *is_last = true;
+        break;
+      }
+      if (IsLastAnnotation(sql.substr(i + 2, nl - i - 2))) *is_last = true;
+      i = nl + 1;
+      out.push_back(' ');
+      continue;
+    }
+    out.push_back(sql[i]);
+    ++i;
+  }
+  return out;
+}
+
+Result<std::vector<Parser::Token>> Parser::Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token tok;
+      tok.kind = Token::Kind::kWord;
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_')) {
+        tok.text.push_back(
+            static_cast<char>(std::toupper(static_cast<unsigned char>(sql[i]))));
+        ++i;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      Token tok;
+      tok.kind = Token::Kind::kNumber;
+      std::string digits;
+      if (c == '-') {
+        digits.push_back('-');
+        ++i;
+      }
+      while (i < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[i]))) {
+        digits.push_back(sql[i]);
+        ++i;
+      }
+      const auto [ptr, ec] = std::from_chars(
+          digits.data(), digits.data() + digits.size(), tok.number);
+      if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+        return Status::InvalidArgument("number out of range: " + digits);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '=' || c == '+' || c == ';' || c == ',' || c == '*' ||
+        c == '(' || c == ')' || c == '\'') {
+      Token tok;
+      tok.kind = Token::Kind::kSymbol;
+      tok.text.push_back(c);
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "'");
+  }
+  tokens.push_back(Token{});  // kEnd sentinel
+  return tokens;
+}
+
+Result<ParsedStatement> Parser::Parse(std::string_view sql) const {
+  bool is_last = false;
+  const std::string stripped = StripComments(sql, &is_last);
+  GEOTP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(stripped));
+
+  ParsedStatement stmt;
+  stmt.is_last = is_last;
+
+  size_t pos = 0;
+  auto peek = [&]() -> const Token& { return tokens[pos]; };
+  auto advance = [&]() -> const Token& { return tokens[pos++]; };
+  auto expect_word = [&](const char* word) -> Status {
+    const Token& tok = advance();
+    if (tok.kind != Token::Kind::kWord || tok.text != word) {
+      return Status::InvalidArgument(std::string("expected ") + word);
+    }
+    return Status::OK();
+  };
+  auto expect_symbol = [&](char sym) -> Status {
+    const Token& tok = advance();
+    if (tok.kind != Token::Kind::kSymbol || tok.text[0] != sym) {
+      return Status::InvalidArgument(std::string("expected '") + sym + "'");
+    }
+    return Status::OK();
+  };
+  auto expect_number = [&](int64_t* out) -> Status {
+    const Token& tok = advance();
+    if (tok.kind != Token::Kind::kNumber) {
+      return Status::InvalidArgument("expected number");
+    }
+    *out = tok.number;
+    return Status::OK();
+  };
+  auto at_end = [&]() -> Status {
+    // Optional trailing ';'.
+    if (peek().kind == Token::Kind::kSymbol && peek().text[0] == ';') {
+      ++pos;
+    }
+    if (peek().kind != Token::Kind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after statement");
+    }
+    return Status::OK();
+  };
+
+  const Token& head = advance();
+  if (head.kind != Token::Kind::kWord) {
+    return Status::InvalidArgument("empty statement");
+  }
+
+  if (head.text == "BEGIN" || head.text == "START") {
+    if (head.text == "START") GEOTP_RETURN_NOT_OK(expect_word("TRANSACTION"));
+    stmt.type = StatementType::kBegin;
+    GEOTP_RETURN_NOT_OK(at_end());
+    return stmt;
+  }
+  if (head.text == "COMMIT") {
+    stmt.type = StatementType::kCommit;
+    GEOTP_RETURN_NOT_OK(at_end());
+    return stmt;
+  }
+  if (head.text == "ROLLBACK" || head.text == "ABORT") {
+    stmt.type = StatementType::kRollback;
+    GEOTP_RETURN_NOT_OK(at_end());
+    return stmt;
+  }
+  if (head.text == "SELECT") {
+    stmt.type = StatementType::kSelect;
+    // SELECT val FROM <table> WHERE key = <n>
+    // (also tolerate SELECT * FROM ...)
+    const Token& col = advance();
+    if (col.kind == Token::Kind::kSymbol && col.text[0] == '*') {
+      // fine
+    } else if (col.kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected column or *");
+    }
+    GEOTP_RETURN_NOT_OK(expect_word("FROM"));
+    const Token& table = advance();
+    if (table.kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected table name");
+    }
+    stmt.table = table.text;
+    GEOTP_RETURN_NOT_OK(expect_word("WHERE"));
+    GEOTP_RETURN_NOT_OK(expect_word("KEY"));
+    GEOTP_RETURN_NOT_OK(expect_symbol('='));
+    int64_t key = 0;
+    GEOTP_RETURN_NOT_OK(expect_number(&key));
+    if (key < 0) return Status::InvalidArgument("negative key");
+    stmt.key = static_cast<uint64_t>(key);
+    GEOTP_RETURN_NOT_OK(at_end());
+    return stmt;
+  }
+  if (head.text == "UPDATE") {
+    stmt.type = StatementType::kUpdate;
+    const Token& table = advance();
+    if (table.kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected table name");
+    }
+    stmt.table = table.text;
+    GEOTP_RETURN_NOT_OK(expect_word("SET"));
+    GEOTP_RETURN_NOT_OK(expect_word("VAL"));
+    GEOTP_RETURN_NOT_OK(expect_symbol('='));
+    // Either a literal, or VAL + <n> (delta).
+    if (peek().kind == Token::Kind::kWord && peek().text == "VAL") {
+      advance();
+      GEOTP_RETURN_NOT_OK(expect_symbol('+'));
+      stmt.is_delta = true;
+    }
+    GEOTP_RETURN_NOT_OK(expect_number(&stmt.value));
+    GEOTP_RETURN_NOT_OK(expect_word("WHERE"));
+    GEOTP_RETURN_NOT_OK(expect_word("KEY"));
+    GEOTP_RETURN_NOT_OK(expect_symbol('='));
+    int64_t key = 0;
+    GEOTP_RETURN_NOT_OK(expect_number(&key));
+    if (key < 0) return Status::InvalidArgument("negative key");
+    stmt.key = static_cast<uint64_t>(key);
+    GEOTP_RETURN_NOT_OK(at_end());
+    return stmt;
+  }
+  return Status::InvalidArgument("unknown statement head: " + head.text);
+}
+
+Result<std::vector<ParsedStatement>> Parser::ParseScript(
+    std::string_view sql) const {
+  std::vector<ParsedStatement> out;
+  size_t start = 0;
+  bool in_comment = false;
+  for (size_t i = 0; i <= sql.size(); ++i) {
+    const bool at_boundary =
+        i == sql.size() || (!in_comment && sql[i] == ';');
+    if (i + 1 < sql.size() && sql[i] == '/' && sql[i + 1] == '*') {
+      in_comment = true;
+    }
+    if (in_comment && i >= 1 && sql[i - 1] == '*' && sql[i] == '/') {
+      in_comment = false;
+    }
+    if (!at_boundary) continue;
+    std::string_view piece = sql.substr(start, i - start);
+    start = i + 1;
+    // The paper writes the annotation after the statement's semicolon
+    // ("... WHERE name = 'Bob'; /* last statement */ ;", Fig. 3), which
+    // puts it at the head of the NEXT piece. Strip comments first so a
+    // comment-only piece (or a trailing annotation before COMMIT) can be
+    // re-attached to the preceding DML statement.
+    bool piece_is_last = false;
+    const std::string stripped = StripComments(piece, &piece_is_last);
+    bool blank = true;
+    for (char c : stripped) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    auto attach_to_previous_dml = [&out]() {
+      for (auto it = out.rbegin(); it != out.rend(); ++it) {
+        if (it->IsDml()) {
+          it->is_last = true;
+          return;
+        }
+      }
+    };
+    if (blank) {
+      if (piece_is_last) attach_to_previous_dml();
+      continue;
+    }
+    GEOTP_ASSIGN_OR_RETURN(ParsedStatement stmt, Parse(piece));
+    if (stmt.is_last && !stmt.IsDml()) {
+      // Annotation drifted onto COMMIT/ROLLBACK: it marks the last DML.
+      stmt.is_last = false;
+      attach_to_previous_dml();
+    }
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+}  // namespace sql
+}  // namespace geotp

@@ -1,0 +1,43 @@
+// Recursive-descent parser for the mini-SQL grammar in statement.h.
+// Annotations are scanned out of comments before parsing (paper §III:
+// "applications can use annotations, which are prefixes or suffixes on SQL
+// statements, to pass certain operation hints").
+#ifndef GEOTP_SQL_PARSER_H_
+#define GEOTP_SQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/statement.h"
+
+namespace geotp {
+namespace sql {
+
+class Parser {
+ public:
+  /// Parses one statement (optionally ';'-terminated, with comments).
+  Result<ParsedStatement> Parse(std::string_view sql) const;
+
+  /// Splits a multi-statement script on top-level ';' and parses each.
+  Result<std::vector<ParsedStatement>> ParseScript(std::string_view sql) const;
+
+ private:
+  struct Token {
+    enum class Kind { kWord, kNumber, kSymbol, kEnd };
+    Kind kind = Kind::kEnd;
+    std::string text;   // uppercased for words
+    int64_t number = 0;
+  };
+
+  /// Strips /* ... */ comments; returns true if a last-statement annotation
+  /// was present in any of them.
+  static std::string StripComments(std::string_view sql, bool* is_last);
+  static Result<std::vector<Token>> Tokenize(std::string_view sql);
+};
+
+}  // namespace sql
+}  // namespace geotp
+
+#endif  // GEOTP_SQL_PARSER_H_

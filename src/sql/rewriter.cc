@@ -1,0 +1,101 @@
+#include "sql/rewriter.h"
+
+#include <sstream>
+
+namespace geotp {
+namespace sql {
+
+const char* DialectName(Dialect dialect) {
+  switch (dialect) {
+    case Dialect::kMySql:
+      return "mysql";
+    case Dialect::kPostgres:
+      return "postgresql";
+  }
+  return "?";
+}
+
+std::string Rewriter::XidLiteral(const Xid& xid) {
+  std::ostringstream oss;
+  oss << "'" << xid.txn_id << ",node" << xid.data_source << "'";
+  return oss.str();
+}
+
+std::vector<std::string> Rewriter::BranchBegin(Dialect dialect,
+                                               const Xid& xid) {
+  switch (dialect) {
+    case Dialect::kMySql:
+      return {"XA START " + XidLiteral(xid) + ";"};
+    case Dialect::kPostgres:
+      return {"BEGIN;"};
+  }
+  return {};
+}
+
+std::string Rewriter::RewriteDml(Dialect dialect,
+                                 const ParsedStatement& stmt) {
+  std::ostringstream oss;
+  if (stmt.type == StatementType::kSelect) {
+    oss << "SELECT val FROM " << stmt.table << " WHERE key = " << stmt.key;
+    if (dialect == Dialect::kPostgres) {
+      // Explicit shared lock: PostgreSQL SSI would otherwise not take a
+      // record lock for plain reads (paper §VII-A3 rewrites reads this way).
+      oss << " FOR SHARE";
+    } else {
+      oss << " LOCK IN SHARE MODE";
+    }
+    oss << ";";
+    return oss.str();
+  }
+  oss << "UPDATE " << stmt.table << " SET val = ";
+  if (stmt.is_delta) oss << "val + ";
+  oss << stmt.value << " WHERE key = " << stmt.key << ";";
+  return oss.str();
+}
+
+std::vector<std::string> Rewriter::BranchPrepare(Dialect dialect,
+                                                 const Xid& xid) {
+  switch (dialect) {
+    case Dialect::kMySql:
+      return {"XA END " + XidLiteral(xid) + ";",
+              "XA PREPARE " + XidLiteral(xid) + ";"};
+    case Dialect::kPostgres:
+      return {"PREPARE TRANSACTION " + XidLiteral(xid) + ";"};
+  }
+  return {};
+}
+
+std::string Rewriter::BranchCommit(Dialect dialect, const Xid& xid) {
+  switch (dialect) {
+    case Dialect::kMySql:
+      return "XA COMMIT " + XidLiteral(xid) + ";";
+    case Dialect::kPostgres:
+      return "COMMIT PREPARED " + XidLiteral(xid) + ";";
+  }
+  return {};
+}
+
+std::string Rewriter::BranchCommitOnePhase(Dialect dialect, const Xid& xid) {
+  switch (dialect) {
+    case Dialect::kMySql:
+      return "XA COMMIT " + XidLiteral(xid) + " ONE PHASE;";
+    case Dialect::kPostgres:
+      return "COMMIT;";
+  }
+  return {};
+}
+
+std::string Rewriter::BranchRollback(Dialect dialect, const Xid& xid,
+                                     bool prepared) {
+  switch (dialect) {
+    case Dialect::kMySql:
+      return "XA ROLLBACK " + XidLiteral(xid) + ";";
+    case Dialect::kPostgres:
+      return prepared ? "ROLLBACK PREPARED " + XidLiteral(xid) + ";"
+                      : "ROLLBACK;";
+  }
+  return {};
+}
+
+}  // namespace sql
+}  // namespace geotp

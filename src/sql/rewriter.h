@@ -1,0 +1,60 @@
+// Dialect-aware statement rewriter.
+//
+// The middleware translates subtransactions into the target engine's
+// grammar (paper §III "Parser and rewriter", Fig. 3):
+//
+//   MySQL branch:      XA START 'g,n'; <dml>...; XA END 'g,n';
+//                      XA PREPARE 'g,n'; XA COMMIT 'g,n'
+//   PostgreSQL branch: BEGIN; <dml>...; PREPARE TRANSACTION 'g,n';
+//                      COMMIT PREPARED 'g,n'
+//
+// and rewrites SELECT into SELECT ... FOR SHARE for PostgreSQL so reads
+// take explicit shared locks at serializable-2PL semantics (paper §VII-A3).
+#ifndef GEOTP_SQL_REWRITER_H_
+#define GEOTP_SQL_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sql/statement.h"
+
+namespace geotp {
+namespace sql {
+
+enum class Dialect : uint8_t { kMySql, kPostgres };
+
+const char* DialectName(Dialect dialect);
+
+class Rewriter {
+ public:
+  /// Statement(s) that open an XA branch on the target engine.
+  static std::vector<std::string> BranchBegin(Dialect dialect, const Xid& xid);
+
+  /// Renders one DML statement in the target dialect (adds FOR SHARE to
+  /// PostgreSQL reads).
+  static std::string RewriteDml(Dialect dialect, const ParsedStatement& stmt);
+
+  /// Statements that end + prepare the branch (what the geo-agent issues
+  /// for the decentralized prepare, Fig. 3 bottom-right).
+  static std::vector<std::string> BranchPrepare(Dialect dialect,
+                                                const Xid& xid);
+
+  /// Statement committing a prepared branch.
+  static std::string BranchCommit(Dialect dialect, const Xid& xid);
+
+  /// One-phase commit for centralized transactions.
+  static std::string BranchCommitOnePhase(Dialect dialect, const Xid& xid);
+
+  /// Statement rolling back the branch.
+  static std::string BranchRollback(Dialect dialect, const Xid& xid,
+                                    bool prepared);
+
+  /// 'g,n' identifier literal used in the XA statements.
+  static std::string XidLiteral(const Xid& xid);
+};
+
+}  // namespace sql
+}  // namespace geotp
+
+#endif  // GEOTP_SQL_REWRITER_H_

@@ -1,0 +1,38 @@
+#include "sql/statement.h"
+
+#include <sstream>
+
+namespace geotp {
+namespace sql {
+
+const char* StatementTypeName(StatementType type) {
+  switch (type) {
+    case StatementType::kBegin:
+      return "BEGIN";
+    case StatementType::kSelect:
+      return "SELECT";
+    case StatementType::kUpdate:
+      return "UPDATE";
+    case StatementType::kCommit:
+      return "COMMIT";
+    case StatementType::kRollback:
+      return "ROLLBACK";
+  }
+  return "?";
+}
+
+std::string ParsedStatement::ToString() const {
+  std::ostringstream oss;
+  oss << StatementTypeName(type);
+  if (IsDml()) {
+    oss << " " << table << " key=" << key;
+    if (IsWrite()) {
+      oss << " val" << (is_delta ? "+=" : "=") << value;
+    }
+  }
+  if (is_last) oss << " /*last*/";
+  return oss.str();
+}
+
+}  // namespace sql
+}  // namespace geotp

@@ -1,0 +1,55 @@
+// Statement model for the middleware's mini-SQL dialect.
+//
+// The paper's middleware (ShardingSphere) parses full SQL; transactions in
+// our workloads touch single records by primary key, so the grammar is the
+// OLTP core:
+//
+//   BEGIN;
+//   SELECT val FROM <table> WHERE key = <n>;
+//   UPDATE <table> SET val = <n> WHERE key = <n>;
+//   UPDATE <table> SET val = val + <n> WHERE key = <n>;
+//   COMMIT;  |  ROLLBACK;
+//
+// plus the annotation the paper relies on (§III): a comment marking the
+// last statement of the transaction, e.g.
+//   UPDATE savings SET val = val + 100 WHERE key = 7; /* last statement */
+// (also accepted: /* geotp:last */ as prefix or suffix).
+#ifndef GEOTP_SQL_STATEMENT_H_
+#define GEOTP_SQL_STATEMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace geotp {
+namespace sql {
+
+enum class StatementType : uint8_t {
+  kBegin,
+  kSelect,
+  kUpdate,
+  kCommit,
+  kRollback,
+};
+
+const char* StatementTypeName(StatementType type);
+
+struct ParsedStatement {
+  StatementType type = StatementType::kBegin;
+  std::string table;      ///< SELECT/UPDATE only
+  uint64_t key = 0;       ///< WHERE key = <n>
+  int64_t value = 0;      ///< UPDATE literal or delta
+  bool is_delta = false;  ///< SET val = val + <n>
+  bool is_last = false;   ///< carries the last-statement annotation
+
+  bool IsDml() const {
+    return type == StatementType::kSelect || type == StatementType::kUpdate;
+  }
+  bool IsWrite() const { return type == StatementType::kUpdate; }
+
+  std::string ToString() const;
+};
+
+}  // namespace sql
+}  // namespace geotp
+
+#endif  // GEOTP_SQL_STATEMENT_H_

@@ -1,0 +1,202 @@
+#include "storage/engine.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace geotp {
+namespace storage {
+
+EngineConfig MySqlEngineConfig() {
+  EngineConfig config;
+  config.read_cost = 220;
+  config.write_cost = 420;
+  config.prepare_fsync_cost = 2200;
+  config.commit_fsync_cost = 1000;
+  return config;
+}
+
+EngineConfig PostgresEngineConfig() {
+  EngineConfig config;
+  config.read_cost = 180;
+  config.write_cost = 460;
+  config.prepare_fsync_cost = 1800;
+  config.commit_fsync_cost = 1200;
+  return config;
+}
+
+TransactionEngine::TransactionEngine(EngineConfig config)
+    : config_(config) {}
+
+TransactionEngine::TxnData* TransactionEngine::Find(const Xid& xid) {
+  auto it = txns_.find(xid);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+const TransactionEngine::TxnData* TransactionEngine::Find(
+    const Xid& xid) const {
+  auto it = txns_.find(xid);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+Status TransactionEngine::Begin(const Xid& xid) {
+  auto [it, inserted] = txns_.try_emplace(xid);
+  if (!inserted) {
+    return Status::AlreadyExists("xa branch exists: " + xid.ToString());
+  }
+  (void)it;
+  return Status::OK();
+}
+
+void TransactionEngine::ExecuteOp(const Xid& xid, const Operation& op,
+                                  OpCallback callback) {
+  TxnData* data = Find(xid);
+  if (data == nullptr || data->state != TxnState::kActive) {
+    callback(Status::Aborted("op on non-active branch " + xid.ToString()), 0);
+    return;
+  }
+  GEOTP_CHECK(data->pending_request == kInvalidLockRequest,
+              "one outstanding op per branch: " << xid.ToString());
+
+  const LockMode mode = op.is_write ? LockMode::kExclusive : LockMode::kShared;
+  // Capture by value: `op` lives on the caller's stack.
+  const Operation operation = op;
+  const Xid owner = xid;
+  LockRequestId id = locks_.RequestLock(
+      owner, operation.key, mode,
+      [this, owner, operation, cb = std::move(callback)](Status status) {
+        TxnData* txn = Find(owner);
+        if (txn != nullptr) txn->pending_request = kInvalidLockRequest;
+        if (!status.ok()) {
+          cb(status, 0);
+          return;
+        }
+        if (txn == nullptr || txn->state != TxnState::kActive) {
+          cb(Status::Aborted("branch gone while waiting"), 0);
+          return;
+        }
+        if (operation.is_write) {
+          auto existing = store_.Get(operation.key);
+          const int64_t base = existing ? existing->value : 0;
+          txn->undo.push_back(UndoEntry{
+              operation.key, base, existing ? existing->version : 0});
+          const int64_t final_value =
+              operation.is_delta ? base + operation.write_value
+                                 : operation.write_value;
+          store_.Apply(operation.key, final_value);
+          cb(Status::OK(), final_value);
+        } else {
+          auto record = store_.Get(operation.key);
+          cb(Status::OK(), record ? record->value : 0);
+        }
+      });
+  if (id != kInvalidLockRequest) {
+    // Parked. The callback above fires later; remember the id so Rollback
+    // or a timeout can cancel it.
+    TxnData* txn = Find(xid);
+    GEOTP_CHECK(txn != nullptr, "txn vanished while parking");
+    txn->pending_request = id;
+  }
+}
+
+bool TransactionEngine::HasPendingOp(const Xid& xid) const {
+  const TxnData* data = Find(xid);
+  return data != nullptr && data->pending_request != kInvalidLockRequest;
+}
+
+void TransactionEngine::CancelPendingOp(const Xid& xid, Status status) {
+  TxnData* data = Find(xid);
+  if (data == nullptr || data->pending_request == kInvalidLockRequest) return;
+  const LockRequestId id = data->pending_request;
+  data->pending_request = kInvalidLockRequest;
+  locks_.CancelRequest(id, std::move(status));
+}
+
+Status TransactionEngine::Prepare(const Xid& xid, Micros now) {
+  TxnData* data = Find(xid);
+  if (data == nullptr) {
+    return Status::NotFound("prepare: unknown branch " + xid.ToString());
+  }
+  if (data->state != TxnState::kActive) {
+    return Status::Aborted("prepare: branch not active");
+  }
+  if (data->pending_request != kInvalidLockRequest) {
+    return Status::Aborted("prepare: operation still in flight");
+  }
+  data->state = TxnState::kPrepared;
+  wal_.Append(WalEntryType::kPrepare, xid, now);
+  return Status::OK();
+}
+
+Status TransactionEngine::Commit(const Xid& xid, Micros now) {
+  TxnData* data = Find(xid);
+  if (data == nullptr) {
+    return Status::NotFound("commit: unknown branch " + xid.ToString());
+  }
+  if (data->state != TxnState::kPrepared &&
+      data->state != TxnState::kActive) {
+    return Status::Aborted("commit: branch not committable");
+  }
+  if (data->pending_request != kInvalidLockRequest) {
+    return Status::Aborted("commit: operation still in flight");
+  }
+  wal_.Append(WalEntryType::kCommit, xid, now);
+  Finish(xid, *data, TxnState::kCommitted);
+  return Status::OK();
+}
+
+Status TransactionEngine::Rollback(const Xid& xid, Micros now) {
+  TxnData* data = Find(xid);
+  if (data == nullptr) return Status::OK();  // idempotent
+  if (data->state == TxnState::kCommitted) {
+    return Status::Internal("rollback after commit: " + xid.ToString());
+  }
+  // Cancel an in-flight lock request; its callback observes kAborted.
+  if (data->pending_request != kInvalidLockRequest) {
+    const LockRequestId id = data->pending_request;
+    data->pending_request = kInvalidLockRequest;
+    locks_.CancelRequest(id, Status::Aborted("rolled back"));
+    data = Find(xid);  // callback may have touched the map
+    if (data == nullptr) return Status::OK();
+  }
+  // Undo in reverse order.
+  for (auto it = data->undo.rbegin(); it != data->undo.rend(); ++it) {
+    store_.Put(it->key, it->old_value);
+  }
+  wal_.Append(WalEntryType::kAbort, xid, now);
+  Finish(xid, *data, TxnState::kAborted);
+  return Status::OK();
+}
+
+TxnState TransactionEngine::StateOf(const Xid& xid) const {
+  const TxnData* data = Find(xid);
+  return data == nullptr ? TxnState::kAborted : data->state;
+}
+
+void TransactionEngine::Crash(Micros now) {
+  std::vector<Xid> to_abort;
+  for (const auto& [xid, data] : txns_) {
+    if (data.state != TxnState::kPrepared) to_abort.push_back(xid);
+  }
+  for (const Xid& xid : to_abort) {
+    (void)Rollback(xid, now);
+  }
+}
+
+std::vector<Xid> TransactionEngine::PreparedXids() const {
+  std::vector<Xid> out;
+  for (const auto& [xid, data] : txns_) {
+    if (data.state == TxnState::kPrepared) out.push_back(xid);
+  }
+  return out;
+}
+
+void TransactionEngine::Finish(const Xid& xid, TxnData& data,
+                               TxnState final_state) {
+  data.state = final_state;
+  locks_.ReleaseAll(xid);
+  txns_.erase(xid);
+}
+
+}  // namespace storage
+}  // namespace geotp

@@ -1,0 +1,36 @@
+#include "storage/record_store.h"
+
+namespace geotp {
+namespace storage {
+
+void RecordStore::LoadTable(uint32_t table, uint64_t count,
+                            int64_t initial_value) {
+  records_.reserve(records_.size() + count);
+  for (uint64_t k = 0; k < count; ++k) {
+    records_[RecordKey{table, k}] = Record{initial_value, 0};
+  }
+}
+
+void RecordStore::Put(const RecordKey& key, int64_t value) {
+  records_[key] = Record{value, 0};
+}
+
+std::optional<Record> RecordStore::Get(const RecordKey& key) const {
+  auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RecordStore::Apply(const RecordKey& key, int64_t value) {
+  Record& rec = records_[key];
+  rec.value = value;
+  rec.version++;
+}
+
+size_t RecordStore::ApproxBytes() const {
+  // key + record + hash-table overhead, a deliberate overestimate.
+  return records_.size() * (sizeof(RecordKey) + sizeof(Record) + 32);
+}
+
+}  // namespace storage
+}  // namespace geotp

@@ -1,0 +1,52 @@
+// In-memory record store: the "table" hosted by a data source.
+//
+// Records carry a value and a commit version. The versions serve two
+// purposes: (1) the ScalarDB-style baseline validates them at prepare time
+// (consensus commit), and (2) the serializability property tests replay
+// committed histories against them.
+#ifndef GEOTP_STORAGE_RECORD_STORE_H_
+#define GEOTP_STORAGE_RECORD_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace geotp {
+namespace storage {
+
+struct Record {
+  int64_t value = 0;
+  uint64_t version = 0;
+};
+
+class RecordStore {
+ public:
+  /// Pre-populates `count` keys of `table` with `initial_value` each.
+  void LoadTable(uint32_t table, uint64_t count, int64_t initial_value = 0);
+
+  /// Inserts or overwrites a record (bulk-load path, not transactional).
+  void Put(const RecordKey& key, int64_t value);
+
+  std::optional<Record> Get(const RecordKey& key) const;
+
+  /// Transactional write: applies the value, bumps the version.
+  /// Missing keys are created (YCSB/TPC-C only update pre-loaded keys, but
+  /// inserts — e.g. TPC-C NewOrder rows — land here too).
+  void Apply(const RecordKey& key, int64_t value);
+
+  size_t size() const { return records_.size(); }
+
+  /// Rough resident-bytes estimate (memory proxy, Fig. 6b).
+  size_t ApproxBytes() const;
+
+ private:
+  std::unordered_map<RecordKey, Record, RecordKeyHash> records_;
+};
+
+}  // namespace storage
+}  // namespace geotp
+
+#endif  // GEOTP_STORAGE_RECORD_STORE_H_

@@ -1,0 +1,94 @@
+#include "storage/versioned_store.h"
+
+namespace geotp {
+namespace storage {
+
+void VersionedStore::LoadTable(uint32_t table, uint64_t count,
+                               int64_t initial_value) {
+  records_.reserve(records_.size() + count);
+  for (uint64_t k = 0; k < count; ++k) {
+    records_[RecordKey{table, k}] = VersionedRecord{initial_value, 0,
+                                                    kInvalidTxn, 0};
+  }
+}
+
+std::optional<VersionedRecord> VersionedStore::Get(
+    const RecordKey& key) const {
+  auto it = records_.find(key);
+  // Missing keys read as a zero-valued version-0 record: tables are
+  // logically pre-zeroed, materialized lazily (workloads span millions of
+  // keys; eager loading would dominate experiment setup).
+  if (it == records_.end()) return VersionedRecord{};
+  return it->second;
+}
+
+Status VersionedStore::PutIntent(const RecordKey& key, TxnId owner,
+                                 int64_t value) {
+  VersionedRecord& rec = records_[key];
+  if (rec.intent_owner != kInvalidTxn && rec.intent_owner != owner) {
+    return Status::Conflict("intent held by " +
+                            std::to_string(rec.intent_owner));
+  }
+  if (rec.intent_owner != owner) {
+    rec.intent_owner = owner;
+    intents_by_owner_[owner].push_back(key);
+  }
+  rec.intent_value = value;
+  return Status::OK();
+}
+
+Status VersionedStore::ValidateVersion(const RecordKey& key, TxnId owner,
+                                       uint64_t expected_version) {
+  VersionedRecord& rec = records_[key];  // materialize lazily (version 0)
+  if (rec.intent_owner != kInvalidTxn && rec.intent_owner != owner) {
+    return Status::Conflict("intent held by " +
+                            std::to_string(rec.intent_owner));
+  }
+  if (rec.version != expected_version) {
+    return Status::Conflict("version moved: " +
+                            std::to_string(rec.version) + " != " +
+                            std::to_string(expected_version));
+  }
+  if (rec.intent_owner != owner) {
+    rec.intent_owner = owner;
+    rec.intent_value = rec.value;  // read lock: intent preserves the value
+    intents_by_owner_[owner].push_back(key);
+  }
+  return Status::OK();
+}
+
+void VersionedStore::CommitIntents(TxnId owner) {
+  auto it = intents_by_owner_.find(owner);
+  if (it == intents_by_owner_.end()) return;
+  for (const RecordKey& key : it->second) {
+    auto rec_it = records_.find(key);
+    if (rec_it == records_.end()) continue;
+    VersionedRecord& rec = rec_it->second;
+    if (rec.intent_owner != owner) continue;
+    rec.value = rec.intent_value;
+    rec.version++;
+    rec.intent_owner = kInvalidTxn;
+  }
+  intents_by_owner_.erase(it);
+}
+
+void VersionedStore::AbortIntents(TxnId owner) {
+  auto it = intents_by_owner_.find(owner);
+  if (it == intents_by_owner_.end()) return;
+  for (const RecordKey& key : it->second) {
+    auto rec_it = records_.find(key);
+    if (rec_it == records_.end()) continue;
+    if (rec_it->second.intent_owner == owner) {
+      rec_it->second.intent_owner = kInvalidTxn;
+    }
+  }
+  intents_by_owner_.erase(it);
+}
+
+bool VersionedStore::HasIntent(const RecordKey& key, TxnId owner) const {
+  auto it = records_.find(key);
+  return it != records_.end() && it->second.intent_owner == owner;
+}
+
+}  // namespace storage
+}  // namespace geotp

@@ -1,0 +1,68 @@
+// Versioned record store with provisional writes.
+//
+// This is the storage abstraction the ScalarDB-style baseline (consensus
+// commit over non-transactional stores) and the YugabyteDB-style baseline
+// (provisional records + async apply) are built on. A transaction stages
+// provisional writes; Prepare() validates that the versions it read are
+// still current and "locks" the records by installing an intent; Commit()
+// promotes intents; Abort() discards them.
+#ifndef GEOTP_STORAGE_VERSIONED_STORE_H_
+#define GEOTP_STORAGE_VERSIONED_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace geotp {
+namespace storage {
+
+struct VersionedRecord {
+  int64_t value = 0;
+  uint64_t version = 0;
+  /// Owner of the write intent, if any (kInvalidTxn = none).
+  TxnId intent_owner = kInvalidTxn;
+  int64_t intent_value = 0;
+};
+
+class VersionedStore {
+ public:
+  void LoadTable(uint32_t table, uint64_t count, int64_t initial_value = 0);
+
+  /// Reads the committed value+version. Reads never block on intents here;
+  /// the caller's concurrency control decides what a pending intent means.
+  std::optional<VersionedRecord> Get(const RecordKey& key) const;
+
+  /// Installs a write intent for `owner`. Fails with kConflict if another
+  /// transaction already holds an intent on the key.
+  Status PutIntent(const RecordKey& key, TxnId owner, int64_t value);
+
+  /// Validates that `key`'s committed version still equals
+  /// `expected_version` and that no foreign intent exists; then installs an
+  /// intent lock for `owner` (read-validation path of consensus commit).
+  Status ValidateVersion(const RecordKey& key, TxnId owner,
+                         uint64_t expected_version);
+
+  /// Promotes all intents of `owner` to committed values (version bump).
+  void CommitIntents(TxnId owner);
+
+  /// Discards all intents of `owner`.
+  void AbortIntents(TxnId owner);
+
+  /// True if `owner` holds an intent on `key`.
+  bool HasIntent(const RecordKey& key, TxnId owner) const;
+
+  size_t size() const { return records_.size(); }
+
+ private:
+  std::unordered_map<RecordKey, VersionedRecord, RecordKeyHash> records_;
+  std::unordered_map<TxnId, std::vector<RecordKey>> intents_by_owner_;
+};
+
+}  // namespace storage
+}  // namespace geotp
+
+#endif  // GEOTP_STORAGE_VERSIONED_STORE_H_

@@ -1,0 +1,24 @@
+#include "storage/wal.h"
+
+namespace geotp {
+namespace storage {
+
+bool Wal::IsPreparedUnresolved(const Xid& xid) const {
+  bool prepared = false;
+  for (const auto& entry : entries_) {
+    if (!(entry.xid == xid)) continue;
+    switch (entry.type) {
+      case WalEntryType::kPrepare:
+        prepared = true;
+        break;
+      case WalEntryType::kCommit:
+      case WalEntryType::kAbort:
+        prepared = false;
+        break;
+    }
+  }
+  return prepared;
+}
+
+}  // namespace storage
+}  // namespace geotp

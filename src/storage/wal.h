@@ -1,0 +1,47 @@
+// Write-ahead-log cost model and durable-state journal.
+//
+// Real data sources pay an fsync on XA PREPARE and on COMMIT. In the
+// simulation the *time* cost is charged by the data-source node (it
+// schedules the fsync duration on the event loop); this class records the
+// durable entries so the recovery tests can check what survives a crash.
+#ifndef GEOTP_STORAGE_WAL_H_
+#define GEOTP_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geotp {
+namespace storage {
+
+enum class WalEntryType : uint8_t { kPrepare, kCommit, kAbort };
+
+struct WalEntry {
+  WalEntryType type;
+  Xid xid;
+  Micros at;  ///< virtual time of the fsync completion
+};
+
+class Wal {
+ public:
+  void Append(WalEntryType type, const Xid& xid, Micros at) {
+    entries_.push_back(WalEntry{type, xid, at});
+    ++fsyncs_;
+  }
+
+  const std::vector<WalEntry>& entries() const { return entries_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+
+  /// True if a prepare entry exists for `xid` with no later commit/abort.
+  bool IsPreparedUnresolved(const Xid& xid) const;
+
+ private:
+  std::vector<WalEntry> entries_;
+  uint64_t fsyncs_ = 0;
+};
+
+}  // namespace storage
+}  // namespace geotp
+
+#endif  // GEOTP_STORAGE_WAL_H_

@@ -1,0 +1,162 @@
+#include "workload/driver.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/event_loop.h"
+
+namespace geotp {
+namespace workload {
+
+using protocol::ClientFinishRequest;
+using protocol::ClientRoundRequest;
+using protocol::ClientRoundResponse;
+using protocol::ClientTxnResult;
+
+ClientDriver::ClientDriver(NodeId client_node, sim::Network* network,
+                           NodeId coordinator, WorkloadGenerator* generator,
+                           DriverConfig config)
+    : client_node_(client_node),
+      network_(network),
+      coordinator_(coordinator),
+      generator_(generator),
+      config_(config),
+      rng_(config.seed) {
+  GEOTP_CHECK(config_.terminals > 0, "need terminals");
+  stats_.measured_duration = config_.measure;
+}
+
+void ClientDriver::Attach() {
+  network_->RegisterNode(client_node_,
+                         [this](std::unique_ptr<sim::MessageBase> msg) {
+                           HandleMessage(std::move(msg));
+                         });
+}
+
+void ClientDriver::Start() {
+  terminals_.resize(static_cast<size_t>(config_.terminals));
+  for (size_t i = 0; i < terminals_.size(); ++i) {
+    Terminal& term = terminals_[i];
+    term.tag = i;
+    term.rng = rng_.Fork();
+    // Stagger terminal starts over a few ms to avoid a thundering herd at
+    // t=0 (real clients ramp up too).
+    const Micros stagger = static_cast<Micros>(rng_.NextU64(5000));
+    network_->loop()->Schedule(stagger, [this, i]() {
+      StartFreshTxn(terminals_[i]);
+    });
+  }
+}
+
+void ClientDriver::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
+  if (auto* resp = dynamic_cast<ClientRoundResponse*>(msg.get())) {
+    OnRoundResponse(*resp);
+  } else if (auto* result = dynamic_cast<ClientTxnResult*>(msg.get())) {
+    OnTxnResult(*result);
+  } else {
+    GEOTP_CHECK(false, "client: unknown message");
+  }
+}
+
+void ClientDriver::StartFreshTxn(Terminal& term) {
+  term.spec = generator_->Next(term.rng);
+  term.next_round = 0;
+  term.txn_id = kInvalidTxn;
+  term.attempts = 0;
+  term.first_submit = network_->loop()->Now();
+  SubmitRound(term);
+}
+
+void ClientDriver::ResubmitTxn(Terminal& term) {
+  term.next_round = 0;
+  term.txn_id = kInvalidTxn;
+  SubmitRound(term);
+}
+
+void ClientDriver::SubmitRound(Terminal& term) {
+  GEOTP_CHECK(term.next_round < term.spec.rounds.size(), "round overflow");
+  auto req = std::make_unique<ClientRoundRequest>();
+  req->from = client_node_;
+  req->to = router_ ? router_(term.spec) : coordinator_;
+  req->client_tag = term.tag;
+  req->txn_id = term.txn_id;
+  req->ops = term.spec.rounds[term.next_round];
+  req->last_round = term.next_round + 1 == term.spec.rounds.size();
+  term.next_round++;
+  network_->Send(std::move(req));
+}
+
+void ClientDriver::SendFinish(Terminal& term) {
+  auto req = std::make_unique<ClientFinishRequest>();
+  req->from = client_node_;
+  req->to = router_ ? router_(term.spec) : coordinator_;
+  req->client_tag = term.tag;
+  req->txn_id = term.txn_id;
+  req->commit = true;
+  network_->Send(std::move(req));
+}
+
+void ClientDriver::OnRoundResponse(const ClientRoundResponse& resp) {
+  GEOTP_CHECK(resp.client_tag < terminals_.size(), "bad tag");
+  Terminal& term = terminals_[resp.client_tag];
+  // Stale response from a previous (aborted/retried) transaction?
+  if (term.txn_id != kInvalidTxn && term.txn_id != resp.txn_id) return;
+  term.txn_id = resp.txn_id;
+  if (!resp.status.ok()) {
+    // Abort in progress; the final ClientTxnResult drives the retry.
+    return;
+  }
+  if (term.next_round < term.spec.rounds.size()) {
+    SubmitRound(term);
+  } else {
+    SendFinish(term);
+  }
+}
+
+void ClientDriver::OnTxnResult(const ClientTxnResult& result) {
+  GEOTP_CHECK(result.client_tag < terminals_.size(), "bad tag");
+  Terminal& term = terminals_[result.client_tag];
+  if (term.txn_id != kInvalidTxn && term.txn_id != result.txn_id) return;
+
+  const Micros now = network_->loop()->Now();
+  TypeStats& per_type = type_stats_[term.spec.type_tag];
+
+  if (result.status.ok()) {
+    if (InWindow(now)) {
+      stats_.committed++;
+      const Micros latency = now - term.first_submit;
+      stats_.latency.Record(latency);
+      if (term.spec.distributed) {
+        stats_.distributed_latency.Record(latency);
+      } else {
+        stats_.centralized_latency.Record(latency);
+      }
+      series_.OnCommit(now - config_.warmup);
+      per_type.committed++;
+      per_type.latency.Record(latency);
+    }
+    StartFreshTxn(term);
+    return;
+  }
+
+  // Aborted.
+  if (InWindow(now)) {
+    stats_.abort_events++;
+    per_type.aborted++;
+  }
+  term.attempts++;
+  if (config_.retry_aborted) {
+    const Micros backoff = rng_.NextInt(config_.retry_backoff_min,
+                                        config_.retry_backoff_max);
+    const uint64_t tag = term.tag;
+    network_->loop()->Schedule(backoff, [this, tag]() {
+      ResubmitTxn(terminals_[tag]);
+    });
+  } else {
+    if (InWindow(now)) stats_.aborted++;
+    StartFreshTxn(term);
+  }
+}
+
+}  // namespace workload
+}  // namespace geotp

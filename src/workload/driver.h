@@ -1,0 +1,109 @@
+// ClientDriver: BenchBase-style closed-loop client (paper §VII-A3).
+//
+// Runs N terminals against one coordinator endpoint. Each terminal keeps
+// exactly one transaction in flight: it submits rounds, sends COMMIT after
+// the last round's results, and — on abort — retries the same transaction
+// after a short backoff (user-perceived latency therefore spans retries,
+// which is what makes the paper's high-contention latencies reach
+// seconds). Committed/aborted events are counted inside the measurement
+// window [warmup, warmup + measure).
+#ifndef GEOTP_WORKLOAD_DRIVER_H_
+#define GEOTP_WORKLOAD_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "metrics/stats.h"
+#include "protocol/messages.h"
+#include "sim/network.h"
+#include "workload/generator.h"
+
+namespace geotp {
+namespace workload {
+
+struct DriverConfig {
+  int terminals = 64;
+  Micros warmup = SecToMicros(5);
+  Micros measure = SecToMicros(20);
+  bool retry_aborted = true;
+  Micros retry_backoff_min = MsToMicros(5);
+  Micros retry_backoff_max = MsToMicros(20);
+  uint64_t seed = 1234;
+};
+
+/// Per-transaction-type accounting (TPC-C Fig. 9 reports Payment and
+/// NewOrder separately).
+struct TypeStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  metrics::Histogram latency;
+};
+
+class ClientDriver {
+ public:
+  ClientDriver(NodeId client_node, sim::Network* network, NodeId coordinator,
+               WorkloadGenerator* generator, DriverConfig config);
+
+  /// Registers the client node handler. Call once before Start().
+  void Attach();
+
+  /// Launches all terminals (call after the simulation is assembled).
+  void Start();
+
+  /// Optional: route each transaction to a different coordinator (the
+  /// YugabyteDB baseline sends transactions to per-node coordinators).
+  void SetRouter(std::function<NodeId(const TxnSpec&)> router) {
+    router_ = std::move(router);
+  }
+
+  const metrics::RunStats& stats() const { return stats_; }
+  metrics::RunStats& mutable_stats() { return stats_; }
+  const metrics::ThroughputSeries& series() const { return series_; }
+  const std::unordered_map<int, TypeStats>& type_stats() const {
+    return type_stats_;
+  }
+
+ private:
+  struct Terminal {
+    uint64_t tag = 0;
+    TxnSpec spec;
+    size_t next_round = 0;
+    TxnId txn_id = kInvalidTxn;
+    Micros first_submit = 0;  ///< submission of attempt #1 (latency anchor)
+    int attempts = 0;
+    Rng rng{0};
+  };
+
+  void HandleMessage(std::unique_ptr<sim::MessageBase> msg);
+  void OnRoundResponse(const protocol::ClientRoundResponse& resp);
+  void OnTxnResult(const protocol::ClientTxnResult& result);
+
+  void StartFreshTxn(Terminal& term);
+  void ResubmitTxn(Terminal& term);
+  void SubmitRound(Terminal& term);
+  void SendFinish(Terminal& term);
+
+  bool InWindow(Micros t) const {
+    return t >= config_.warmup && t < config_.warmup + config_.measure;
+  }
+
+  NodeId client_node_;
+  sim::Network* network_;
+  NodeId coordinator_;
+  WorkloadGenerator* generator_;
+  DriverConfig config_;
+  std::function<NodeId(const TxnSpec&)> router_;
+  std::vector<Terminal> terminals_;
+  metrics::RunStats stats_;
+  metrics::ThroughputSeries series_;
+  std::unordered_map<int, TypeStats> type_stats_;
+  Rng rng_;
+};
+
+}  // namespace workload
+}  // namespace geotp
+
+#endif  // GEOTP_WORKLOAD_DRIVER_H_

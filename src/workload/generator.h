@@ -1,0 +1,39 @@
+// Workload generator interface: produces transaction specifications for
+// the closed-loop client driver.
+#ifndef GEOTP_WORKLOAD_GENERATOR_H_
+#define GEOTP_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "middleware/catalog.h"
+#include "protocol/messages.h"
+
+namespace geotp {
+namespace workload {
+
+/// A transaction as the client will submit it: one or more interactive
+/// rounds of operations. `distributed` is the generator's intent (used for
+/// latency splits in reporting); the middleware derives the real participant
+/// set from routing.
+struct TxnSpec {
+  std::vector<std::vector<protocol::ClientOp>> rounds;
+  bool distributed = false;
+  int type_tag = 0;  ///< workload-specific (e.g. TPC-C transaction type)
+};
+
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// Generates the next transaction.
+  virtual TxnSpec Next(Rng& rng) = 0;
+
+  /// Registers this workload's tables/partitioning with the catalog.
+  virtual void RegisterTables(middleware::Catalog* catalog) const = 0;
+};
+
+}  // namespace workload
+}  // namespace geotp
+
+#endif  // GEOTP_WORKLOAD_GENERATOR_H_

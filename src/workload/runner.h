@@ -1,0 +1,96 @@
+// Experiment runner: assembles a full simulated deployment (topology,
+// data sources, middleware or baseline system, client driver), runs it for
+// warmup + measurement, and returns the metrics every bench/test consumes.
+//
+// This is the library's top-level convenience API; examples/quickstart.cpp
+// shows it end to end.
+#ifndef GEOTP_WORKLOAD_RUNNER_H_
+#define GEOTP_WORKLOAD_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/stats.h"
+#include "middleware/middleware.h"
+#include "sql/rewriter.h"
+#include "workload/driver.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace geotp {
+namespace workload {
+
+/// Every system the paper evaluates.
+enum class SystemKind : int {
+  kSSP,         ///< ShardingSphere, XA 2PC
+  kSSPLocal,    ///< ShardingSphere "local" mode (no atomicity)
+  kQuro,        ///< QURO reordering on the SSP platform
+  kChiller,     ///< Chiller scheduling on the GeoTP platform
+  kGeoTPO1,     ///< decentralized prepare only (ablation)
+  kGeoTPO1O2,   ///< + latency-aware scheduling (ablation)
+  kGeoTP,       ///< full GeoTP (O1~O3)
+  kScalarDb,    ///< ScalarDB-style middleware (DM-side concurrency control)
+  kScalarDbPlus,///< ScalarDB + GeoTP's scheduling & heuristics
+  kYugabyte,    ///< YugabyteDB-style distributed database
+};
+
+const char* SystemName(SystemKind kind);
+
+/// Middleware preset for a given system (middleware-based systems only).
+middleware::MiddlewareConfig ConfigForSystem(SystemKind kind);
+
+enum class WorkloadKind { kYcsb, kTpcc };
+
+struct ExperimentConfig {
+  SystemKind system = SystemKind::kGeoTP;
+  WorkloadKind workload = WorkloadKind::kYcsb;
+
+  /// RTTs from DM to each data source in ms (paper default topology).
+  std::vector<double> ds_rtts_ms = {0.0, 27.0, 73.0, 251.0};
+  double jitter_frac = 0.0;
+  /// Engine flavour per data source; defaults to all-MySQL (paper default).
+  std::vector<sql::Dialect> dialects;
+
+  YcsbConfig ycsb;  ///< data_sources filled in by the runner
+  TpccConfig tpcc;  ///< data_sources filled in by the runner
+  DriverConfig driver;
+
+  /// Hook to tweak the middleware config after the preset is applied
+  /// (ablations over alpha, ping interval, admission knobs, ...).
+  std::function<void(middleware::MiddlewareConfig*)> dm_tweak;
+
+  /// Hook run after assembly, before Start() — used by the dynamic-network
+  /// experiment (Fig. 11b) to schedule latency re-configuration events.
+  std::function<void(sim::EventLoop*, sim::Network*)> pre_run;
+
+  uint64_t seed = 42;
+};
+
+struct ExperimentResult {
+  metrics::RunStats run;
+  middleware::MiddlewareStats dm;
+  std::unordered_map<int, TypeStats> per_type;
+  std::vector<std::pair<double, double>> throughput_series;
+  uint64_t events_processed = 0;
+  uint64_t network_messages = 0;
+  size_t footprint_bytes = 0;
+
+  double Tps() const { return run.ThroughputTps(); }
+  double AbortRate() const { return run.AbortRate(); }
+  double MeanLatencyMs() const { return run.latency.Mean() / 1000.0; }
+  double P99LatencyMs() const {
+    return MicrosToMs(run.latency.P99());
+  }
+};
+
+/// Runs one experiment to completion. Middleware-based systems route
+/// through MiddlewareNode; ScalarDB/Yugabyte systems assemble their own
+/// coordinators (src/baselines).
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+}  // namespace workload
+}  // namespace geotp
+
+#endif  // GEOTP_WORKLOAD_RUNNER_H_

@@ -1,0 +1,187 @@
+// Shared test fixture: a small simulated deployment (client + middleware +
+// N data sources) with a scriptable client, used by the integration tests.
+#ifndef GEOTP_TESTS_SIM_FIXTURE_H_
+#define GEOTP_TESTS_SIM_FIXTURE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "datasource/data_source.h"
+#include "middleware/middleware.h"
+#include "protocol/messages.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace geotp {
+namespace testing_support {
+
+/// Node ids: 0 = client, 1 = middleware, 2.. = data sources.
+class MiniCluster {
+ public:
+  struct Options {
+    int num_data_sources = 2;
+    std::vector<double> rtts_ms = {10.0, 100.0};  ///< DM <-> DS RTTs
+    middleware::MiddlewareConfig dm = middleware::MiddlewareConfig::GeoTP();
+    uint64_t keys_per_node = 1000;
+    uint32_t table = 1;
+  };
+
+  MiniCluster() : MiniCluster(Options()) {}
+
+  explicit MiniCluster(Options options) : options_(options) {
+    const int n = options.num_data_sources;
+    sim::LatencyMatrix matrix(2 + n);
+    matrix.SetSymmetric(0, 1, sim::LinkSpec::FromRttMs(0.5));
+    for (int i = 0; i < n; ++i) {
+      const double rtt = i < static_cast<int>(options.rtts_ms.size())
+                             ? options.rtts_ms[static_cast<size_t>(i)]
+                             : 50.0;
+      matrix.SetSymmetric(1, 2 + i, sim::LinkSpec::FromRttMs(rtt));
+      matrix.SetSymmetric(0, 2 + i, sim::LinkSpec::FromRttMs(rtt));
+      for (int j = 0; j < i; ++j) {
+        matrix.SetSymmetric(2 + j, 2 + i, sim::LinkSpec::FromRttMs(50.0));
+      }
+    }
+    network_ = std::make_unique<sim::Network>(&loop_, matrix);
+
+    middleware::Catalog catalog;
+    std::vector<NodeId> ds_ids;
+    for (int i = 0; i < n; ++i) ds_ids.push_back(2 + i);
+    catalog.AddRangePartitionedTable(options.table, options.keys_per_node,
+                                     ds_ids);
+
+    for (int i = 0; i < n; ++i) {
+      datasource::DataSourceConfig config =
+          datasource::DataSourceConfig::MySql();
+      config.early_abort = options.dm.early_abort;
+      sources_.push_back(std::make_unique<datasource::DataSourceNode>(
+          2 + i, network_.get(), config));
+      sources_.back()->Attach();
+    }
+    dm_ = std::make_unique<middleware::MiddlewareNode>(
+        1, /*ordinal=*/0, network_.get(), std::move(catalog), options.dm);
+    dm_->Attach();
+
+    network_->RegisterNode(0, [this](std::unique_ptr<sim::MessageBase> msg) {
+      OnClientMessage(std::move(msg));
+    });
+  }
+
+  sim::EventLoop& loop() { return loop_; }
+  sim::Network& network() { return *network_; }
+  middleware::MiddlewareNode& dm() { return *dm_; }
+  datasource::DataSourceNode& source(int i) {
+    return *sources_[static_cast<size_t>(i)];
+  }
+  std::vector<datasource::DataSourceNode*> source_ptrs() {
+    std::vector<datasource::DataSourceNode*> out;
+    for (auto& src : sources_) out.push_back(src.get());
+    return out;
+  }
+
+  /// Key living on data source `i` at local offset `off`.
+  RecordKey KeyOn(int i, uint64_t off) const {
+    return RecordKey{options_.table,
+                     static_cast<uint64_t>(i) * options_.keys_per_node + off};
+  }
+
+  // ----- scriptable client ------------------------------------------------
+
+  struct ClientTxn {
+    uint64_t tag;
+    TxnId txn_id = kInvalidTxn;
+    std::vector<protocol::ClientRoundResponse> round_responses;
+    bool has_result = false;
+    Status result;
+    Micros result_at = 0;
+  };
+
+  /// Sends one round; returns the client-side handle.
+  ClientTxn* SendRound(uint64_t tag, std::vector<protocol::ClientOp> ops,
+                       bool last_round) {
+    ClientTxn& txn = txns_[tag];
+    txn.tag = tag;
+    auto req = std::make_unique<protocol::ClientRoundRequest>();
+    req->from = 0;
+    req->to = 1;
+    req->client_tag = tag;
+    req->txn_id = txn.txn_id;
+    req->ops = std::move(ops);
+    req->last_round = last_round;
+    network_->Send(std::move(req));
+    return &txn;
+  }
+
+  void SendCommit(uint64_t tag) {
+    auto req = std::make_unique<protocol::ClientFinishRequest>();
+    req->from = 0;
+    req->to = 1;
+    req->client_tag = tag;
+    req->txn_id = txns_[tag].txn_id;
+    req->commit = true;
+    network_->Send(std::move(req));
+  }
+
+  ClientTxn& txn(uint64_t tag) { return txns_[tag]; }
+
+  /// Advances virtual time by `ms` milliseconds. The DM's latency monitor
+  /// pings forever, so the loop never drains on its own — tests drive it
+  /// with bounded horizons.
+  void RunFor(double ms) { loop_.RunUntil(loop_.Now() + MsToMicros(ms)); }
+
+  /// Convenience: runs a full single-round transaction to completion.
+  /// Returns the final status.
+  Status RunTxn(uint64_t tag, std::vector<protocol::ClientOp> ops) {
+    SendRound(tag, std::move(ops), /*last_round=*/true);
+    // Drive until the round response, then commit, then the result.
+    RunFor(3000);
+    ClientTxn& t = txns_[tag];
+    if (t.has_result) return t.result;  // aborted before commit
+    SendCommit(tag);
+    RunFor(3000);
+    return t.result;
+  }
+
+  static protocol::ClientOp Read(RecordKey key) {
+    protocol::ClientOp op;
+    op.key = key;
+    return op;
+  }
+  static protocol::ClientOp Write(RecordKey key, int64_t value,
+                                  bool delta = false) {
+    protocol::ClientOp op;
+    op.key = key;
+    op.is_write = true;
+    op.value = value;
+    op.is_delta = delta;
+    return op;
+  }
+
+ private:
+  void OnClientMessage(std::unique_ptr<sim::MessageBase> msg) {
+    if (auto* round = dynamic_cast<protocol::ClientRoundResponse*>(msg.get())) {
+      ClientTxn& txn = txns_[round->client_tag];
+      txn.txn_id = round->txn_id;
+      txn.round_responses.push_back(*round);
+    } else if (auto* result =
+                   dynamic_cast<protocol::ClientTxnResult*>(msg.get())) {
+      ClientTxn& txn = txns_[result->client_tag];
+      txn.has_result = true;
+      txn.result = result->status;
+      txn.result_at = loop_.Now();
+    }
+  }
+
+  Options options_;
+  sim::EventLoop loop_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<std::unique_ptr<datasource::DataSourceNode>> sources_;
+  std::unique_ptr<middleware::MiddlewareNode> dm_;
+  std::map<uint64_t, ClientTxn> txns_;
+};
+
+}  // namespace testing_support
+}  // namespace geotp
+
+#endif  // GEOTP_TESTS_SIM_FIXTURE_H_

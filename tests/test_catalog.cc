@@ -1,0 +1,67 @@
+// Tests for catalog routing.
+#include "middleware/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace geotp {
+namespace middleware {
+namespace {
+
+TEST(CatalogTest, RangePartitioning) {
+  Catalog catalog;
+  catalog.AddRangePartitionedTable(1, 1000, {10, 11, 12});
+  EXPECT_EQ(catalog.Route(RecordKey{1, 0}), 10);
+  EXPECT_EQ(catalog.Route(RecordKey{1, 999}), 10);
+  EXPECT_EQ(catalog.Route(RecordKey{1, 1000}), 11);
+  EXPECT_EQ(catalog.Route(RecordKey{1, 2500}), 12);
+}
+
+TEST(CatalogTest, KeysBeyondLastBoundaryStayOnLastNode) {
+  Catalog catalog;
+  catalog.AddRangePartitionedTable(1, 100, {10, 11});
+  EXPECT_EQ(catalog.Route(RecordKey{1, 100000}), 11);
+}
+
+TEST(CatalogTest, HighBitsPartitioning) {
+  Catalog catalog;
+  catalog.AddHighBitsPartitionedTable(2, 48, 16, {20, 21});
+  // Warehouse 0..15 -> node 20; 16..31 -> node 21.
+  EXPECT_EQ(catalog.Route(RecordKey{2, (5ULL << 48) | 123}), 20);
+  EXPECT_EQ(catalog.Route(RecordKey{2, (20ULL << 48) | 123}), 21);
+}
+
+TEST(CatalogTest, CustomRouting) {
+  Catalog catalog;
+  catalog.AddCustomTable(3, [](const RecordKey& key) {
+    return key.key % 2 == 0 ? NodeId{30} : NodeId{31};
+  });
+  EXPECT_EQ(catalog.Route(RecordKey{3, 4}), 30);
+  EXPECT_EQ(catalog.Route(RecordKey{3, 5}), 31);
+}
+
+TEST(CatalogTest, SeparateTablesRouteIndependently) {
+  Catalog catalog;
+  catalog.AddRangePartitionedTable(1, 100, {10});
+  catalog.AddRangePartitionedTable(2, 100, {20});
+  EXPECT_EQ(catalog.Route(RecordKey{1, 5}), 10);
+  EXPECT_EQ(catalog.Route(RecordKey{2, 5}), 20);
+}
+
+TEST(CatalogTest, AllDataSourcesDeduplicates) {
+  Catalog catalog;
+  catalog.AddRangePartitionedTable(1, 100, {10, 11});
+  catalog.AddRangePartitionedTable(2, 100, {11, 12});
+  auto all = catalog.AllDataSources();
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(CatalogTest, HasTable) {
+  Catalog catalog;
+  catalog.AddRangePartitionedTable(1, 100, {10});
+  EXPECT_TRUE(catalog.HasTable(1));
+  EXPECT_FALSE(catalog.HasTable(9));
+}
+
+}  // namespace
+}  // namespace middleware
+}  // namespace geotp

@@ -1,0 +1,235 @@
+// Tests for the XA transaction engine: state machine, in-place writes with
+// undo, crash behaviour, pending-operation cancellation.
+#include "storage/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace geotp {
+namespace storage {
+namespace {
+
+Xid T(uint64_t n) { return Xid{n, 7}; }
+RecordKey K(uint64_t k) { return RecordKey{1, k}; }
+
+Operation ReadOp(uint64_t k) {
+  Operation op;
+  op.key = K(k);
+  op.is_write = false;
+  return op;
+}
+
+Operation WriteOp(uint64_t k, int64_t v) {
+  Operation op;
+  op.key = K(k);
+  op.is_write = true;
+  op.write_value = v;
+  return op;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  TransactionEngine engine_;
+
+  // Executes synchronously (no contention in these tests unless stated).
+  Status Exec(const Xid& xid, const Operation& op, int64_t* value = nullptr) {
+    Status result = Status::Internal("callback not fired");
+    engine_.ExecuteOp(xid, op, [&](Status st, int64_t v) {
+      result = std::move(st);
+      if (value != nullptr) *value = v;
+    });
+    return result;
+  }
+};
+
+TEST_F(EngineTest, BeginTwiceFails) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  EXPECT_EQ(engine_.Begin(T(1)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(EngineTest, ReadMissingKeyReturnsZero) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  int64_t value = -1;
+  ASSERT_TRUE(Exec(T(1), ReadOp(5), &value).ok());
+  EXPECT_EQ(value, 0);
+}
+
+TEST_F(EngineTest, WriteThenReadOwnWrite) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 42)).ok());
+  int64_t value = 0;
+  ASSERT_TRUE(Exec(T(1), ReadOp(5), &value).ok());
+  EXPECT_EQ(value, 42);
+}
+
+TEST_F(EngineTest, CommitMakesWriteDurable) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 42)).ok());
+  ASSERT_TRUE(engine_.Prepare(T(1), 10).ok());
+  ASSERT_TRUE(engine_.Commit(T(1), 20).ok());
+  EXPECT_EQ(engine_.store().Get(K(5))->value, 42);
+  EXPECT_EQ(engine_.StateOf(T(1)), TxnState::kAborted);  // GC'ed
+}
+
+TEST_F(EngineTest, RollbackUndoesWritesInReverse) {
+  engine_.store().Put(K(5), 100);
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 1)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 2)).ok());
+  ASSERT_TRUE(engine_.Rollback(T(1), 10).ok());
+  EXPECT_EQ(engine_.store().Get(K(5))->value, 100);
+}
+
+TEST_F(EngineTest, RollbackReleasesLocks) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 1)).ok());
+  ASSERT_TRUE(engine_.Rollback(T(1), 10).ok());
+  ASSERT_TRUE(engine_.Begin(T(2)).ok());
+  EXPECT_TRUE(Exec(T(2), WriteOp(5, 2)).ok());  // lock must be free
+}
+
+TEST_F(EngineTest, PrepareBlocksFurtherOps) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 1)).ok());
+  ASSERT_TRUE(engine_.Prepare(T(1), 10).ok());
+  EXPECT_TRUE(Exec(T(1), WriteOp(6, 2)).IsAborted());
+}
+
+TEST_F(EngineTest, PrepareTwiceFails) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(engine_.Prepare(T(1), 10).ok());
+  EXPECT_TRUE(engine_.Prepare(T(1), 20).IsAborted());
+}
+
+TEST_F(EngineTest, OnePhaseCommitFromActive) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 7)).ok());
+  ASSERT_TRUE(engine_.Commit(T(1), 10).ok());  // XA COMMIT ... ONE PHASE
+  EXPECT_EQ(engine_.store().Get(K(5))->value, 7);
+}
+
+TEST_F(EngineTest, CommitUnknownBranchFails) {
+  EXPECT_TRUE(engine_.Commit(T(9), 10).IsNotFound());
+}
+
+TEST_F(EngineTest, RollbackUnknownBranchIsIdempotent) {
+  EXPECT_TRUE(engine_.Rollback(T(9), 10).ok());
+}
+
+TEST_F(EngineTest, RollbackAfterPrepareAllowed) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 1)).ok());
+  ASSERT_TRUE(engine_.Prepare(T(1), 10).ok());
+  ASSERT_TRUE(engine_.Rollback(T(1), 20).ok());
+  EXPECT_EQ(engine_.store().Get(K(5))->value, 0);
+}
+
+TEST_F(EngineTest, WalRecordsPrepareAndCommit) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(engine_.Prepare(T(1), 10).ok());
+  EXPECT_TRUE(engine_.wal().IsPreparedUnresolved(T(1)));
+  ASSERT_TRUE(engine_.Commit(T(1), 20).ok());
+  EXPECT_FALSE(engine_.wal().IsPreparedUnresolved(T(1)));
+  EXPECT_EQ(engine_.wal().fsyncs(), 2u);
+}
+
+TEST_F(EngineTest, LockWaitParksOp) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(engine_.Begin(T(2)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 1)).ok());
+  Status waiter_status = Status::Internal("pending");
+  engine_.ExecuteOp(T(2), WriteOp(5, 2), [&](Status st, int64_t) {
+    waiter_status = std::move(st);
+  });
+  EXPECT_TRUE(engine_.HasPendingOp(T(2)));
+  ASSERT_TRUE(engine_.Commit(T(1), 10).ok());
+  EXPECT_TRUE(waiter_status.ok());
+  EXPECT_FALSE(engine_.HasPendingOp(T(2)));
+  EXPECT_EQ(engine_.store().Get(K(5))->value, 2);
+}
+
+TEST_F(EngineTest, CancelPendingOpFiresTimeout) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(engine_.Begin(T(2)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 1)).ok());
+  Status waiter_status = Status::Internal("pending");
+  engine_.ExecuteOp(T(2), WriteOp(5, 2), [&](Status st, int64_t) {
+    waiter_status = std::move(st);
+  });
+  engine_.CancelPendingOp(T(2), Status::TimedOut("lock wait"));
+  EXPECT_TRUE(waiter_status.IsTimedOut());
+  EXPECT_EQ(engine_.StateOf(T(2)), TxnState::kActive);  // caller decides
+}
+
+TEST_F(EngineTest, RollbackCancelsPendingOp) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(engine_.Begin(T(2)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 1)).ok());
+  Status waiter_status = Status::Internal("pending");
+  engine_.ExecuteOp(T(2), WriteOp(5, 2), [&](Status st, int64_t) {
+    waiter_status = std::move(st);
+  });
+  ASSERT_TRUE(engine_.Rollback(T(2), 10).ok());
+  EXPECT_TRUE(waiter_status.IsAborted());
+}
+
+TEST_F(EngineTest, PrepareWithPendingOpFails) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(engine_.Begin(T(2)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 1)).ok());
+  engine_.ExecuteOp(T(2), WriteOp(5, 2), [](Status, int64_t) {});
+  EXPECT_TRUE(engine_.Prepare(T(2), 10).IsAborted());
+  (void)engine_.Rollback(T(2), 11);
+}
+
+TEST_F(EngineTest, CrashAbortsActiveKeepsPrepared) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(5, 1)).ok());
+  ASSERT_TRUE(engine_.Prepare(T(1), 10).ok());
+  ASSERT_TRUE(engine_.Begin(T(2)).ok());
+  ASSERT_TRUE(Exec(T(2), WriteOp(6, 2)).ok());
+
+  engine_.Crash(20);
+
+  // T1 (prepared) survives as in-doubt; T2 (active) rolled back.
+  auto prepared = engine_.PreparedXids();
+  ASSERT_EQ(prepared.size(), 1u);
+  EXPECT_EQ(prepared[0].txn_id, T(1).txn_id);
+  EXPECT_EQ(engine_.store().Get(K(6))->value, 0);
+  // The in-doubt branch can still commit after recovery.
+  ASSERT_TRUE(engine_.Commit(T(1), 30).ok());
+  EXPECT_EQ(engine_.store().Get(K(5))->value, 1);
+}
+
+TEST_F(EngineTest, DeadlockVictimGetsAborted) {
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(engine_.Begin(T(2)).ok());
+  ASSERT_TRUE(Exec(T(1), WriteOp(1, 1)).ok());
+  ASSERT_TRUE(Exec(T(2), WriteOp(2, 2)).ok());
+  engine_.ExecuteOp(T(1), WriteOp(2, 3), [](Status, int64_t) {});
+  Status victim = Status::Internal("pending");
+  engine_.ExecuteOp(T(2), WriteOp(1, 4), [&](Status st, int64_t) {
+    victim = std::move(st);
+  });
+  EXPECT_TRUE(victim.IsAborted());
+}
+
+TEST_F(EngineTest, EngineConfigPresetsDiffer) {
+  EngineConfig mysql = MySqlEngineConfig();
+  EngineConfig postgres = PostgresEngineConfig();
+  EXPECT_NE(mysql.read_cost, postgres.read_cost);
+  EXPECT_GT(mysql.prepare_fsync_cost, 0);
+  EXPECT_GT(postgres.prepare_fsync_cost, 0);
+}
+
+TEST_F(EngineTest, ActiveCountTracksLiveBranches) {
+  EXPECT_EQ(engine_.ActiveCount(), 0u);
+  ASSERT_TRUE(engine_.Begin(T(1)).ok());
+  ASSERT_TRUE(engine_.Begin(T(2)).ok());
+  EXPECT_EQ(engine_.ActiveCount(), 2u);
+  ASSERT_TRUE(engine_.Commit(T(1), 10).ok());
+  EXPECT_EQ(engine_.ActiveCount(), 1u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace geotp

@@ -1,0 +1,159 @@
+// Tests for the virtual-time discrete-event loop.
+#include "sim/event_loop.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace geotp {
+namespace sim {
+namespace {
+
+TEST(EventLoopTest, StartsAtTimeZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.Now(), 0);
+  EXPECT_TRUE(loop.Empty());
+}
+
+TEST(EventLoopTest, AdvancesToEventTime) {
+  EventLoop loop;
+  Micros fired_at = -1;
+  loop.Schedule(1000, [&]() { fired_at = loop.Now(); });
+  loop.Run();
+  EXPECT_EQ(fired_at, 1000);
+  EXPECT_EQ(loop.Now(), 1000);
+}
+
+TEST(EventLoopTest, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(300, [&]() { order.push_back(3); });
+  loop.Schedule(100, [&]() { order.push_back(1); });
+  loop.Schedule(200, [&]() { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, SameTimeIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.Schedule(50, [&order, i]() { order.push_back(i); });
+  }
+  loop.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoopTest, NestedScheduling) {
+  EventLoop loop;
+  Micros inner_fired = -1;
+  loop.Schedule(10, [&]() {
+    loop.Schedule(5, [&]() { inner_fired = loop.Now(); });
+  });
+  loop.Run();
+  EXPECT_EQ(inner_fired, 15);
+}
+
+TEST(EventLoopTest, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  Micros fired_at = -1;
+  loop.Schedule(100, [&]() {
+    loop.Schedule(-50, [&]() { fired_at = loop.Now(); });
+  });
+  loop.Run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  EventId id = loop.Schedule(100, [&]() { fired = true; });
+  EXPECT_TRUE(loop.Cancel(id));
+  loop.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, CancelTwiceReturnsFalse) {
+  EventLoop loop;
+  EventId id = loop.Schedule(100, []() {});
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, CancelUnknownIdIsNoop) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.Cancel(kInvalidEvent));
+  EXPECT_FALSE(loop.Cancel(9999));
+}
+
+TEST(EventLoopTest, CancelFiredEventReturnsFalse) {
+  EventLoop loop;
+  EventId id = loop.Schedule(10, []() {});
+  loop.Run();
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(100, [&]() { fired++; });
+  loop.Schedule(200, [&]() { fired++; });
+  loop.Schedule(300, [&]() { fired++; });
+  loop.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.Now(), 200);
+  loop.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesTimeWithNoEvents) {
+  EventLoop loop;
+  loop.RunUntil(5000);
+  EXPECT_EQ(loop.Now(), 5000);
+}
+
+TEST(EventLoopTest, CountsProcessedEvents) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.Schedule(i, []() {});
+  loop.Run();
+  EXPECT_EQ(loop.events_processed(), 7u);
+}
+
+TEST(EventLoopTest, ClearDropsPending) {
+  EventLoop loop;
+  bool fired = false;
+  loop.Schedule(10, [&]() { fired = true; });
+  loop.Clear();
+  loop.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, StepRunsExactlyOne) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(1, [&]() { fired++; });
+  loop.Schedule(2, [&]() { fired++; });
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.Step());
+  EXPECT_FALSE(loop.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, ManyEventsStressOrdering) {
+  EventLoop loop;
+  Micros last = -1;
+  bool monotonic = true;
+  for (int i = 0; i < 10000; ++i) {
+    loop.Schedule((i * 7919) % 1000, [&]() {
+      if (loop.Now() < last) monotonic = false;
+      last = loop.Now();
+    });
+  }
+  loop.Run();
+  EXPECT_TRUE(monotonic);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace geotp

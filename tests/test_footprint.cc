@@ -1,0 +1,232 @@
+// Tests for the hotspot footprint: AVL + LRU structure, Eq. 4 w_lat
+// updates, Eq. 5 forecasts and Eq. 9 abort probability, plus randomized
+// structural property tests.
+#include "core/hotspot_footprint.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace geotp {
+namespace core {
+namespace {
+
+RecordKey K(uint64_t k) { return RecordKey{1, k}; }
+std::vector<RecordKey> Keys(std::initializer_list<uint64_t> ks) {
+  std::vector<RecordKey> out;
+  for (uint64_t k : ks) out.push_back(K(k));
+  return out;
+}
+
+TEST(FootprintTest, DispatchTracksActiveCount) {
+  HotspotFootprint fp;
+  fp.OnDispatch(Keys({1, 2}));
+  EXPECT_EQ(fp.Lookup(K(1))->a_cnt, 1);
+  fp.OnDispatch(Keys({1}));
+  EXPECT_EQ(fp.Lookup(K(1))->a_cnt, 2);
+  fp.OnComplete(Keys({1}), 1000, true);
+  EXPECT_EQ(fp.Lookup(K(1))->a_cnt, 1);
+}
+
+TEST(FootprintTest, CompleteUpdatesCounters) {
+  HotspotFootprint fp;
+  fp.OnDispatch(Keys({1}));
+  fp.OnComplete(Keys({1}), 1000, true);
+  const RecordStats* stats = fp.Lookup(K(1));
+  EXPECT_EQ(stats->t_cnt, 1u);
+  EXPECT_EQ(stats->c_cnt, 1u);
+  fp.OnDispatch(Keys({1}));
+  fp.OnComplete(Keys({1}), 1000, false);
+  EXPECT_EQ(stats->t_cnt, 2u);
+  EXPECT_EQ(stats->c_cnt, 1u);
+  EXPECT_DOUBLE_EQ(stats->SuccessRatio(), 0.5);
+}
+
+TEST(FootprintTest, WLatConvergesTowardMeasurement) {
+  FootprintConfig config;
+  config.alpha = 0.5;
+  HotspotFootprint fp(config);
+  // Single-key subtransactions: the weight w_r is 1, so w_lat converges
+  // toward the measured LEL.
+  for (int i = 0; i < 40; ++i) {
+    fp.OnDispatch(Keys({1}));
+    fp.OnComplete(Keys({1}), 10000, true);
+  }
+  EXPECT_NEAR(fp.Lookup(K(1))->w_lat, 10000.0, 500.0);
+}
+
+TEST(FootprintTest, AbortedCompletionsDoNotMoveWLat) {
+  HotspotFootprint fp;
+  fp.OnDispatch(Keys({1}));
+  fp.OnComplete(Keys({1}), 500, true);
+  const double w = fp.Lookup(K(1))->w_lat;
+  fp.OnDispatch(Keys({1}));
+  fp.OnComplete(Keys({1}), 999999, false);
+  EXPECT_DOUBLE_EQ(fp.Lookup(K(1))->w_lat, w);
+}
+
+TEST(FootprintTest, ForecastSumsTrackedKeys) {
+  HotspotFootprint fp;
+  for (int i = 0; i < 30; ++i) {
+    fp.OnDispatch(Keys({1}));
+    fp.OnComplete(Keys({1}), 4000, true);
+    fp.OnDispatch(Keys({2}));
+    fp.OnComplete(Keys({2}), 2000, true);
+  }
+  const Micros forecast = fp.ForecastLel(Keys({1, 2}));
+  EXPECT_NEAR(static_cast<double>(forecast), 6000.0, 600.0);
+  // Untracked keys contribute nothing.
+  EXPECT_EQ(fp.ForecastLel(Keys({99})), 0);
+}
+
+TEST(FootprintTest, AbortProbabilityMatchesEquation9) {
+  HotspotFootprint fp;
+  // Build history: 10 accesses, 5 committed -> success ratio 0.5.
+  for (int i = 0; i < 10; ++i) {
+    fp.OnDispatch(Keys({1}));
+    fp.OnComplete(Keys({1}), 100, i < 5);
+  }
+  // Queue depth: 3 concurrent accessors -> exponent max(3-1, 0) = 2.
+  fp.OnDispatch(Keys({1}));
+  fp.OnDispatch(Keys({1}));
+  fp.OnDispatch(Keys({1}));
+  EXPECT_NEAR(fp.AbortProbability(Keys({1})), 1.0 - std::pow(0.5, 2), 1e-9);
+}
+
+TEST(FootprintTest, AbortProbabilityZeroWhenIdle) {
+  HotspotFootprint fp;
+  for (int i = 0; i < 10; ++i) {
+    fp.OnDispatch(Keys({1}));
+    fp.OnComplete(Keys({1}), 100, false);  // terrible history
+  }
+  // No concurrent accessors -> exponent 0 -> never blocked.
+  EXPECT_DOUBLE_EQ(fp.AbortProbability(Keys({1})), 0.0);
+}
+
+TEST(FootprintTest, AbortProbabilityMultipliesAcrossKeys) {
+  HotspotFootprint fp;
+  for (uint64_t k : {1u, 2u}) {
+    for (int i = 0; i < 10; ++i) {
+      fp.OnDispatch(Keys({k}));
+      fp.OnComplete(Keys({k}), 100, i < 5);
+    }
+    fp.OnDispatch(Keys({k}));
+    fp.OnDispatch(Keys({k}));  // a_cnt = 2 -> exponent 1
+  }
+  EXPECT_NEAR(fp.AbortProbability(Keys({1, 2})), 1.0 - 0.25, 1e-9);
+}
+
+TEST(FootprintTest, OnReleaseOnlyDropsActiveCount) {
+  HotspotFootprint fp;
+  fp.OnDispatch(Keys({1}));
+  fp.OnRelease(Keys({1}));
+  const RecordStats* stats = fp.Lookup(K(1));
+  EXPECT_EQ(stats->a_cnt, 0);
+  EXPECT_EQ(stats->t_cnt, 0u);
+}
+
+TEST(FootprintTest, LruEvictsColdRecords) {
+  FootprintConfig config;
+  config.capacity = 100;
+  HotspotFootprint fp(config);
+  for (uint64_t k = 0; k < 500; ++k) {
+    fp.OnDispatch(Keys({k}));
+    fp.OnComplete(Keys({k}), 100, true);
+  }
+  EXPECT_LE(fp.size(), 100u);
+  EXPECT_GT(fp.evictions(), 0u);
+  // The most recent keys survive.
+  EXPECT_NE(fp.Lookup(K(499)), nullptr);
+  EXPECT_EQ(fp.Lookup(K(0)), nullptr);
+  EXPECT_TRUE(fp.CheckInvariants());
+}
+
+TEST(FootprintTest, BusyRecordsNotEvicted) {
+  FootprintConfig config;
+  config.capacity = 10;
+  HotspotFootprint fp(config);
+  fp.OnDispatch(Keys({777}));  // a_cnt = 1, never completed
+  for (uint64_t k = 0; k < 100; ++k) {
+    fp.OnDispatch(Keys({k}));
+    fp.OnComplete(Keys({k}), 100, true);
+  }
+  ASSERT_NE(fp.Lookup(K(777)), nullptr);
+  EXPECT_EQ(fp.Lookup(K(777))->a_cnt, 1);
+  EXPECT_TRUE(fp.CheckInvariants());
+}
+
+TEST(FootprintTest, RangeScanOrdered) {
+  HotspotFootprint fp;
+  for (uint64_t k : {50u, 10u, 30u, 20u, 40u}) {
+    fp.OnDispatch(Keys({k}));
+    fp.OnComplete(Keys({k}), 100, true);
+  }
+  auto range = fp.Range(K(15), K(45));
+  ASSERT_EQ(range.size(), 3u);
+  EXPECT_EQ(range[0].first.key, 20u);
+  EXPECT_EQ(range[1].first.key, 30u);
+  EXPECT_EQ(range[2].first.key, 40u);
+}
+
+TEST(FootprintTest, RangeAcrossTables) {
+  HotspotFootprint fp;
+  fp.OnDispatch({RecordKey{1, 5}, RecordKey{2, 5}});
+  auto range = fp.Range(RecordKey{1, 0}, RecordKey{1, 100});
+  ASSERT_EQ(range.size(), 1u);
+  EXPECT_EQ(range[0].first.table, 1u);
+}
+
+TEST(FootprintPropertyTest, RandomTrafficKeepsAvlInvariants) {
+  Rng rng(0xABCD);
+  FootprintConfig config;
+  config.capacity = 64;
+  HotspotFootprint fp(config);
+  std::vector<RecordKey> outstanding;
+  for (int step = 0; step < 30000; ++step) {
+    const double action = rng.NextDouble();
+    if (action < 0.5) {
+      std::vector<RecordKey> keys;
+      const int n = static_cast<int>(rng.NextU64(4)) + 1;
+      for (int i = 0; i < n; ++i) keys.push_back(K(rng.NextU64(1000)));
+      fp.OnDispatch(keys);
+      for (const auto& k : keys) outstanding.push_back(k);
+    } else if (!outstanding.empty()) {
+      const size_t idx = rng.NextU64(outstanding.size());
+      fp.OnComplete({outstanding[idx]}, rng.NextU64(5000),
+                    rng.NextBool(0.8));
+      outstanding.erase(outstanding.begin() + static_cast<long>(idx));
+    }
+    if (step % 1000 == 0) {
+      ASSERT_TRUE(fp.CheckInvariants()) << "step " << step;
+    }
+  }
+  EXPECT_TRUE(fp.CheckInvariants());
+}
+
+TEST(FootprintPropertyTest, HeavyEvictionChurn) {
+  Rng rng(0x1234);
+  FootprintConfig config;
+  config.capacity = 8;
+  HotspotFootprint fp(config);
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t k = rng.NextU64(10000);
+    fp.OnDispatch(Keys({k}));
+    fp.OnComplete(Keys({k}), 100, true);
+    if (step % 500 == 0) ASSERT_TRUE(fp.CheckInvariants());
+  }
+  EXPECT_LE(fp.size(), 8u);
+  EXPECT_GT(fp.evictions(), 10000u);
+}
+
+TEST(FootprintTest, ApproxBytesGrowsWithSize) {
+  HotspotFootprint fp;
+  const size_t empty = fp.ApproxBytes();
+  for (uint64_t k = 0; k < 100; ++k) fp.OnDispatch(Keys({k}));
+  EXPECT_GT(fp.ApproxBytes(), empty);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace geotp

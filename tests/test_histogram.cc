@@ -1,0 +1,151 @@
+// Tests for the latency histogram and experiment statistics.
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/stats.h"
+
+namespace geotp {
+namespace metrics {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(99.0), 0);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(500);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 500);
+  EXPECT_EQ(h.max(), 500);
+  EXPECT_EQ(h.Mean(), 500.0);
+  EXPECT_EQ(h.P50(), 500);
+  EXPECT_EQ(h.P99(), 500);
+}
+
+TEST(HistogramTest, ExactInLinearRange) {
+  Histogram h;
+  for (Micros v = 0; v < 1000; ++v) h.Record(v);
+  // The p-th percentile is the ceil(p*n/100)-th smallest sample.
+  EXPECT_EQ(h.P50(), 499);
+  EXPECT_EQ(h.Percentile(10.0), 99);
+  EXPECT_EQ(h.Percentile(100.0), 999);
+}
+
+TEST(HistogramTest, GeometricRangeWithinOnePercent) {
+  Histogram h;
+  const Micros value = 5'000'000;  // 5 s
+  for (int i = 0; i < 100; ++i) h.Record(value);
+  const Micros p50 = h.P50();
+  EXPECT_NEAR(static_cast<double>(p50), static_cast<double>(value),
+              static_cast<double>(value) * 0.02);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-10);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, PercentileMonotonicity) {
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) h.Record((i * 7919) % 2'000'000);
+  Micros prev = 0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    Micros v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(100);
+  a.Record(200);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 300);
+  EXPECT_NEAR(a.Mean(), 200.0, 1e-9);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(100);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, CdfIsMonotoneAndEndsAtOne) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 997);
+  auto cdf = h.Cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev = 0.0;
+  Micros prev_lat = -1;
+  for (const auto& [lat, frac] : cdf) {
+    EXPECT_GT(lat, prev_lat);
+    EXPECT_GE(frac, prev);
+    prev = frac;
+    prev_lat = lat;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(PhaseBreakdownTest, RecordsAndAverages) {
+  PhaseBreakdown b;
+  b.Record(TxnPhase::kExecution, 1000);
+  b.Record(TxnPhase::kExecution, 3000);
+  b.Record(TxnPhase::kCommit, 500);
+  EXPECT_EQ(b.count(TxnPhase::kExecution), 2u);
+  EXPECT_DOUBLE_EQ(b.MeanMs(TxnPhase::kExecution), 2.0);
+  EXPECT_DOUBLE_EQ(b.MeanMs(TxnPhase::kCommit), 0.5);
+  EXPECT_DOUBLE_EQ(b.MeanMs(TxnPhase::kAnalysis), 0.0);
+}
+
+TEST(PhaseBreakdownTest, Merge) {
+  PhaseBreakdown a, b;
+  a.Record(TxnPhase::kPrepare, 100);
+  b.Record(TxnPhase::kPrepare, 300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(TxnPhase::kPrepare), 2u);
+  EXPECT_EQ(a.total(TxnPhase::kPrepare), 400);
+}
+
+TEST(RunStatsTest, ThroughputAndAbortRate) {
+  RunStats stats;
+  stats.committed = 200;
+  stats.abort_events = 50;
+  stats.measured_duration = SecToMicros(10);
+  EXPECT_DOUBLE_EQ(stats.ThroughputTps(), 20.0);
+  EXPECT_DOUBLE_EQ(stats.AbortRate(), 0.2);
+}
+
+TEST(RunStatsTest, EmptyIsSafe) {
+  RunStats stats;
+  EXPECT_EQ(stats.ThroughputTps(), 0.0);
+  EXPECT_EQ(stats.AbortRate(), 0.0);
+}
+
+TEST(ThroughputSeriesTest, BucketsBySecond) {
+  ThroughputSeries series(SecToMicros(1));
+  series.OnCommit(MsToMicros(100));   // second 0
+  series.OnCommit(MsToMicros(900));   // second 0
+  series.OnCommit(SecToMicros(2.5));  // second 2
+  auto points = series.Points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(points[1].second, 0.0);
+  EXPECT_DOUBLE_EQ(points[2].second, 1.0);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace geotp

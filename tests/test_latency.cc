@@ -1,0 +1,135 @@
+// Tests for link specs, the latency matrix and topology building.
+#include "sim/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/topology.h"
+
+namespace geotp {
+namespace sim {
+namespace {
+
+TEST(LinkSpecTest, FromRttMsSplitsInHalf) {
+  LinkSpec spec = LinkSpec::FromRttMs(100.0);
+  EXPECT_EQ(spec.one_way_mean, MsToMicros(50.0));
+  EXPECT_EQ(spec.jitter, JitterModel::kNone);
+}
+
+TEST(LinkSpecTest, JitterSpecHasGaussianModel) {
+  LinkSpec spec = LinkSpec::FromRttMsJitter(100.0, 0.2);
+  EXPECT_EQ(spec.jitter, JitterModel::kGaussian);
+  EXPECT_EQ(spec.jitter_stddev, MsToMicros(10.0));
+  EXPECT_GT(spec.min_one_way, 0);
+}
+
+TEST(LatencyMatrixTest, SelfLinkDefaultsToZero) {
+  LatencyMatrix matrix(3);
+  Rng rng(1);
+  EXPECT_EQ(matrix.SampleOneWay(1, 1, rng), 0);
+}
+
+TEST(LatencyMatrixTest, SymmetricSetAffectsBothDirections) {
+  LatencyMatrix matrix(3);
+  matrix.SetSymmetric(0, 2, LinkSpec::FromRttMs(80.0));
+  EXPECT_EQ(matrix.Get(0, 2).one_way_mean, MsToMicros(40.0));
+  EXPECT_EQ(matrix.Get(2, 0).one_way_mean, MsToMicros(40.0));
+  EXPECT_EQ(matrix.MeanRtt(0, 2), MsToMicros(80.0));
+}
+
+TEST(LatencyMatrixTest, DirectedSetIsAsymmetric) {
+  LatencyMatrix matrix(2);
+  matrix.SetDirected(0, 1, LinkSpec::FromRttMs(10.0));
+  matrix.SetDirected(1, 0, LinkSpec::FromRttMs(30.0));
+  EXPECT_EQ(matrix.MeanRtt(0, 1), MsToMicros(20.0));
+}
+
+TEST(LatencyMatrixTest, GaussianJitterRespectsFloor) {
+  LatencyMatrix matrix(2);
+  LinkSpec spec;
+  spec.one_way_mean = 1000;
+  spec.jitter_stddev = 2000;  // wild jitter to force clamping
+  spec.jitter = JitterModel::kGaussian;
+  spec.min_one_way = 500;
+  matrix.SetSymmetric(0, 1, spec);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(matrix.SampleOneWay(0, 1, rng), 500);
+  }
+}
+
+TEST(LatencyMatrixTest, GaussianJitterCentersOnMean) {
+  LatencyMatrix matrix(2);
+  matrix.SetSymmetric(0, 1, LinkSpec::FromRttMsJitter(100.0, 0.1));
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(matrix.SampleOneWay(0, 1, rng));
+  }
+  EXPECT_NEAR(sum / n, static_cast<double>(MsToMicros(50.0)), 500.0);
+}
+
+TEST(LatencyMatrixTest, UniformJitterStaysInBand) {
+  LatencyMatrix matrix(2);
+  LinkSpec spec;
+  spec.one_way_mean = 1000;
+  spec.jitter_stddev = 200;
+  spec.jitter = JitterModel::kUniform;
+  matrix.SetSymmetric(0, 1, spec);
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    Micros s = matrix.SampleOneWay(0, 1, rng);
+    EXPECT_GE(s, 800);
+    EXPECT_LE(s, 1200);
+  }
+}
+
+TEST(TopologyTest, DefaultTopologyMatchesPaper) {
+  DefaultTopology topo = DefaultTopology::Make();
+  ASSERT_EQ(topo.data_sources.size(), 4u);
+  EXPECT_EQ(topo.nodes.size(), 6u);
+  // DS1 co-located with the DM (LAN); DS2..4 at 27/73/251 ms RTT.
+  EXPECT_LT(topo.matrix.MeanRtt(topo.middleware, topo.data_sources[0]),
+            MsToMicros(2.0));
+  EXPECT_EQ(topo.matrix.MeanRtt(topo.middleware, topo.data_sources[1]),
+            MsToMicros(27.0));
+  EXPECT_EQ(topo.matrix.MeanRtt(topo.middleware, topo.data_sources[2]),
+            MsToMicros(73.0));
+  EXPECT_EQ(topo.matrix.MeanRtt(topo.middleware, topo.data_sources[3]),
+            MsToMicros(251.0));
+}
+
+TEST(TopologyTest, ClientIsColocatedWithMiddleware) {
+  DefaultTopology topo = DefaultTopology::Make();
+  EXPECT_LT(topo.matrix.MeanRtt(topo.client, topo.middleware),
+            MsToMicros(2.0));
+}
+
+TEST(TopologyTest, InterDataSourceLinksUseMaxRule) {
+  DefaultTopology topo = DefaultTopology::Make();
+  // Shanghai (27) <-> London (251): the geo-agent early-abort path.
+  EXPECT_EQ(topo.matrix.MeanRtt(topo.data_sources[1], topo.data_sources[3]),
+            MsToMicros(251.0));
+}
+
+TEST(TopologyTest, CustomRtts) {
+  DefaultTopology topo = DefaultTopology::Make({10.0, 20.0, 30.0});
+  ASSERT_EQ(topo.data_sources.size(), 3u);
+  EXPECT_EQ(topo.matrix.MeanRtt(topo.middleware, topo.data_sources[1]),
+            MsToMicros(20.0));
+}
+
+TEST(TopologyBuilderTest, SameRegionGetsLanLatency) {
+  TopologyBuilder builder;
+  NodeId a = builder.AddNode(NodeRole::kMiddleware, "dm", "tokyo");
+  NodeId b = builder.AddNode(NodeRole::kDataSource, "ds", "tokyo");
+  NodeId c = builder.AddNode(NodeRole::kDataSource, "ds2", "paris");
+  LatencyMatrix matrix = builder.Build(/*lan_rtt_ms=*/1.0,
+                                       /*default_wan_rtt_ms=*/120.0);
+  EXPECT_EQ(matrix.MeanRtt(a, b), MsToMicros(1.0));
+  EXPECT_EQ(matrix.MeanRtt(a, c), MsToMicros(120.0));
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace geotp

@@ -1,0 +1,144 @@
+// Tests for the mini-SQL parser, including the last-statement annotation
+// the decentralized prepare relies on (paper §III).
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace geotp {
+namespace sql {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Parser parser_;
+
+  ParsedStatement MustParse(const std::string& sql) {
+    auto result = parser_.Parse(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? result.value() : ParsedStatement{};
+  }
+};
+
+TEST_F(ParserTest, Begin) {
+  EXPECT_EQ(MustParse("BEGIN;").type, StatementType::kBegin);
+  EXPECT_EQ(MustParse("begin").type, StatementType::kBegin);
+  EXPECT_EQ(MustParse("START TRANSACTION;").type, StatementType::kBegin);
+}
+
+TEST_F(ParserTest, CommitAndRollback) {
+  EXPECT_EQ(MustParse("COMMIT;").type, StatementType::kCommit);
+  EXPECT_EQ(MustParse("ROLLBACK;").type, StatementType::kRollback);
+  EXPECT_EQ(MustParse("abort").type, StatementType::kRollback);
+}
+
+TEST_F(ParserTest, Select) {
+  ParsedStatement stmt =
+      MustParse("SELECT val FROM savings WHERE key = 42;");
+  EXPECT_EQ(stmt.type, StatementType::kSelect);
+  EXPECT_EQ(stmt.table, "SAVINGS");
+  EXPECT_EQ(stmt.key, 42u);
+  EXPECT_FALSE(stmt.IsWrite());
+}
+
+TEST_F(ParserTest, SelectStar) {
+  ParsedStatement stmt = MustParse("SELECT * FROM t WHERE key = 1");
+  EXPECT_EQ(stmt.type, StatementType::kSelect);
+}
+
+TEST_F(ParserTest, UpdateLiteral) {
+  ParsedStatement stmt =
+      MustParse("UPDATE savings SET val = 100 WHERE key = 7;");
+  EXPECT_EQ(stmt.type, StatementType::kUpdate);
+  EXPECT_EQ(stmt.value, 100);
+  EXPECT_FALSE(stmt.is_delta);
+  EXPECT_EQ(stmt.key, 7u);
+}
+
+TEST_F(ParserTest, UpdateDelta) {
+  ParsedStatement stmt =
+      MustParse("UPDATE savings SET val = val + -100 WHERE key = 7;");
+  EXPECT_TRUE(stmt.is_delta);
+  EXPECT_EQ(stmt.value, -100);
+}
+
+TEST_F(ParserTest, LastStatementAnnotationSuffix) {
+  ParsedStatement stmt = MustParse(
+      "UPDATE savings SET val = val + 100 WHERE key = 7; /* last statement */");
+  EXPECT_TRUE(stmt.is_last);
+}
+
+TEST_F(ParserTest, LastStatementAnnotationPrefix) {
+  ParsedStatement stmt =
+      MustParse("/* geotp:last */ SELECT val FROM t WHERE key = 1;");
+  EXPECT_TRUE(stmt.is_last);
+}
+
+TEST_F(ParserTest, LineCommentAnnotation) {
+  ParsedStatement stmt =
+      MustParse("SELECT val FROM t WHERE key = 1 -- geotp:last");
+  EXPECT_TRUE(stmt.is_last);
+}
+
+TEST_F(ParserTest, OrdinaryCommentIsNotLast) {
+  ParsedStatement stmt =
+      MustParse("/* route to shard 3 */ SELECT val FROM t WHERE key = 1;");
+  EXPECT_FALSE(stmt.is_last);
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywords) {
+  ParsedStatement stmt =
+      MustParse("update T set VAL = Val + 5 where KEY = 9");
+  EXPECT_TRUE(stmt.is_delta);
+}
+
+TEST_F(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(parser_.Parse("DELETE FROM t WHERE key = 1").ok());
+  EXPECT_FALSE(parser_.Parse("SELECT val FROM").ok());
+  EXPECT_FALSE(parser_.Parse("UPDATE t SET val = WHERE key = 1").ok());
+  EXPECT_FALSE(parser_.Parse("").ok());
+  EXPECT_FALSE(parser_.Parse("SELECT val FROM t WHERE key = -3").ok());
+  EXPECT_FALSE(parser_.Parse("BEGIN extra").ok());
+}
+
+TEST_F(ParserTest, RejectsTrailingTokens) {
+  EXPECT_FALSE(
+      parser_.Parse("SELECT val FROM t WHERE key = 1 garbage").ok());
+}
+
+TEST_F(ParserTest, ParseScriptSplitsStatements) {
+  auto result = parser_.ParseScript(
+      "BEGIN;"
+      "UPDATE savings SET val = val + -100 WHERE key = 1;"
+      "UPDATE savings SET val = val + 100 WHERE key = 2; /* last statement */"
+      "COMMIT;");
+  ASSERT_TRUE(result.ok());
+  const auto& stmts = result.value();
+  ASSERT_EQ(stmts.size(), 4u);
+  EXPECT_EQ(stmts[0].type, StatementType::kBegin);
+  EXPECT_EQ(stmts[1].type, StatementType::kUpdate);
+  EXPECT_FALSE(stmts[1].is_last);
+  EXPECT_TRUE(stmts[2].is_last);
+  EXPECT_EQ(stmts[3].type, StatementType::kCommit);
+}
+
+TEST_F(ParserTest, ParseScriptSkipsBlankPieces) {
+  auto result = parser_.ParseScript("BEGIN;;  \n ;COMMIT;");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+TEST_F(ParserTest, ParseScriptPropagatesErrors) {
+  EXPECT_FALSE(parser_.ParseScript("BEGIN; NONSENSE; COMMIT;").ok());
+}
+
+TEST_F(ParserTest, ToStringRoundTripsMeaning) {
+  ParsedStatement stmt =
+      MustParse("UPDATE t SET val = val + 3 WHERE key = 4; /* last statement */");
+  const std::string repr = stmt.ToString();
+  EXPECT_NE(repr.find("UPDATE"), std::string::npos);
+  EXPECT_NE(repr.find("last"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace geotp

@@ -1,0 +1,203 @@
+// Tests for the deterministic RNG, the YCSB zipfian generator and the
+// bounded (global-anchored) zipfian sampler.
+#include "common/random.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace geotp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedUniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextU64(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ForkedStreamsIndependent) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  Rng rng(23);
+  ZipfianGenerator zipf(1000, 0.9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(rng), 1000u);
+}
+
+TEST(ZipfianTest, HigherThetaMoreSkewed) {
+  Rng rng(29);
+  auto top_share = [&rng](double theta) {
+    ZipfianGenerator zipf(10000, theta, /*scramble=*/false);
+    std::map<uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i) counts[zipf.Next(rng)]++;
+    return counts[0] / 50000.0;
+  };
+  const double low = top_share(0.3);
+  const double high = top_share(1.2);
+  EXPECT_GT(high, low * 5);
+}
+
+TEST(ZipfianTest, ZeroThetaNearUniform) {
+  Rng rng(31);
+  ZipfianGenerator zipf(100, 0.0, /*scramble=*/false);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[zipf.Next(rng)]++;
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(c / 100000.0, 0.01, 0.005) << "key " << k;
+  }
+}
+
+TEST(BoundedZipfTest, StaysInRange) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = BoundedZipfSample(100, 200, 0.9, rng);
+    EXPECT_GE(v, 100u);
+    EXPECT_LT(v, 200u);
+  }
+}
+
+TEST(BoundedZipfTest, DegenerateRange) {
+  Rng rng(41);
+  EXPECT_EQ(BoundedZipfSample(5, 6, 0.9, rng), 5u);
+  EXPECT_EQ(BoundedZipfSample(5, 5, 0.9, rng), 5u);
+}
+
+TEST(BoundedZipfTest, HeadPartitionGetsHotKeys) {
+  // A 4-partition table: the head partition must receive far more mass
+  // than the tail partition under skew (this drives the "hot records are
+  // intra-region" pattern).
+  Rng rng(43);
+  const uint64_t n = 400000;
+  int head = 0, tail = 0;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t k = BoundedZipfSample(0, n, 1.2, rng);
+    if (k < n / 4) ++head;
+    if (k >= 3 * n / 4) ++tail;
+  }
+  EXPECT_GT(head, tail * 10);
+}
+
+TEST(BoundedZipfTest, ZeroThetaUniformAcrossPartitions) {
+  Rng rng(47);
+  const uint64_t n = 400000;
+  int head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (BoundedZipfSample(0, n, 0.0, rng) < n / 4) ++head;
+  }
+  EXPECT_NEAR(head / 50000.0, 0.25, 0.02);
+}
+
+TEST(BoundedZipfTest, ConditionalSubrangeIsFlatFarFromHead) {
+  // Within a far partition the conditional distribution is nearly uniform:
+  // first half vs second half of the partition should be balanced.
+  Rng rng(53);
+  int first_half = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t k = BoundedZipfSample(3000000, 4000000, 0.9, rng);
+    if (k < 3500000) ++first_half;
+  }
+  EXPECT_NEAR(first_half / static_cast<double>(n), 0.5, 0.05);
+}
+
+class BoundedZipfThetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoundedZipfThetaTest, MeanDecreasesWithTheta) {
+  Rng rng(59);
+  const double theta = GetParam();
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(BoundedZipfSample(0, 1000000, theta, rng));
+  }
+  const double mean = sum / n;
+  // Under stronger skew, the mean key moves toward the head.
+  if (theta >= 1.2) {
+    EXPECT_LT(mean, 100000.0);
+  } else if (theta <= 0.1) {
+    EXPECT_GT(mean, 400000.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, BoundedZipfThetaTest,
+                         ::testing::Values(0.0, 0.3, 0.9, 1.2, 1.5));
+
+}  // namespace
+}  // namespace geotp

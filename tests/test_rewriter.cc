@@ -1,0 +1,97 @@
+// Tests for the dialect rewriter: XA command generation per engine and the
+// FOR SHARE read rewrite (paper §VII-A3).
+#include "sql/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace geotp {
+namespace sql {
+namespace {
+
+Xid MakeXid() { return Xid{17, 3}; }
+
+TEST(RewriterTest, MySqlBranchBeginUsesXaStart) {
+  auto stmts = Rewriter::BranchBegin(Dialect::kMySql, MakeXid());
+  ASSERT_EQ(stmts.size(), 1u);
+  EXPECT_EQ(stmts[0], "XA START '17,node3';");
+}
+
+TEST(RewriterTest, PostgresBranchBeginUsesBegin) {
+  auto stmts = Rewriter::BranchBegin(Dialect::kPostgres, MakeXid());
+  ASSERT_EQ(stmts.size(), 1u);
+  EXPECT_EQ(stmts[0], "BEGIN;");
+}
+
+TEST(RewriterTest, MySqlPrepareIsEndPlusPrepare) {
+  auto stmts = Rewriter::BranchPrepare(Dialect::kMySql, MakeXid());
+  ASSERT_EQ(stmts.size(), 2u);
+  EXPECT_EQ(stmts[0], "XA END '17,node3';");
+  EXPECT_EQ(stmts[1], "XA PREPARE '17,node3';");
+}
+
+TEST(RewriterTest, PostgresPrepareIsPrepareTransaction) {
+  auto stmts = Rewriter::BranchPrepare(Dialect::kPostgres, MakeXid());
+  ASSERT_EQ(stmts.size(), 1u);
+  EXPECT_EQ(stmts[0], "PREPARE TRANSACTION '17,node3';");
+}
+
+TEST(RewriterTest, CommitStatements) {
+  EXPECT_EQ(Rewriter::BranchCommit(Dialect::kMySql, MakeXid()),
+            "XA COMMIT '17,node3';");
+  EXPECT_EQ(Rewriter::BranchCommit(Dialect::kPostgres, MakeXid()),
+            "COMMIT PREPARED '17,node3';");
+}
+
+TEST(RewriterTest, OnePhaseCommit) {
+  EXPECT_EQ(Rewriter::BranchCommitOnePhase(Dialect::kMySql, MakeXid()),
+            "XA COMMIT '17,node3' ONE PHASE;");
+  EXPECT_EQ(Rewriter::BranchCommitOnePhase(Dialect::kPostgres, MakeXid()),
+            "COMMIT;");
+}
+
+TEST(RewriterTest, RollbackStatements) {
+  EXPECT_EQ(Rewriter::BranchRollback(Dialect::kMySql, MakeXid(), false),
+            "XA ROLLBACK '17,node3';");
+  EXPECT_EQ(Rewriter::BranchRollback(Dialect::kPostgres, MakeXid(), false),
+            "ROLLBACK;");
+  EXPECT_EQ(Rewriter::BranchRollback(Dialect::kPostgres, MakeXid(), true),
+            "ROLLBACK PREPARED '17,node3';");
+}
+
+TEST(RewriterTest, PostgresReadsGetForShare) {
+  Parser parser;
+  auto stmt = parser.Parse("SELECT val FROM savings WHERE key = 5");
+  ASSERT_TRUE(stmt.ok());
+  const std::string pg = Rewriter::RewriteDml(Dialect::kPostgres, *stmt);
+  EXPECT_NE(pg.find("FOR SHARE"), std::string::npos) << pg;
+  const std::string my = Rewriter::RewriteDml(Dialect::kMySql, *stmt);
+  EXPECT_NE(my.find("LOCK IN SHARE MODE"), std::string::npos) << my;
+}
+
+TEST(RewriterTest, UpdateRewriteKeepsDelta) {
+  Parser parser;
+  auto stmt =
+      parser.Parse("UPDATE savings SET val = val + -100 WHERE key = 5");
+  ASSERT_TRUE(stmt.ok());
+  const std::string sql = Rewriter::RewriteDml(Dialect::kMySql, *stmt);
+  EXPECT_EQ(sql, "UPDATE SAVINGS SET val = val + -100 WHERE key = 5;");
+}
+
+TEST(RewriterTest, UpdateRewriteLiteral) {
+  Parser parser;
+  auto stmt = parser.Parse("UPDATE t SET val = 9 WHERE key = 5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(Rewriter::RewriteDml(Dialect::kPostgres, *stmt),
+            "UPDATE T SET val = 9 WHERE key = 5;");
+}
+
+TEST(RewriterTest, DialectNames) {
+  EXPECT_STREQ(DialectName(Dialect::kMySql), "mysql");
+  EXPECT_STREQ(DialectName(Dialect::kPostgres), "postgresql");
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace geotp

@@ -1,0 +1,97 @@
+// Unit tests for Status / Result error handling.
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace geotp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  Status st = Status::TimedOut("lock wait");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsTimedOut());
+  EXPECT_EQ(st.message(), "lock wait");
+  EXPECT_EQ(st.ToString(), "TimedOut: lock wait");
+}
+
+TEST(StatusTest, PredicatesMatchOnlyTheirCode) {
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_FALSE(Status::Aborted("x").IsTimedOut());
+  EXPECT_TRUE(Status::Conflict("x").IsConflict());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::Aborted("a"), Status::Aborted("b"));
+  EXPECT_FALSE(Status::Aborted("a") == Status::TimedOut("a"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, OkStatusIntoResultBecomesInternalError) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status Fails() { return Status::Aborted("inner"); }
+
+Status Propagates() {
+  GEOTP_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Propagates().IsAborted());
+}
+
+Result<int> MakeInt(bool ok) {
+  if (ok) return 7;
+  return Status::TimedOut("t");
+}
+
+Status UseAssignOrReturn(bool ok, int* out) {
+  GEOTP_ASSIGN_OR_RETURN(*out, MakeInt(ok));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int v = 0;
+  EXPECT_TRUE(UseAssignOrReturn(true, &v).ok());
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(UseAssignOrReturn(false, &v).IsTimedOut());
+}
+
+}  // namespace
+}  // namespace geotp

@@ -1,0 +1,102 @@
+// Tests for core identifier and time types.
+#include "common/types.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace geotp {
+namespace {
+
+TEST(TimeTest, MsRoundTrip) {
+  EXPECT_EQ(MsToMicros(1.0), 1000);
+  EXPECT_EQ(MsToMicros(0.5), 500);
+  EXPECT_EQ(SecToMicros(2.0), 2000000);
+  EXPECT_DOUBLE_EQ(MicrosToMs(2500), 2.5);
+  EXPECT_DOUBLE_EQ(MicrosToSec(1500000), 1.5);
+}
+
+TEST(TimeTest, FractionalMsPrecision) {
+  EXPECT_EQ(MsToMicros(0.001), 1);
+  EXPECT_EQ(MsToMicros(251.0), 251000);
+}
+
+TEST(TxnIdTest, MakeTxnIdEncodesOrdinal) {
+  const TxnId a = MakeTxnId(0, 1);
+  const TxnId b = MakeTxnId(1, 1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a >> 48, 0u);
+  EXPECT_EQ(b >> 48, 1u);
+}
+
+TEST(TxnIdTest, SequencesNeverCollideAcrossOrdinals) {
+  std::set<TxnId> seen;
+  for (uint32_t ordinal = 0; ordinal < 4; ++ordinal) {
+    for (uint64_t seq = 1; seq < 1000; ++seq) {
+      EXPECT_TRUE(seen.insert(MakeTxnId(ordinal, seq)).second);
+    }
+  }
+}
+
+TEST(XidTest, EqualityAndHash) {
+  const Xid a{5, 2};
+  const Xid b{5, 2};
+  const Xid c{5, 3};
+  const Xid d{6, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  XidHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  std::unordered_set<Xid, XidHash> set;
+  set.insert(a);
+  set.insert(c);
+  set.insert(d);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(XidTest, ToStringIsInformative) {
+  const Xid xid{42, 3};
+  const std::string repr = xid.ToString();
+  EXPECT_NE(repr.find("42"), std::string::npos);
+  EXPECT_NE(repr.find("3"), std::string::npos);
+}
+
+TEST(RecordKeyTest, OrderingIsTableThenKey) {
+  const RecordKey a{1, 100};
+  const RecordKey b{1, 200};
+  const RecordKey c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_FALSE(c < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(RecordKeyTest, HashSpreadsAcrossTables) {
+  RecordKeyHash hash;
+  std::unordered_set<size_t> hashes;
+  for (uint32_t table = 1; table <= 4; ++table) {
+    for (uint64_t key = 0; key < 1000; ++key) {
+      hashes.insert(hash(RecordKey{table, key}));
+    }
+  }
+  // 4000 keys must hash to (nearly) 4000 distinct values.
+  EXPECT_GT(hashes.size(), 3990u);
+}
+
+TEST(RecordKeyTest, HighBitKeysDoNotCollide) {
+  // TPC-C packs warehouse ids into the top 16 bits; the hash must still
+  // spread keys that differ only there.
+  RecordKeyHash hash;
+  std::unordered_set<size_t> hashes;
+  for (uint64_t w = 0; w < 64; ++w) {
+    for (uint64_t item = 0; item < 64; ++item) {
+      hashes.insert(hash(RecordKey{18, (w << 48) | item}));
+    }
+  }
+  EXPECT_EQ(hashes.size(), 64u * 64u);
+}
+
+}  // namespace
+}  // namespace geotp

@@ -1,0 +1,112 @@
+// Tests for the versioned store with write intents (ScalarDB / Yugabyte
+// baselines substrate).
+#include "storage/versioned_store.h"
+
+#include <gtest/gtest.h>
+
+namespace geotp {
+namespace storage {
+namespace {
+
+RecordKey K(uint64_t k) { return RecordKey{1, k}; }
+
+TEST(VersionedStoreTest, MissingKeyReadsAsZeroVersionZero) {
+  VersionedStore store;
+  auto rec = store.Get(K(1));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->value, 0);
+  EXPECT_EQ(rec->version, 0u);
+}
+
+TEST(VersionedStoreTest, LoadTablePopulates) {
+  VersionedStore store;
+  store.LoadTable(1, 10, 5);
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_EQ(store.Get(K(3))->value, 5);
+}
+
+TEST(VersionedStoreTest, CommitPromotesIntent) {
+  VersionedStore store;
+  ASSERT_TRUE(store.PutIntent(K(1), 100, 42).ok());
+  EXPECT_EQ(store.Get(K(1))->value, 0);  // not yet visible
+  store.CommitIntents(100);
+  EXPECT_EQ(store.Get(K(1))->value, 42);
+  EXPECT_EQ(store.Get(K(1))->version, 1u);
+  EXPECT_FALSE(store.HasIntent(K(1), 100));
+}
+
+TEST(VersionedStoreTest, AbortDiscardsIntent) {
+  VersionedStore store;
+  ASSERT_TRUE(store.PutIntent(K(1), 100, 42).ok());
+  store.AbortIntents(100);
+  EXPECT_EQ(store.Get(K(1))->value, 0);
+  EXPECT_EQ(store.Get(K(1))->version, 0u);
+}
+
+TEST(VersionedStoreTest, ForeignIntentConflicts) {
+  VersionedStore store;
+  ASSERT_TRUE(store.PutIntent(K(1), 100, 42).ok());
+  EXPECT_TRUE(store.PutIntent(K(1), 200, 7).IsConflict());
+  // Own intent can be overwritten.
+  EXPECT_TRUE(store.PutIntent(K(1), 100, 43).ok());
+  store.CommitIntents(100);
+  EXPECT_EQ(store.Get(K(1))->value, 43);
+}
+
+TEST(VersionedStoreTest, ValidateVersionDetectsStaleRead) {
+  VersionedStore store;
+  ASSERT_TRUE(store.PutIntent(K(1), 100, 42).ok());
+  store.CommitIntents(100);  // version -> 1
+  // A transaction that read version 0 must fail validation.
+  EXPECT_TRUE(store.ValidateVersion(K(1), 200, 0).IsConflict());
+  EXPECT_TRUE(store.ValidateVersion(K(1), 200, 1).ok());
+  store.AbortIntents(200);
+}
+
+TEST(VersionedStoreTest, ValidateInstallsReadLockIntent) {
+  VersionedStore store;
+  ASSERT_TRUE(store.ValidateVersion(K(1), 100, 0).ok());
+  EXPECT_TRUE(store.HasIntent(K(1), 100));
+  // Another writer now conflicts (read lock held).
+  EXPECT_TRUE(store.PutIntent(K(1), 200, 9).IsConflict());
+  // Committing the validation intent must not clobber the value.
+  store.CommitIntents(100);
+  EXPECT_EQ(store.Get(K(1))->value, 0);
+}
+
+TEST(VersionedStoreTest, ValidateWithForeignIntentConflicts) {
+  VersionedStore store;
+  ASSERT_TRUE(store.PutIntent(K(1), 100, 42).ok());
+  EXPECT_TRUE(store.ValidateVersion(K(1), 200, 0).IsConflict());
+}
+
+TEST(VersionedStoreTest, MultiKeyCommitIsAtomicPerOwner) {
+  VersionedStore store;
+  ASSERT_TRUE(store.PutIntent(K(1), 100, 1).ok());
+  ASSERT_TRUE(store.PutIntent(K(2), 100, 2).ok());
+  ASSERT_TRUE(store.PutIntent(K(3), 200, 3).ok());
+  store.CommitIntents(100);
+  EXPECT_EQ(store.Get(K(1))->value, 1);
+  EXPECT_EQ(store.Get(K(2))->value, 2);
+  EXPECT_EQ(store.Get(K(3))->value, 0);  // other owner untouched
+  EXPECT_TRUE(store.HasIntent(K(3), 200));
+}
+
+TEST(VersionedStoreTest, CommitUnknownOwnerIsNoop) {
+  VersionedStore store;
+  store.CommitIntents(999);
+  store.AbortIntents(999);
+}
+
+TEST(VersionedStoreTest, VersionMonotonicallyIncreases) {
+  VersionedStore store;
+  for (uint64_t v = 1; v <= 5; ++v) {
+    ASSERT_TRUE(store.PutIntent(K(1), v, static_cast<int64_t>(v)).ok());
+    store.CommitIntents(v);
+    EXPECT_EQ(store.Get(K(1))->version, v);
+  }
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace geotp

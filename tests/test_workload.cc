@@ -1,0 +1,254 @@
+// Tests for the YCSB / TPC-C generators and the closed-loop driver.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/driver.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace geotp {
+namespace workload {
+namespace {
+
+YcsbConfig BaseYcsb() {
+  YcsbConfig config;
+  config.data_sources = {10, 11, 12, 13};
+  config.records_per_node = 100000;
+  return config;
+}
+
+TEST(YcsbTest, OpsPerTxnRespected) {
+  YcsbGenerator gen(BaseYcsb());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    TxnSpec spec = gen.Next(rng);
+    size_t total = 0;
+    for (const auto& round : spec.rounds) total += round.size();
+    EXPECT_EQ(total, 5u);
+    EXPECT_EQ(spec.rounds.size(), 1u);
+  }
+}
+
+TEST(YcsbTest, DistributedRatioApproximatelyHolds) {
+  YcsbConfig config = BaseYcsb();
+  config.distributed_ratio = 0.3;
+  YcsbGenerator gen(config);
+  Rng rng(2);
+  int distributed = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next(rng).distributed) ++distributed;
+  }
+  EXPECT_NEAR(distributed / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(YcsbTest, CentralizedTxnsStayOnOneNode) {
+  YcsbConfig config = BaseYcsb();
+  config.distributed_ratio = 0.0;
+  YcsbGenerator gen(config);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    TxnSpec spec = gen.Next(rng);
+    std::set<uint64_t> nodes;
+    for (const auto& op : spec.rounds[0]) {
+      nodes.insert(op.key.key / config.records_per_node);
+    }
+    EXPECT_EQ(nodes.size(), 1u);
+  }
+}
+
+TEST(YcsbTest, DistributedTxnsSpanRequestedNodes) {
+  YcsbConfig config = BaseYcsb();
+  config.distributed_ratio = 1.0;
+  config.nodes_per_distributed_txn = 2;
+  YcsbGenerator gen(config);
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    TxnSpec spec = gen.Next(rng);
+    std::set<uint64_t> nodes;
+    for (const auto& op : spec.rounds[0]) {
+      nodes.insert(op.key.key / config.records_per_node);
+    }
+    EXPECT_EQ(nodes.size(), 2u);
+  }
+}
+
+TEST(YcsbTest, ReadRatioApproximatelyHolds) {
+  YcsbConfig config = BaseYcsb();
+  config.read_ratio = 0.5;
+  YcsbGenerator gen(config);
+  Rng rng(5);
+  int reads = 0, total = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const TxnSpec spec = gen.Next(rng);
+    for (const auto& op : spec.rounds[0]) {
+      reads += op.is_write ? 0 : 1;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(reads / static_cast<double>(total), 0.5, 0.02);
+}
+
+TEST(YcsbTest, SkewConcentratesOnHeadPartition) {
+  YcsbConfig config = BaseYcsb();
+  config.theta = 1.4;
+  config.distributed_ratio = 0.0;
+  YcsbGenerator gen(config);
+  Rng rng(6);
+  std::map<uint64_t, int> node_counts;
+  for (int i = 0; i < 5000; ++i) {
+    TxnSpec spec = gen.Next(rng);
+    node_counts[spec.rounds[0][0].key.key / config.records_per_node]++;
+  }
+  // Hot head partition dominates under heavy skew.
+  EXPECT_GT(node_counts[0], 5000 / 2);
+}
+
+TEST(YcsbTest, MultiRoundSplitsOps) {
+  YcsbConfig config = BaseYcsb();
+  config.rounds = 3;
+  config.ops_per_txn = 6;
+  YcsbGenerator gen(config);
+  Rng rng(7);
+  TxnSpec spec = gen.Next(rng);
+  ASSERT_EQ(spec.rounds.size(), 3u);
+  size_t total = 0;
+  for (const auto& round : spec.rounds) {
+    EXPECT_FALSE(round.empty());
+    total += round.size();
+  }
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(YcsbTest, NoDuplicateKeysWithinTxn) {
+  YcsbConfig config = BaseYcsb();
+  config.theta = 1.5;  // heavy skew maximizes collision pressure
+  YcsbGenerator gen(config);
+  Rng rng(8);
+  int dupes = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    TxnSpec spec = gen.Next(rng);
+    std::set<uint64_t> keys;
+    for (const auto& op : spec.rounds[0]) keys.insert(op.key.key);
+    if (keys.size() != spec.rounds[0].size()) ++dupes;
+    ++total;
+  }
+  // Collisions are re-drawn (best effort); nearly all txns must be clean.
+  EXPECT_LT(dupes, total / 20);
+}
+
+TpccConfig BaseTpcc() {
+  TpccConfig config;
+  config.data_sources = {10, 11};
+  return config;
+}
+
+TEST(TpccTest, MixRoughlyMatchesWeights) {
+  TpccGenerator gen(BaseTpcc());
+  Rng rng(9);
+  std::map<int, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[gen.Next(rng).type_tag]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.45, 0.02);  // NewOrder
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.43, 0.02);  // Payment
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.04, 0.01);
+}
+
+TEST(TpccTest, PureMixOverride) {
+  TpccConfig config = BaseTpcc();
+  config.mix = {0.0, 1.0, 0.0, 0.0, 0.0};  // Payment only
+  TpccGenerator gen(config);
+  Rng rng(10);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(gen.Next(rng).type_tag,
+              static_cast<int>(TpccTxnType::kPayment));
+  }
+}
+
+TEST(TpccTest, PaymentDistributedRatio) {
+  TpccConfig config = BaseTpcc();
+  config.mix = {0.0, 1.0, 0.0, 0.0, 0.0};
+  config.distributed_ratio = 0.4;
+  TpccGenerator gen(config);
+  Rng rng(11);
+  int distributed = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next(rng).distributed) ++distributed;
+  }
+  EXPECT_NEAR(distributed / static_cast<double>(n), 0.4, 0.03);
+}
+
+TEST(TpccTest, WarehouseKeyEncodingRoutesByHighBits) {
+  // Warehouse 17 lives on node 1 with 16 warehouses/node.
+  middleware::Catalog catalog;
+  TpccGenerator gen(BaseTpcc());
+  gen.RegisterTables(&catalog);
+  EXPECT_EQ(catalog.Route(RecordKey{kWarehouse,
+                                    TpccGenerator::WarehouseKey(3)}),
+            10);
+  EXPECT_EQ(catalog.Route(RecordKey{kWarehouse,
+                                    TpccGenerator::WarehouseKey(17)}),
+            11);
+  EXPECT_EQ(catalog.Route(RecordKey{kStock,
+                                    TpccGenerator::StockKey(17, 555)}),
+            11);
+}
+
+TEST(TpccTest, NewOrderShapesAreSane) {
+  TpccConfig config = BaseTpcc();
+  config.mix = {1.0, 0.0, 0.0, 0.0, 0.0};
+  TpccGenerator gen(config);
+  Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    TxnSpec spec = gen.Next(rng);
+    ASSERT_EQ(spec.rounds.size(), 1u);
+    // warehouse read + district write + customer read + per-line item
+    // read/stock write + inserts.
+    EXPECT_GE(spec.rounds[0].size(), 3u + 5 * 2 + 2 + 5);
+    // Exactly one district D_NEXT_O_ID write.
+    int district_writes = 0;
+    for (const auto& op : spec.rounds[0]) {
+      if (op.key.table == kDistrict && op.is_write) ++district_writes;
+    }
+    EXPECT_EQ(district_writes, 1);
+  }
+}
+
+TEST(TpccTest, DistributedNewOrderTouchesRemoteStock) {
+  TpccConfig config = BaseTpcc();
+  config.mix = {1.0, 0.0, 0.0, 0.0, 0.0};
+  config.distributed_ratio = 1.0;
+  TpccGenerator gen(config);
+  middleware::Catalog catalog;
+  gen.RegisterTables(&catalog);
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    TxnSpec spec = gen.Next(rng);
+    std::set<NodeId> nodes;
+    for (const auto& op : spec.rounds[0]) nodes.insert(catalog.Route(op.key));
+    EXPECT_EQ(nodes.size(), 2u) << "NewOrder " << i;
+  }
+}
+
+TEST(TpccTest, FreshKeysNeverRepeat) {
+  TpccConfig config = BaseTpcc();
+  config.mix = {1.0, 0.0, 0.0, 0.0, 0.0};
+  TpccGenerator gen(config);
+  Rng rng(14);
+  std::set<uint64_t> order_keys;
+  for (int i = 0; i < 300; ++i) {
+    const TxnSpec spec = gen.Next(rng);
+    for (const auto& op : spec.rounds[0]) {
+      if (op.key.table == kOrders) {
+        EXPECT_TRUE(order_keys.insert(op.key.key).second);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace geotp
