@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Builds the project and runs one bench binary, capturing its output as
+# JSON under bench/out/. Default is the fastest end-to-end scenario bench
+# (fig15: multi-region + the replication leader-failover scenario).
+#
+# Usage: scripts/run_bench.sh [bench_target]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BENCH="${1:-bench_fig15_multi_region}"
+OUT_DIR="${REPO_ROOT}/bench/out"
+BUILD_DIR="${REPO_ROOT}/build"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+cmake --build "${BUILD_DIR}" -j --target "${BENCH}"
+
+mkdir -p "${OUT_DIR}"
+START=$(date +%s)
+STATUS=0
+RAW_OUT="$("${BUILD_DIR}/${BENCH}")" || STATUS=$?
+END=$(date +%s)
+
+OUT_FILE="${OUT_DIR}/${BENCH}.json" \
+BENCH_NAME="${BENCH}" \
+DURATION=$((END - START)) \
+STATUS="${STATUS}" \
+RAW_OUT="${RAW_OUT}" \
+python3 - <<'EOF'
+import json
+import os
+
+lines = [l for l in os.environ["RAW_OUT"].splitlines() if l.strip()]
+doc = {
+    "bench": os.environ["BENCH_NAME"],
+    "exit_code": int(os.environ["STATUS"]),
+    "duration_seconds": int(os.environ["DURATION"]),
+    "output": lines,
+}
+path = os.environ["OUT_FILE"]
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {path}")
+EOF
+
+echo "${RAW_OUT}"

@@ -30,15 +30,57 @@ void DataSourceNode::Attach() {
   network_->RegisterNode(id_, [this](std::unique_ptr<sim::MessageBase> msg) {
     HandleMessage(std::move(msg));
   });
+  if (replicator_ != nullptr) replicator_->Start();
+}
+
+void DataSourceNode::EnableReplication(
+    const replication::GroupConfig& group) {
+  replicator_ = std::make_unique<replication::Replicator>(this, group);
+}
+
+void DataSourceNode::AfterLocalPrepare(const Xid& xid, NodeId coordinator,
+                                       std::function<void()> deliver_vote) {
+  if (replicator_ != nullptr && replicator_->IsLeader()) {
+    std::vector<protocol::ReplWrite> writes;
+    for (const auto& [key, value] : engine_.WriteSetOf(xid)) {
+      writes.push_back(protocol::ReplWrite{key, value});
+    }
+    replicator_->ReplicatePrepare(xid, std::move(writes), coordinator,
+                                  std::move(deliver_vote));
+    return;
+  }
+  deliver_vote();
+}
+
+void DataSourceNode::NoteLocalRollback(TxnId txn) {
+  if (replicator_ != nullptr) replicator_->ReplicateAbortIfPrepared(txn);
+}
+
+bool DataSourceNode::RedirectIfNotLeader(NodeId requester) {
+  if (replicator_ == nullptr || replicator_->IsLeader()) return false;
+  auto redirect = std::make_unique<protocol::NotLeaderResponse>();
+  redirect->from = id_;
+  redirect->to = requester;
+  redirect->group = replicator_->group_id();
+  redirect->epoch = replicator_->epoch();
+  redirect->leader_hint = replicator_->leader_hint();
+  network_->Send(std::move(redirect));
+  return true;
 }
 
 void DataSourceNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
   if (crashed_) return;
+  if (replicator_ != nullptr && replicator_->HandleMessage(msg.get())) {
+    return;
+  }
   if (auto* exec = dynamic_cast<BranchExecuteRequest*>(msg.get())) {
+    if (RedirectIfNotLeader(exec->from)) return;
     OnExecute(*exec);
   } else if (auto* prep = dynamic_cast<PrepareRequest*>(msg.get())) {
+    if (RedirectIfNotLeader(prep->from)) return;
     OnPrepare(*prep);
   } else if (auto* decision = dynamic_cast<DecisionRequest*>(msg.get())) {
+    if (RedirectIfNotLeader(decision->from)) return;
     OnDecision(*decision);
   } else if (auto* peer = dynamic_cast<PeerAbortRequest*>(msg.get())) {
     agent_->OnPeerAbort(*peer);
@@ -203,17 +245,27 @@ void DataSourceNode::OnPrepare(const PrepareRequest& req) {
                                                        coordinator]() {
     if (crashed_) return;
     Status st = engine_.Prepare(xid, loop()->Now());
+    if (st.ok()) {
+      // Vote only after the prepare record is quorum-durable on the
+      // replica group (no-op without replication).
+      AfterLocalPrepare(xid, coordinator, [this, xid, coordinator]() {
+        if (crashed_) return;
+        auto vote = std::make_unique<VoteMessage>();
+        vote->from = id_;
+        vote->to = coordinator;
+        vote->xid = xid;
+        vote->vote = Vote::kPrepared;
+        network_->Send(std::move(vote));
+      });
+      return;
+    }
     auto vote = std::make_unique<VoteMessage>();
     vote->from = id_;
     vote->to = coordinator;
     vote->xid = xid;
-    if (st.ok()) {
-      vote->vote = Vote::kPrepared;
-    } else {
-      vote->vote = Vote::kFailure;
-      (void)engine_.Rollback(xid, loop()->Now());
-      branches_.erase(xid.txn_id);
-    }
+    vote->vote = Vote::kFailure;
+    (void)engine_.Rollback(xid, loop()->Now());
+    branches_.erase(xid.txn_id);
     network_->Send(std::move(vote));
   });
 }
@@ -224,24 +276,75 @@ void DataSourceNode::OnDecision(const DecisionRequest& req) {
   const NodeId coordinator = req.from;
   if (req.commit) {
     const bool one_phase = req.one_phase;
+    // Decision retry after a failover: if the commit entry already exists
+    // and the branch is gone (committed via log apply), just confirm once
+    // the entry is quorum-durable.
+    if (replicator_ != nullptr && replicator_->IsLeader()) {
+      const auto index = replicator_->CommitEntryIndex(xid.txn_id);
+      const storage::TxnState state = engine_.StateOf(xid);
+      if (index.has_value() && state != storage::TxnState::kActive &&
+          state != storage::TxnState::kPrepared) {
+        replicator_->AwaitQuorum(
+            *index, [this, xid, coordinator, one_phase]() {
+              if (crashed_) return;
+              auto ack = std::make_unique<DecisionAck>();
+              ack->from = id_;
+              ack->to = coordinator;
+              ack->xid = xid;
+              ack->committed = true;
+              ack->one_phase = one_phase;
+              ack->status = Status::OK();
+              network_->Send(std::move(ack));
+            });
+        return;
+      }
+    }
     loop()->Schedule(
         config_.engine.commit_fsync_cost,
         [this, xid, coordinator, one_phase]() {
           if (crashed_) return;
-          Status st = engine_.Commit(xid, loop()->Now());
-          if (st.ok()) stats_.commits++;
-          branches_.erase(xid.txn_id);
-          auto ack = std::make_unique<DecisionAck>();
-          ack->from = id_;
-          ack->to = coordinator;
-          ack->xid = xid;
-          ack->committed = st.ok();
-          ack->one_phase = one_phase;
-          ack->status = std::move(st);
-          network_->Send(std::move(ack));
+          auto finish = [this, xid, coordinator, one_phase]() {
+            if (crashed_) return;
+            Status st = engine_.Commit(xid, loop()->Now());
+            if (!st.ok() && replicator_ != nullptr &&
+                replicator_->CommitEntryIndex(xid.txn_id).has_value()) {
+              // The branch already committed through the replicated log
+              // (apply callback raced a duplicate decision): success.
+              st = Status::OK();
+            }
+            if (st.ok()) stats_.commits++;
+            branches_.erase(xid.txn_id);
+            auto ack = std::make_unique<DecisionAck>();
+            ack->from = id_;
+            ack->to = coordinator;
+            ack->xid = xid;
+            ack->committed = st.ok();
+            ack->one_phase = one_phase;
+            ack->status = std::move(st);
+            network_->Send(std::move(ack));
+          };
+          const storage::TxnState state = engine_.StateOf(xid);
+          const bool committable =
+              (state == storage::TxnState::kActive ||
+               state == storage::TxnState::kPrepared) &&
+              !engine_.HasPendingOp(xid);
+          if (replicator_ != nullptr && replicator_->IsLeader() &&
+              committable) {
+            // Quorum-replicate the commit (with its write set) before the
+            // local commit becomes durable and is acknowledged.
+            std::vector<protocol::ReplWrite> writes;
+            for (const auto& [key, value] : engine_.WriteSetOf(xid)) {
+              writes.push_back(protocol::ReplWrite{key, value});
+            }
+            replicator_->ReplicateCommit(xid, std::move(writes),
+                                         std::move(finish));
+          } else {
+            finish();
+          }
         });
   } else {
     (void)engine_.Rollback(xid, loop()->Now());
+    NoteLocalRollback(xid.txn_id);
     stats_.rollbacks++;
     branches_.erase(xid.txn_id);
     auto ack = std::make_unique<DecisionAck>();
@@ -267,13 +370,13 @@ void DataSourceNode::OnCoordinatorFailure(NodeId middleware) {
   std::vector<TxnId> to_abort;
   for (const auto& [txn, info] : branches_) {
     if (info.coordinator != middleware) continue;
-    const Xid xid{txn, id_};
+    const Xid xid{txn, logical_id()};
     if (engine_.StateOf(xid) == storage::TxnState::kActive) {
       to_abort.push_back(txn);
     }
   }
   for (TxnId txn : to_abort) {
-    (void)engine_.Rollback(Xid{txn, id_}, loop()->Now());
+    (void)engine_.Rollback(Xid{txn, logical_id()}, loop()->Now());
     stats_.rollbacks++;
     branches_.erase(txn);
   }
@@ -286,11 +389,15 @@ void DataSourceNode::Crash() {
   // phase (paper §V-A common setting ❷).
   engine_.Crash(loop()->Now());
   branches_.clear();
+  if (replicator_ != nullptr) replicator_->OnCrash();
 }
 
 void DataSourceNode::Restart() {
   crashed_ = false;
   network_->Restore(id_);
+  // A restarted replica rejoins as a follower; any leadership it held was
+  // superseded by the election its crash triggered.
+  if (replicator_ != nullptr) replicator_->OnRestart();
 }
 
 }  // namespace datasource

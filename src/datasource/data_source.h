@@ -14,6 +14,7 @@
 #ifndef GEOTP_DATASOURCE_DATA_SOURCE_H_
 #define GEOTP_DATASOURCE_DATA_SOURCE_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -23,6 +24,7 @@
 #include "common/types.h"
 #include "datasource/geo_agent.h"
 #include "protocol/messages.h"
+#include "replication/replicator.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
 #include "sql/rewriter.h"
@@ -74,7 +76,19 @@ class DataSourceNode {
   /// Registers the node's message handler with the network.
   void Attach();
 
+  /// Makes this node a member of a replica group (call before Attach()).
+  /// The member whose id equals `group.logical` starts as leader; the
+  /// others follow. Durability (prepare votes, commit acks) is then gated
+  /// on quorum replication.
+  void EnableReplication(const replication::GroupConfig& group);
+  replication::Replicator* replicator() { return replicator_.get(); }
+
   NodeId id() const { return id_; }
+  /// The id branches are addressed by: the replica group's logical id when
+  /// replicated (stable across failovers), else this node's id.
+  NodeId logical_id() const {
+    return replicator_ != nullptr ? replicator_->group_id() : id_;
+  }
   const DataSourceConfig& config() const { return config_; }
   storage::TransactionEngine& engine() { return engine_; }
   GeoAgent& agent() { return *agent_; }
@@ -118,6 +132,18 @@ class DataSourceNode {
     bool finished = false;
   };
 
+  friend class replication::Replicator;
+
+  /// Reports prepare durability: with replication, the vote is delivered
+  /// once the prepare entry reaches a quorum; without, immediately.
+  void AfterLocalPrepare(const Xid& xid, NodeId coordinator,
+                         std::function<void()> deliver_vote);
+  /// Appends an abort entry if the branch had a replicated prepare entry
+  /// (followers must unstage it). No-op otherwise.
+  void NoteLocalRollback(TxnId txn);
+  /// True if this replica must redirect coordinator traffic to the leader.
+  bool RedirectIfNotLeader(NodeId requester);
+
   void HandleMessage(std::unique_ptr<sim::MessageBase> msg);
   void OnExecute(const protocol::BranchExecuteRequest& req);
   void RunNextOp(const std::shared_ptr<ExecState>& state);
@@ -136,6 +162,7 @@ class DataSourceNode {
   DataSourceConfig config_;
   storage::TransactionEngine engine_;
   std::unique_ptr<GeoAgent> agent_;
+  std::unique_ptr<replication::Replicator> replicator_;
   DataSourceStats stats_;
   bool crashed_ = false;
 

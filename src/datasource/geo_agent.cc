@@ -45,8 +45,17 @@ void GeoAgent::AsyncPrepare(const Xid& xid, const std::vector<NodeId>& peers,
     Status st = node->engine().Prepare(xid, node->loop()->Now());
     if (st.ok()) {
       node->stats_.decentralized_prepares++;
-      vote->vote = Vote::kPrepared;
-      node->network()->Send(std::move(vote));
+      // With replication, the PREPARED vote waits until the prepare entry
+      // (and its write set) is durable on a quorum of the replica group.
+      node->AfterLocalPrepare(xid, coordinator, [node, xid, coordinator]() {
+        if (node->crashed()) return;
+        auto gated_vote = std::make_unique<VoteMessage>();
+        gated_vote->from = node->id();
+        gated_vote->to = coordinator;
+        gated_vote->xid = xid;
+        gated_vote->vote = Vote::kPrepared;
+        node->network()->Send(std::move(gated_vote));
+      });
     } else {
       vote->vote = Vote::kFailure;
       node->network()->Send(std::move(vote));
@@ -60,6 +69,7 @@ void GeoAgent::AsyncRollback(const Xid& xid, const std::vector<NodeId>& peers,
   DataSourceNode* node = node_;
   Tombstone(xid.txn_id);
   (void)node->engine().Rollback(xid, node->loop()->Now());
+  node->NoteLocalRollback(xid.txn_id);
   if (node->config().early_abort) {
     for (NodeId peer : peers) {
       if (peer == node->id()) continue;
@@ -97,7 +107,7 @@ void GeoAgent::OnPeerAbort(const PeerAbortRequest& req) {
     return;
   }
   const NodeId coordinator = it->second.coordinator;
-  const Xid local_xid{req.txn_id, node->id()};
+  const Xid local_xid{req.txn_id, node->logical_id()};
   node->branches_.erase(it);
   // Rolling back cancels any pending lock request; the in-flight exec
   // state (if any) observes kAborted and reports failure to the DM, which
@@ -106,6 +116,7 @@ void GeoAgent::OnPeerAbort(const PeerAbortRequest& req) {
   // a ROLLBACKED vote.
   const bool had_pending = node->engine().HasPendingOp(local_xid);
   (void)node->engine().Rollback(local_xid, node->loop()->Now());
+  node->NoteLocalRollback(local_xid.txn_id);
   node->stats_.rollbacks++;
   if (!had_pending && coordinator != kInvalidNode) {
     auto vote = std::make_unique<VoteMessage>();

@@ -53,5 +53,57 @@ NodeId Catalog::Route(const RecordKey& key) const {
 
 std::vector<NodeId> Catalog::AllDataSources() const { return all_nodes_; }
 
+void Catalog::SetReplicaGroup(NodeId logical, std::vector<NodeId> replicas) {
+  GEOTP_CHECK(std::find(replicas.begin(), replicas.end(), logical) !=
+                  replicas.end(),
+              "replica group must contain its logical node " << logical);
+  ReplicaGroupInfo info;
+  info.replicas = replicas;
+  info.leader = logical;
+  info.epoch = 0;
+  for (NodeId replica : replicas) {
+    physical_to_logical_[replica] = logical;
+  }
+  groups_[logical] = std::move(info);
+}
+
+NodeId Catalog::LeaderOf(NodeId logical) const {
+  auto it = groups_.find(logical);
+  return it == groups_.end() ? logical : it->second.leader;
+}
+
+uint64_t Catalog::EpochOf(NodeId logical) const {
+  auto it = groups_.find(logical);
+  return it == groups_.end() ? 0 : it->second.epoch;
+}
+
+std::vector<NodeId> Catalog::FollowersOf(NodeId logical) const {
+  std::vector<NodeId> followers;
+  auto it = groups_.find(logical);
+  if (it == groups_.end()) return followers;
+  for (NodeId replica : it->second.replicas) {
+    if (replica != it->second.leader) followers.push_back(replica);
+  }
+  return followers;
+}
+
+NodeId Catalog::LogicalOf(NodeId physical) const {
+  auto it = physical_to_logical_.find(physical);
+  return it == physical_to_logical_.end() ? physical : it->second;
+}
+
+bool Catalog::UpdateLeader(NodeId logical, NodeId leader, uint64_t epoch) {
+  auto it = groups_.find(logical);
+  if (it == groups_.end() || leader == kInvalidNode) return false;
+  ReplicaGroupInfo& info = it->second;
+  if (epoch < info.epoch ||
+      (epoch == info.epoch && leader == info.leader)) {
+    return false;
+  }
+  info.epoch = epoch;
+  info.leader = leader;
+  return true;
+}
+
 }  // namespace middleware
 }  // namespace geotp

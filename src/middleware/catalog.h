@@ -36,18 +36,54 @@ class Catalog {
   /// Fully custom routing.
   void AddCustomTable(uint32_t table, RouteFn route);
 
-  /// Routes a key to its data source. Aborts on unknown tables
-  /// (programmer error: the workload must register its tables).
+  /// Routes a key to its *logical* data source (stable across failovers).
+  /// Aborts on unknown tables (programmer error: the workload must
+  /// register its tables).
   NodeId Route(const RecordKey& key) const;
 
-  /// All data sources any registered table can route to.
+  /// All logical data sources any registered table can route to.
   std::vector<NodeId> AllDataSources() const;
 
   bool HasTable(uint32_t table) const { return routes_.count(table) > 0; }
 
+  // ----- replica groups (src/replication) ---------------------------------
+
+  /// Declares that logical source `logical` is served by a replica group.
+  /// `replicas` includes the seed leader (== `logical`) and the followers.
+  void SetReplicaGroup(NodeId logical, std::vector<NodeId> replicas);
+
+  bool HasReplicaGroup(NodeId logical) const {
+    return groups_.count(logical) > 0;
+  }
+
+  /// Physical node currently leading `logical` (identity without a group).
+  NodeId LeaderOf(NodeId logical) const;
+
+  /// Leadership epoch known for `logical` (0 without a group / initially).
+  uint64_t EpochOf(NodeId logical) const;
+
+  /// Group members other than the current leader (empty without a group).
+  std::vector<NodeId> FollowersOf(NodeId logical) const;
+
+  /// Maps a physical replica id back to its logical source (identity for
+  /// non-replicated nodes).
+  NodeId LogicalOf(NodeId physical) const;
+
+  /// Adopts a newer leadership epoch. Returns true if routing changed;
+  /// stale or duplicate announcements are ignored.
+  bool UpdateLeader(NodeId logical, NodeId leader, uint64_t epoch);
+
  private:
+  struct ReplicaGroupInfo {
+    std::vector<NodeId> replicas;
+    NodeId leader = kInvalidNode;
+    uint64_t epoch = 0;
+  };
+
   std::unordered_map<uint32_t, RouteFn> routes_;
   std::vector<NodeId> all_nodes_;
+  std::unordered_map<NodeId, ReplicaGroupInfo> groups_;
+  std::unordered_map<NodeId, NodeId> physical_to_logical_;
 };
 
 }  // namespace middleware

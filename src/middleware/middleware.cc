@@ -18,6 +18,10 @@ using protocol::ClientRoundResponse;
 using protocol::ClientTxnResult;
 using protocol::DecisionAck;
 using protocol::DecisionRequest;
+using protocol::FollowerReadRequest;
+using protocol::FollowerReadResponse;
+using protocol::LeaderAnnounce;
+using protocol::NotLeaderResponse;
 using protocol::PingResponse;
 using protocol::PrepareRequest;
 using protocol::Vote;
@@ -136,6 +140,12 @@ void MiddlewareNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
     OnClientFinish(*finish);
   } else if (auto* ack = dynamic_cast<DecisionAck*>(msg.get())) {
     OnDecisionAck(*ack);
+  } else if (auto* read = dynamic_cast<FollowerReadResponse*>(msg.get())) {
+    OnFollowerReadResponse(*read);
+  } else if (auto* announce = dynamic_cast<LeaderAnnounce*>(msg.get())) {
+    OnLeaderAnnounce(*announce);
+  } else if (auto* redirect = dynamic_cast<NotLeaderResponse*>(msg.get())) {
+    OnNotLeader(*redirect);
   } else if (auto* pong = dynamic_cast<PingResponse*>(msg.get())) {
     monitor_->OnPong(*pong);
   } else {
@@ -235,7 +245,7 @@ void MiddlewareNode::PlanAndDispatchRound(TxnId id) {
       if (p.begun && groups.count(node) == 0) {
         auto prep = std::make_unique<PrepareRequest>();
         prep->from = id_;
-        prep->to = node;
+        prep->to = catalog_.LeaderOf(node);
         prep->xid = Xid{txn->id, node};
         network_->Send(std::move(prep));
         stats_.prepare_requests_sent++;
@@ -256,10 +266,17 @@ void MiddlewareNode::PlanAndDispatchRound(TxnId id) {
     p.exec_outstanding = true;
     p.round_keys.clear();
     p.op_slots.clear();
+    bool all_reads = true;
     for (const auto& [op, slot] : batch) {
       p.round_keys.push_back(op.key);
       p.op_slots.push_back(slot);
+      if (op.is_write) all_reads = false;
     }
+    // Final-round all-read batches may be served by a replication
+    // follower (stale-bounded); everything else runs at the leader.
+    p.via_follower = config_.follower_reads && txn->last_round &&
+                     !p.begun && all_reads &&
+                     catalog_.HasReplicaGroup(node);
 
     const Micros postpone = decision.plans[plan_idx++].postpone;
     const NodeId target = node;
@@ -268,41 +285,123 @@ void MiddlewareNode::PlanAndDispatchRound(TxnId id) {
     for (const auto& [op, slot] : batch) batch_ops.push_back(op);
 
     loop()->Schedule(postpone, [this, id, target, round_seq,
-                                ops = std::move(batch_ops)]() {
+                                ops = std::move(batch_ops)]() mutable {
       Txn* txn = FindTxn(id);
       if (txn == nullptr || txn->aborting) return;
       Participant& p = txn->participants[target];
-      auto req = std::make_unique<BranchExecuteRequest>();
-      req->from = id_;
-      req->to = target;
-      req->xid = Xid{id, target};
-      req->round_seq = round_seq;
-      req->begin_branch = !p.begun;
-      req->ops = ops;
-      req->last_statement =
-          txn->last_round &&
-          config_.commit_protocol == CommitProtocol::kDecentralized;
-      req->peers = ParticipantIds(*txn);
-      // peers excludes the target itself.
-      req->peers.erase(
-          std::remove(req->peers.begin(), req->peers.end(), target),
-          req->peers.end());
-      req->coordinator = id_;
-      p.begun = true;
-      // Charge the hotspot footprint at actual dispatch (a_cnt++); the
-      // matching release happens in OnExecResponse or FinishTxn.
-      footprint_->OnDispatch(p.round_keys);
-      p.footprint_charged = true;
-      network_->Send(std::move(req));
+      if (p.via_follower) {
+        p.last_batch = ops;
+        if (TryFollowerRead(*txn, target, ops, round_seq)) return;
+        p.via_follower = false;  // no usable follower
+      }
+      SendBranchBatch(*txn, target, std::move(ops), round_seq);
     });
   }
   txn->round_seq++;
 }
 
+void MiddlewareNode::SendBranchBatch(Txn& txn, NodeId logical,
+                                     std::vector<ClientOp> ops,
+                                     uint64_t round_seq) {
+  Participant& p = txn.participants[logical];
+  p.exec_outstanding = true;
+  p.via_follower = false;
+  if (!p.begun) p.begun_round = round_seq;
+  auto req = std::make_unique<BranchExecuteRequest>();
+  req->from = id_;
+  req->to = catalog_.LeaderOf(logical);
+  req->xid = Xid{txn.id, logical};
+  req->round_seq = round_seq;
+  req->begin_branch = !p.begun;
+  req->last_statement =
+      txn.last_round &&
+      config_.commit_protocol == CommitProtocol::kDecentralized;
+  // Peers (for early abort) are the other branch-executing participants,
+  // addressed at their current leaders.
+  for (const auto& [node, q] : txn.participants) {
+    if (node == logical || q.via_follower) continue;
+    req->peers.push_back(catalog_.LeaderOf(node));
+  }
+  req->coordinator = id_;
+  p.begun = true;
+  p.last_batch = ops;
+  req->ops = std::move(ops);
+  // Charge the hotspot footprint at actual dispatch (a_cnt++); the
+  // matching release happens in OnExecResponse or FinishTxn. A failover
+  // retry keeps the original charge.
+  if (!p.footprint_charged) {
+    footprint_->OnDispatch(p.round_keys);
+    p.footprint_charged = true;
+  }
+  network_->Send(std::move(req));
+}
+
+bool MiddlewareNode::TryFollowerRead(Txn& txn, NodeId logical,
+                                     const std::vector<ClientOp>& ops,
+                                     uint64_t round_seq) {
+  const std::vector<NodeId> followers = catalog_.FollowersOf(logical);
+  if (followers.empty()) return false;
+  const NodeId target = followers[txn.id % followers.size()];
+  auto req = std::make_unique<FollowerReadRequest>();
+  req->from = id_;
+  req->to = target;
+  req->group = logical;
+  req->txn_id = txn.id;
+  req->round_seq = round_seq;
+  for (const ClientOp& op : ops) req->keys.push_back(op.key);
+  req->max_staleness = config_.follower_read_stale_bound;
+  network_->Send(std::move(req));
+  // A crashed follower never answers: fall back to the leader.
+  const TxnId id = txn.id;
+  loop()->Schedule(config_.follower_read_timeout, [this, id, logical,
+                                                   round_seq]() {
+    Txn* t = FindTxn(id);
+    if (t == nullptr || t->aborting || t->round_seq != round_seq + 1) return;
+    auto it = t->participants.find(logical);
+    if (it == t->participants.end()) return;
+    Participant& p = it->second;
+    if (!p.via_follower || !p.exec_outstanding) return;
+    stats_.follower_read_fallbacks++;
+    FallBackToLeader(*t, logical);
+  });
+  return true;
+}
+
+void MiddlewareNode::FallBackToLeader(Txn& txn, NodeId logical) {
+  Participant& p = txn.participants[logical];
+  p.via_follower = false;
+  std::vector<ClientOp> ops = p.last_batch;
+  SendBranchBatch(txn, logical, std::move(ops), txn.round_seq - 1);
+}
+
+void MiddlewareNode::OnFollowerReadResponse(const FollowerReadResponse& resp) {
+  Txn* txn = FindTxn(resp.txn_id);
+  if (txn == nullptr || txn->aborting) return;
+  auto it = txn->participants.find(resp.group);
+  if (it == txn->participants.end()) return;
+  Participant& p = it->second;
+  if (!p.via_follower || !p.exec_outstanding) return;  // fell back already
+  if (resp.round_seq + 1 != txn->round_seq) return;    // stale round
+  if (!resp.ok) {
+    // Staleness bound exceeded at the follower: run at the leader.
+    stats_.follower_read_fallbacks++;
+    FallBackToLeader(*txn, resp.group);
+    return;
+  }
+  stats_.follower_reads++;
+  p.exec_outstanding = false;
+  p.via_follower = false;
+  for (size_t i = 0; i < p.op_slots.size() && i < resp.values.size(); ++i) {
+    txn->round_values[p.op_slots[i]] = resp.values[i];
+  }
+  if (txn->round_outstanding > 0) txn->round_outstanding--;
+  MaybeCompleteRound(*txn);
+}
+
 void MiddlewareNode::OnExecResponse(const BranchExecuteResponse& resp) {
   Txn* txn = FindTxn(resp.xid.txn_id);
   if (txn == nullptr) return;  // late response after the txn settled
-  auto it = txn->participants.find(resp.from);
+  auto it = txn->participants.find(catalog_.LogicalOf(resp.from));
   if (it == txn->participants.end()) return;
   Participant& p = it->second;
   if (!p.exec_outstanding) return;  // duplicate/stale
@@ -384,7 +483,7 @@ void MiddlewareNode::StartCommit(Txn& txn) {
         if (!p.begun) continue;
         auto prep = std::make_unique<PrepareRequest>();
         prep->from = id_;
-        prep->to = node;
+        prep->to = catalog_.LeaderOf(node);
         prep->xid = Xid{txn.id, node};
         network_->Send(std::move(prep));
         stats_.prepare_requests_sent++;
@@ -403,8 +502,13 @@ void MiddlewareNode::StartCommit(Txn& txn) {
 
 void MiddlewareNode::OnVote(const VoteMessage& vote) {
   Txn* txn = FindTxn(vote.xid.txn_id);
-  if (txn == nullptr) return;
-  auto it = txn->participants.find(vote.from);
+  if (txn == nullptr) {
+    // A promoted leader re-voted a prepared branch of a transaction we no
+    // longer track: resolve it from the decision log (presumed abort).
+    if (vote.vote == Vote::kPrepared) ResolveOrphanVote(vote);
+    return;
+  }
+  auto it = txn->participants.find(catalog_.LogicalOf(vote.from));
   if (it == txn->participants.end()) return;
   Participant& p = it->second;
   p.has_vote = true;
@@ -471,6 +575,7 @@ void MiddlewareNode::FlushLogAndDispatch(Txn& txn, bool commit) {
 
 void MiddlewareNode::DispatchDecision(Txn& txn, bool commit, bool one_phase) {
   txn.phase = commit ? Phase::kCommitDispatched : Phase::kAborting;
+  txn.decision_one_phase = one_phase;
   txn.ts_decision = loop()->Now();
   size_t sent = 0;
   for (auto& [node, p] : txn.participants) {
@@ -478,7 +583,7 @@ void MiddlewareNode::DispatchDecision(Txn& txn, bool commit, bool one_phase) {
     if (!commit && p.rollback_confirmed) continue;  // already rolled back
     auto decision = std::make_unique<DecisionRequest>();
     decision->from = id_;
-    decision->to = node;
+    decision->to = catalog_.LeaderOf(node);
     decision->xid = Xid{txn.id, node};
     decision->commit = commit;
     decision->one_phase = one_phase;
@@ -496,7 +601,7 @@ void MiddlewareNode::DispatchDecision(Txn& txn, bool commit, bool one_phase) {
 void MiddlewareNode::OnDecisionAck(const DecisionAck& ack) {
   Txn* txn = FindTxn(ack.xid.txn_id);
   if (txn == nullptr) return;
-  auto it = txn->participants.find(ack.from);
+  auto it = txn->participants.find(catalog_.LogicalOf(ack.from));
   if (it == txn->participants.end()) return;
   Participant& p = it->second;
   if (txn->phase == Phase::kCommitDispatched) {
@@ -594,6 +699,125 @@ void MiddlewareNode::FinishTxn(Txn& txn, bool committed) {
   result->status = committed ? Status::OK() : txn.abort_status;
   network_->Send(std::move(result));
   txns_.erase(txn.id);
+}
+
+// ---------------------------------------------------------------------------
+// Replication failover (src/replication)
+// ---------------------------------------------------------------------------
+
+void MiddlewareNode::OnLeaderAnnounce(const LeaderAnnounce& announce) {
+  if (catalog_.UpdateLeader(announce.group, announce.leader,
+                            announce.epoch)) {
+    HandleFailover(announce.group);
+  }
+}
+
+void MiddlewareNode::OnNotLeader(const NotLeaderResponse& redirect) {
+  if (catalog_.UpdateLeader(redirect.group, redirect.leader_hint,
+                            redirect.epoch)) {
+    HandleFailover(redirect.group);
+  }
+}
+
+void MiddlewareNode::HandleFailover(NodeId logical) {
+  stats_.failovers_observed++;
+  std::vector<TxnId> to_abort;
+  for (auto& [txn_id, txn] : txns_) {
+    auto it = txn.participants.find(logical);
+    if (it == txn.participants.end()) continue;
+    Participant& p = it->second;
+    switch (txn.phase) {
+      case Phase::kExecuting: {
+        if (!p.exec_outstanding) break;  // idle between rounds
+        if (p.via_follower) break;       // follower-read timeout handles it
+        if (p.begun && p.begun_round + 1 == txn.round_seq) {
+          // The branch began in the round now in flight: its state died
+          // un-replicated with the old leader, so replaying the whole
+          // batch on the new leader is exact.
+          stats_.branch_retries++;
+          p.begun = false;
+          p.has_vote = false;
+          std::vector<ClientOp> ops = p.last_batch;
+          SendBranchBatch(txn, logical, std::move(ops), txn.round_seq - 1);
+        } else {
+          // Effects of earlier rounds were lost with the old leader; the
+          // batch cannot be replayed in isolation.
+          to_abort.push_back(txn_id);
+        }
+        break;
+      }
+      case Phase::kWaitCommitVotes: {
+        if (!p.begun || p.has_vote) break;
+        // If the prepare reached a quorum the promoted leader re-votes it;
+        // otherwise it died with the old leader — presume abort after a
+        // grace period.
+        const TxnId waiting = txn_id;
+        loop()->Schedule(config_.failover_vote_grace,
+                         [this, waiting, logical]() {
+                           Txn* t = FindTxn(waiting);
+                           if (t == nullptr || t->aborting ||
+                               t->phase != Phase::kWaitCommitVotes) {
+                             return;
+                           }
+                           auto pit = t->participants.find(logical);
+                           if (pit == t->participants.end() ||
+                               pit->second.has_vote) {
+                             return;
+                           }
+                           StartAbort(*t, Status::Unavailable(
+                                              "prepare lost in failover"));
+                         });
+        break;
+      }
+      case Phase::kCommitDispatched: {
+        if (!p.begun || p.decision_acked) break;
+        // Re-send the undecided commit; the new leader resolves it
+        // idempotently against its replicated log.
+        auto decision = std::make_unique<DecisionRequest>();
+        decision->from = id_;
+        decision->to = catalog_.LeaderOf(logical);
+        decision->xid = Xid{txn.id, logical};
+        decision->commit = true;
+        decision->one_phase = txn.decision_one_phase;
+        network_->Send(std::move(decision));
+        stats_.decisions_sent++;
+        break;
+      }
+      case Phase::kAborting: {
+        if (!p.begun || p.rollback_confirmed) break;
+        auto decision = std::make_unique<DecisionRequest>();
+        decision->from = id_;
+        decision->to = catalog_.LeaderOf(logical);
+        decision->xid = Xid{txn.id, logical};
+        decision->commit = false;
+        network_->Send(std::move(decision));
+        stats_.decisions_sent++;
+        break;
+      }
+    }
+  }
+  for (TxnId txn_id : to_abort) {
+    Txn* txn = FindTxn(txn_id);
+    if (txn != nullptr && !txn->aborting) {
+      StartAbort(*txn, Status::Unavailable("data source leader failover"));
+    }
+  }
+}
+
+void MiddlewareNode::ResolveOrphanVote(const VoteMessage& vote) {
+  bool committed = false;
+  for (const DecisionLogEntry& entry : log_) {
+    if (entry.txn_id == vote.xid.txn_id) committed = entry.commit;
+  }
+  if (!committed) stats_.presumed_aborts++;
+  auto decision = std::make_unique<DecisionRequest>();
+  decision->from = id_;
+  decision->to = vote.from;
+  decision->xid = vote.xid;
+  decision->commit = committed;
+  decision->one_phase = false;
+  network_->Send(std::move(decision));
+  stats_.decisions_sent++;
 }
 
 // ---------------------------------------------------------------------------

@@ -64,6 +64,18 @@ struct MiddlewareConfig {
   Micros analysis_cost = 300;
   /// Commit/abort decision log fsync at the DM (Algorithm 1 FlushLog).
   Micros log_flush_cost = 500;
+  /// Serve all-read batches of final-round branches from replication
+  /// followers (stale-bounded; falls back to the leader on rejection).
+  bool follower_reads = false;
+  /// Staleness bound attached to follower reads.
+  Micros follower_read_stale_bound = MsToMicros(100);
+  /// A follower read unanswered for this long falls back to the leader
+  /// (the follower may have crashed).
+  Micros follower_read_timeout = MsToMicros(800);
+  /// After a leader failover, branches whose prepare vote does not
+  /// resurface within this grace period are aborted (their prepare never
+  /// reached a quorum and died with the old leader).
+  Micros failover_vote_grace = MsToMicros(500);
   core::LatencyMonitorConfig monitor;
   core::FootprintConfig footprint;
 
@@ -94,6 +106,11 @@ struct MiddlewareStats {
   uint64_t admission_aborts = 0;
   uint64_t prepare_requests_sent = 0;
   uint64_t decisions_sent = 0;
+  uint64_t follower_reads = 0;           ///< batches served by followers
+  uint64_t follower_read_fallbacks = 0;  ///< stale/timed-out, re-ran at leader
+  uint64_t failovers_observed = 0;       ///< leadership changes adopted
+  uint64_t branch_retries = 0;           ///< in-flight batches re-dispatched
+  uint64_t presumed_aborts = 0;          ///< orphan votes resolved from log
   metrics::PhaseBreakdown breakdown;
 };
 
@@ -144,6 +161,10 @@ class MiddlewareNode {
     bool decision_acked = false;
     std::vector<RecordKey> round_keys;
     std::vector<size_t> op_slots;  ///< positions in the client round
+    // Replication support.
+    bool via_follower = false;    ///< current batch is a follower read
+    uint64_t begun_round = 0;     ///< round in which the branch began
+    std::vector<protocol::ClientOp> last_batch;  ///< for failover retry
   };
 
   enum class Phase : uint8_t {
@@ -165,6 +186,9 @@ class MiddlewareNode {
     bool last_round = false;
     bool commit_requested = false;
     bool aborting = false;
+    /// Whether the dispatched commit was one-phase (failover retries must
+    /// re-send the same flavour; the commit/abort direction is the phase).
+    bool decision_one_phase = false;
     Status abort_status;
     int admission_attempts = 0;
     // Pending round kept for admission retries.
@@ -185,6 +209,28 @@ class MiddlewareNode {
   void OnVote(const protocol::VoteMessage& vote);
   void OnClientFinish(const protocol::ClientFinishRequest& req);
   void OnDecisionAck(const protocol::DecisionAck& ack);
+
+  // ----- replication support ----------------------------------------------
+  /// Sends one batch of a branch to the current leader of `logical`.
+  void SendBranchBatch(Txn& txn, NodeId logical,
+                       std::vector<protocol::ClientOp> ops,
+                       uint64_t round_seq);
+  /// Dispatches an all-read final-round batch to a follower. Returns false
+  /// if no follower is usable (caller executes at the leader).
+  bool TryFollowerRead(Txn& txn, NodeId logical,
+                       const std::vector<protocol::ClientOp>& ops,
+                       uint64_t round_seq);
+  void OnFollowerReadResponse(const protocol::FollowerReadResponse& resp);
+  void FallBackToLeader(Txn& txn, NodeId logical);
+  void OnLeaderAnnounce(const protocol::LeaderAnnounce& announce);
+  void OnNotLeader(const protocol::NotLeaderResponse& redirect);
+  /// Re-drives every in-flight transaction touching `logical` after its
+  /// leadership changed: retries first-round batches and undecided
+  /// decisions, aborts what cannot be replayed safely.
+  void HandleFailover(NodeId logical);
+  /// Resolves an orphaned PREPARED vote (unknown txn) from the decision
+  /// log: presumed abort unless a commit decision was logged.
+  void ResolveOrphanVote(const protocol::VoteMessage& vote);
 
   void MaybeCompleteRound(Txn& txn);
   void StartCommit(Txn& txn);

@@ -19,5 +19,17 @@ const char* VoteName(Vote vote) {
   return "?";
 }
 
+const char* ReplEntryTypeName(ReplEntryType type) {
+  switch (type) {
+    case ReplEntryType::kPrepare:
+      return "PREPARE";
+    case ReplEntryType::kCommit:
+      return "COMMIT";
+    case ReplEntryType::kAbort:
+      return "ABORT";
+  }
+  return "?";
+}
+
 }  // namespace protocol
 }  // namespace geotp

@@ -151,6 +151,125 @@ struct PeerAbortRequest : sim::MessageBase {
 };
 
 // ---------------------------------------------------------------------------
+// Replication (leader-follower WAL shipping, src/replication)
+// ---------------------------------------------------------------------------
+
+/// What a replicated log entry records. Prepare entries stage a branch's
+/// write set for failover; commit entries carry the write set that followers
+/// apply; abort entries discard a staged prepare.
+enum class ReplEntryType : uint8_t { kPrepare, kCommit, kAbort };
+
+const char* ReplEntryTypeName(ReplEntryType type);
+
+/// One write of a replicated branch, as an absolute value (deltas are
+/// resolved at the leader, so application on followers is idempotent).
+struct ReplWrite {
+  RecordKey key;
+  int64_t value = 0;
+};
+
+/// One entry of a replica group's shipped WAL.
+struct ReplEntry {
+  uint64_t index = 0;  ///< 1-based position in the group log
+  uint64_t epoch = 0;  ///< leadership epoch that appended the entry
+  ReplEntryType type = ReplEntryType::kCommit;
+  Xid xid;  ///< xid.data_source is the group's logical node id
+  /// Middleware coordinating the transaction — a promoted leader re-votes
+  /// staged prepares to it after failover.
+  NodeId coordinator = kInvalidNode;
+  std::vector<ReplWrite> writes;
+  Micros at = 0;  ///< leader virtual time at append
+};
+
+/// Leader -> follower log shipping. Empty `entries` is a heartbeat; both
+/// carry the quorum commit watermark so followers can apply.
+struct ReplAppendRequest : sim::MessageBase {
+  NodeId group = kInvalidNode;  ///< logical data source id
+  uint64_t epoch = 0;
+  /// Index of the entry immediately before `entries` (0 = log start).
+  uint64_t prev_index = 0;
+  /// Epoch of the entry at prev_index (0 at log start): the follower
+  /// accepts only if its own log matches, so divergent tails from deposed
+  /// leaders are detected and truncated.
+  uint64_t prev_epoch = 0;
+  std::vector<ReplEntry> entries;
+  uint64_t commit_watermark = 0;
+  size_t WireSize() const override {
+    size_t bytes = 64;
+    for (const ReplEntry& e : entries) bytes += 48 + e.writes.size() * 16;
+    return bytes;
+  }
+};
+
+struct ReplAppendAck : sim::MessageBase {
+  NodeId group = kInvalidNode;
+  uint64_t epoch = 0;  ///< follower's current epoch (leader steps down if newer)
+  /// Highest log index the follower holds after processing the append.
+  uint64_t ack_index = 0;
+  bool ok = true;  ///< false: log gap — leader rewinds to ack_index + 1
+  size_t WireSize() const override { return 48; }
+};
+
+/// Candidate -> replica during leader election.
+struct ReplVoteRequest : sim::MessageBase {
+  NodeId group = kInvalidNode;
+  uint64_t epoch = 0;  ///< candidate's proposed (incremented) epoch
+  /// (epoch of last log entry, log length): voters compare these
+  /// lexicographically, Raft-style, so a stale tail cannot outrank
+  /// quorum-committed entries from a newer epoch.
+  uint64_t last_log_epoch = 0;
+  uint64_t last_log_index = 0;
+  size_t WireSize() const override { return 48; }
+};
+
+struct ReplVoteResponse : sim::MessageBase {
+  NodeId group = kInvalidNode;
+  uint64_t epoch = 0;
+  bool granted = false;
+  uint64_t voter_last_index = 0;
+  size_t WireSize() const override { return 48; }
+};
+
+/// Broadcast by a freshly elected leader to the middlewares so they update
+/// routing and retry in-flight branches.
+struct LeaderAnnounce : sim::MessageBase {
+  NodeId group = kInvalidNode;
+  uint64_t epoch = 0;
+  NodeId leader = kInvalidNode;
+  size_t WireSize() const override { return 48; }
+};
+
+/// Sent by a replica that received coordinator traffic while not being the
+/// group's leader (stale middleware routing).
+struct NotLeaderResponse : sim::MessageBase {
+  NodeId group = kInvalidNode;
+  uint64_t epoch = 0;
+  NodeId leader_hint = kInvalidNode;  ///< kInvalidNode while electing
+  size_t WireSize() const override { return 48; }
+};
+
+/// Stale-bounded read of committed data served by a follower, used for
+/// read-only branches when the middleware enables follower reads.
+struct FollowerReadRequest : sim::MessageBase {
+  NodeId group = kInvalidNode;
+  TxnId txn_id = kInvalidTxn;
+  uint64_t round_seq = 0;
+  std::vector<RecordKey> keys;
+  Micros max_staleness = 0;
+  size_t WireSize() const override { return 64 + keys.size() * 16; }
+};
+
+struct FollowerReadResponse : sim::MessageBase {
+  NodeId group = kInvalidNode;
+  TxnId txn_id = kInvalidTxn;
+  uint64_t round_seq = 0;
+  bool ok = false;  ///< false: staleness bound exceeded — retry at the leader
+  Micros staleness = 0;
+  std::vector<int64_t> values;
+  size_t WireSize() const override { return 64 + values.size() * 8; }
+};
+
+// ---------------------------------------------------------------------------
 // Latency monitoring (paper §VI: ping thread at 10 ms intervals)
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,135 @@
+#include "replication/log_shipper.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace geotp {
+namespace replication {
+
+using protocol::ReplAppendAck;
+using protocol::ReplAppendRequest;
+using protocol::ReplEntry;
+
+void LogShipper::Activate(NodeId group, uint64_t epoch,
+                          std::vector<NodeId> followers, size_t quorum_size,
+                          uint64_t floor) {
+  active_ = true;
+  group_ = group;
+  epoch_ = epoch;
+  quorum_size_ = quorum_size;
+  commit_watermark_ = std::max(commit_watermark_, floor);
+  followers_.clear();
+  for (NodeId follower : followers) {
+    // A fresh leader does not know how far each follower got; start from
+    // its own log end and let failed acks walk next_index back.
+    followers_[follower] = Progress{log_->last_index() + 1, 0};
+  }
+  // Degenerate group (or every peer lost): quorum may already be met for
+  // the whole log.
+  AdvanceWatermark();
+}
+
+void LogShipper::Deactivate() {
+  active_ = false;
+  pending_.clear();
+}
+
+uint64_t LogShipper::AppendAndShip(ReplEntry entry, QuorumCallback on_quorum) {
+  GEOTP_CHECK(active_, "AppendAndShip on inactive shipper");
+  entry.epoch = epoch_;
+  const uint64_t index = log_->Append(std::move(entry));
+  if (on_quorum != nullptr) {
+    pending_.emplace(index, std::move(on_quorum));
+  }
+  for (auto& [follower, progress] : followers_) {
+    ShipTo(follower, progress);
+  }
+  // The leader's own copy counts toward the quorum.
+  AdvanceWatermark();
+  return index;
+}
+
+void LogShipper::AwaitQuorum(uint64_t index, QuorumCallback on_quorum) {
+  if (index <= commit_watermark_) {
+    stats_.quorum_callbacks_fired++;
+    on_quorum();
+    return;
+  }
+  pending_.emplace(index, std::move(on_quorum));
+}
+
+void LogShipper::ShipTo(NodeId follower, Progress& progress) {
+  auto req = std::make_unique<ReplAppendRequest>();
+  req->from = self_;
+  req->to = follower;
+  req->group = group_;
+  req->epoch = epoch_;
+  req->prev_index = progress.next_index - 1;
+  req->prev_epoch =
+      req->prev_index > 0 ? log_->At(req->prev_index).epoch : 0;
+  req->entries = log_->Slice(progress.next_index, log_->last_index());
+  req->commit_watermark = commit_watermark_;
+  stats_.entries_shipped += req->entries.size();
+  network_->Send(std::move(req));
+  // Optimistically advance; a failed ack rewinds next_index.
+  progress.next_index = log_->last_index() + 1;
+}
+
+void LogShipper::OnAck(NodeId follower, const ReplAppendAck& ack) {
+  if (!active_ || ack.epoch != epoch_) return;
+  auto it = followers_.find(follower);
+  if (it == followers_.end()) return;
+  stats_.acks_received++;
+  Progress& progress = it->second;
+  if (!ack.ok) {
+    // Log gap at the follower: rewind and retransmit from its tail.
+    progress.next_index = ack.ack_index + 1;
+    stats_.retransmissions++;
+    ShipTo(follower, progress);
+    return;
+  }
+  progress.match_index = std::max(progress.match_index, ack.ack_index);
+  progress.next_index = std::max(progress.next_index, ack.ack_index + 1);
+  AdvanceWatermark();
+}
+
+void LogShipper::AdvanceWatermark() {
+  // k-th largest replicated index across {leader} ∪ followers, where
+  // k = quorum size. The leader holds its whole log.
+  std::vector<uint64_t> indexes;
+  indexes.push_back(log_->last_index());
+  for (const auto& [follower, progress] : followers_) {
+    indexes.push_back(progress.match_index);
+  }
+  if (indexes.size() < quorum_size_) return;  // can never reach quorum
+  std::sort(indexes.begin(), indexes.end(), std::greater<uint64_t>());
+  const uint64_t quorum_index = indexes[quorum_size_ - 1];
+  if (quorum_index <= commit_watermark_) return;
+  commit_watermark_ = quorum_index;
+
+  // Fire callbacks for every index now at quorum, in log order.
+  while (!pending_.empty() &&
+         pending_.begin()->first <= commit_watermark_) {
+    QuorumCallback cb = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    stats_.quorum_callbacks_fired++;
+    cb();
+  }
+}
+
+void LogShipper::Tick() {
+  if (!active_) return;
+  for (auto& [follower, progress] : followers_) {
+    if (progress.next_index <= log_->last_index()) {
+      stats_.retransmissions++;
+      progress.next_index =
+          std::min(progress.next_index, progress.match_index + 1);
+    }
+    ShipTo(follower, progress);
+  }
+}
+
+}  // namespace replication
+}  // namespace geotp

@@ -1,0 +1,128 @@
+// Replicated WAL storage and the leader-side shipping machinery.
+//
+// ReplicationLog is the per-replica durable log (survives crashes, like the
+// engine WAL it mirrors). LogShipper is active only on the leader: it
+// tracks per-follower progress Raft-style (next/match index), retransmits
+// unacked entries on the heartbeat tick, and fires quorum callbacks once an
+// entry is durable on a majority of the group (leader included).
+#ifndef GEOTP_REPLICATION_LOG_SHIPPER_H_
+#define GEOTP_REPLICATION_LOG_SHIPPER_H_
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "protocol/messages.h"
+#include "replication/replication_config.h"
+#include "sim/network.h"
+
+namespace geotp {
+namespace replication {
+
+/// Sequential log of ReplEntry, 1-based indexing.
+class ReplicationLog {
+ public:
+  uint64_t last_index() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const protocol::ReplEntry& At(uint64_t index) const {
+    return entries_[static_cast<size_t>(index - 1)];
+  }
+
+  /// Appends at last_index() + 1 and returns the assigned index.
+  uint64_t Append(protocol::ReplEntry entry) {
+    entry.index = last_index() + 1;
+    entries_.push_back(std::move(entry));
+    return last_index();
+  }
+
+  /// Drops every entry with index >= `from`.
+  void TruncateFrom(uint64_t from) {
+    if (from <= entries_.size()) {
+      entries_.resize(static_cast<size_t>(from - 1));
+    }
+  }
+
+  /// Entries in [from, to] (clamped), for shipping.
+  std::vector<protocol::ReplEntry> Slice(uint64_t from, uint64_t to) const {
+    std::vector<protocol::ReplEntry> out;
+    for (uint64_t i = from; i <= to && i <= last_index(); ++i) {
+      out.push_back(At(i));
+    }
+    return out;
+  }
+
+ private:
+  std::vector<protocol::ReplEntry> entries_;
+};
+
+struct LogShipperStats {
+  uint64_t entries_shipped = 0;
+  uint64_t acks_received = 0;
+  uint64_t retransmissions = 0;
+  uint64_t quorum_callbacks_fired = 0;
+};
+
+class LogShipper {
+ public:
+  using QuorumCallback = std::function<void()>;
+
+  LogShipper(NodeId self, sim::Network* network, ReplicationLog* log)
+      : self_(self), network_(network), log_(log) {}
+
+  /// Activates shipping for a leadership term. `floor` is the commit
+  /// watermark known when leadership was acquired — the watermark never
+  /// regresses below it.
+  void Activate(NodeId group, uint64_t epoch, std::vector<NodeId> followers,
+                size_t quorum_size, uint64_t floor);
+  void Deactivate();
+  bool active() const { return active_; }
+
+  uint64_t commit_watermark() const { return commit_watermark_; }
+  const LogShipperStats& stats() const { return stats_; }
+
+  /// Appends `entry` to the log, ships it, and runs `on_quorum` once the
+  /// entry is durable on a quorum. With a quorum of one (or a group of
+  /// one), the callback fires synchronously. Pass nullptr for
+  /// fire-and-forget entries (aborts).
+  uint64_t AppendAndShip(protocol::ReplEntry entry, QuorumCallback on_quorum);
+
+  /// Registers an extra quorum callback for an existing entry (decision
+  /// retries after failover). Fires immediately if already quorum-durable.
+  void AwaitQuorum(uint64_t index, QuorumCallback on_quorum);
+
+  /// Processes a follower ack; advances the watermark and fires callbacks.
+  void OnAck(NodeId follower, const protocol::ReplAppendAck& ack);
+
+  /// Heartbeat tick: ships pending entries to lagging followers, empty
+  /// heartbeats (with the current watermark) to caught-up ones.
+  void Tick();
+
+ private:
+  struct Progress {
+    uint64_t next_index = 1;   ///< first entry to ship next
+    uint64_t match_index = 0;  ///< highest index known replicated
+  };
+
+  void ShipTo(NodeId follower, Progress& progress);
+  void AdvanceWatermark();
+
+  NodeId self_;
+  sim::Network* network_;
+  ReplicationLog* log_;
+  bool active_ = false;
+  NodeId group_ = kInvalidNode;
+  uint64_t epoch_ = 0;
+  size_t quorum_size_ = 1;
+  std::unordered_map<NodeId, Progress> followers_;
+  uint64_t commit_watermark_ = 0;
+  /// Pending quorum callbacks, keyed by entry index (fired in order).
+  std::multimap<uint64_t, QuorumCallback> pending_;
+  LogShipperStats stats_;
+};
+
+}  // namespace replication
+}  // namespace geotp
+
+#endif  // GEOTP_REPLICATION_LOG_SHIPPER_H_

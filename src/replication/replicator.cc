@@ -1,0 +1,531 @@
+#include "replication/replicator.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "datasource/data_source.h"
+
+namespace geotp {
+namespace replication {
+
+using protocol::FollowerReadRequest;
+using protocol::FollowerReadResponse;
+using protocol::LeaderAnnounce;
+using protocol::ReplAppendAck;
+using protocol::ReplAppendRequest;
+using protocol::ReplEntry;
+using protocol::ReplEntryType;
+using protocol::ReplVoteRequest;
+using protocol::ReplVoteResponse;
+using protocol::Vote;
+using protocol::VoteMessage;
+
+Replicator::Replicator(datasource::DataSourceNode* node, GroupConfig group)
+    : node_(node),
+      group_(std::move(group)),
+      election_(node->id(), group_.QuorumSize()),
+      shipper_(node->id(), node->network(), &log_) {
+  GEOTP_CHECK(!group_.replicas.empty(), "empty replica group");
+  auto it = std::find(group_.replicas.begin(), group_.replicas.end(),
+                      node_->id());
+  GEOTP_CHECK(it != group_.replicas.end(),
+              "node " << node_->id() << " not in its replica group");
+  ordinal_ = static_cast<int>(it - group_.replicas.begin());
+}
+
+sim::EventLoop* Replicator::loop() const { return node_->loop(); }
+sim::Network* Replicator::network() const { return node_->network(); }
+NodeId Replicator::self() const { return node_->id(); }
+
+uint64_t Replicator::LastLogEpoch() const {
+  return log_.empty() ? 0 : log_.At(log_.last_index()).epoch;
+}
+
+std::vector<NodeId> Replicator::Followers() const {
+  std::vector<NodeId> followers;
+  for (NodeId replica : group_.replicas) {
+    if (replica != self()) followers.push_back(replica);
+  }
+  return followers;
+}
+
+void Replicator::RetireLeadership() {
+  if (!shipper_.active()) return;
+  // Everything at quorum was engine-applied while leading.
+  follower_watermark_ =
+      std::max(follower_watermark_, shipper_.commit_watermark());
+  applied_index_ = std::max(applied_index_, shipper_.commit_watermark());
+  shipper_.Deactivate();
+}
+
+void Replicator::Start() {
+  last_leader_contact_ = loop()->Now();
+  if (self() == group_.logical) {
+    election_.SeedLeader();
+    shipper_.Activate(group_.logical, /*epoch=*/0, Followers(),
+                      group_.QuorumSize(), /*floor=*/0);
+    ArmHeartbeatTimer();
+  } else {
+    election_.AdoptLeader(group_.logical, /*epoch=*/0);
+    ArmElectionTimer(group_.config.election_timeout +
+                     ordinal_ * group_.config.election_stagger);
+  }
+}
+
+Micros Replicator::Staleness() const {
+  if (IsLeader()) return 0;
+  if (fresh_as_of_ < 0) return std::numeric_limits<Micros>::max() / 2;
+  return loop()->Now() - fresh_as_of_;
+}
+
+// ---------------------------------------------------------------------------
+// Leader-side durability hooks
+// ---------------------------------------------------------------------------
+
+void Replicator::ReplicatePrepare(const Xid& xid,
+                                  std::vector<protocol::ReplWrite> writes,
+                                  NodeId coordinator,
+                                  QuorumCallback on_quorum) {
+  GEOTP_CHECK(IsLeader(), "ReplicatePrepare on non-leader");
+  auto it = unresolved_prepares_.find(xid.txn_id);
+  if (it != unresolved_prepares_.end()) {
+    // Duplicate (e.g. a middleware prepare retry): wait on the entry.
+    shipper_.AwaitQuorum(it->second, std::move(on_quorum));
+    return;
+  }
+  ReplEntry entry;
+  entry.type = ReplEntryType::kPrepare;
+  entry.xid = xid;
+  entry.coordinator = coordinator;
+  entry.writes = std::move(writes);
+  entry.at = loop()->Now();
+  const uint64_t index =
+      shipper_.AppendAndShip(std::move(entry), std::move(on_quorum));
+  unresolved_prepares_[xid.txn_id] = index;
+}
+
+void Replicator::ReplicateCommit(const Xid& xid,
+                                 std::vector<protocol::ReplWrite> writes,
+                                 QuorumCallback on_quorum) {
+  GEOTP_CHECK(IsLeader(), "ReplicateCommit on non-leader");
+  auto it = commit_entries_.find(xid.txn_id);
+  if (it != commit_entries_.end()) {
+    shipper_.AwaitQuorum(it->second, std::move(on_quorum));
+    return;
+  }
+  unresolved_prepares_.erase(xid.txn_id);
+  ReplEntry entry;
+  entry.type = ReplEntryType::kCommit;
+  entry.xid = xid;
+  entry.writes = std::move(writes);
+  entry.at = loop()->Now();
+  const uint64_t index =
+      shipper_.AppendAndShip(std::move(entry), std::move(on_quorum));
+  commit_entries_[xid.txn_id] = index;
+}
+
+void Replicator::ReplicateAbortIfPrepared(TxnId txn) {
+  if (!IsLeader()) return;
+  auto it = unresolved_prepares_.find(txn);
+  if (it == unresolved_prepares_.end()) return;
+  ReplEntry entry;
+  entry.type = ReplEntryType::kAbort;
+  entry.xid = log_.At(it->second).xid;
+  entry.at = loop()->Now();
+  unresolved_prepares_.erase(it);
+  shipper_.AppendAndShip(std::move(entry), nullptr);
+}
+
+std::optional<uint64_t> Replicator::CommitEntryIndex(TxnId txn) const {
+  auto it = commit_entries_.find(txn);
+  if (it == commit_entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
+
+bool Replicator::HandleMessage(sim::MessageBase* msg) {
+  if (auto* append = dynamic_cast<ReplAppendRequest*>(msg)) {
+    OnAppend(*append);
+  } else if (auto* ack = dynamic_cast<ReplAppendAck*>(msg)) {
+    OnAppendAck(*ack);
+  } else if (auto* vote_req = dynamic_cast<ReplVoteRequest*>(msg)) {
+    OnVoteRequest(*vote_req);
+  } else if (auto* vote_resp = dynamic_cast<ReplVoteResponse*>(msg)) {
+    OnVoteResponse(*vote_resp);
+  } else if (auto* read = dynamic_cast<FollowerReadRequest*>(msg)) {
+    OnFollowerRead(*read);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Replicator::OnAppend(const ReplAppendRequest& req) {
+  stats_.appends_received++;
+  auto ack = std::make_unique<ReplAppendAck>();
+  ack->from = self();
+  ack->to = req.from;
+  ack->group = group_.logical;
+  if (req.epoch < election_.epoch()) {
+    // Stale leader: tell it the current epoch so it steps down.
+    ack->epoch = election_.epoch();
+    ack->ok = false;
+    ack->ack_index = 0;
+    network()->Send(std::move(ack));
+    return;
+  }
+  const bool epoch_changed = req.epoch > election_.epoch();
+  if (epoch_changed || election_.leader() != req.from ||
+      election_.role() != Role::kFollower) {
+    election_.AdoptLeader(req.from, req.epoch);
+    if (epoch_changed) consistent_prefix_ = 0;
+    SyncRoleState();
+  }
+  last_leader_contact_ = loop()->Now();
+  ack->epoch = election_.epoch();
+
+  // Raft-style log matching: our entry at prev_index must be the leader's.
+  if (req.prev_index > log_.last_index() ||
+      (req.prev_index > 0 &&
+       log_.At(req.prev_index).epoch != req.prev_epoch)) {
+    ack->ok = false;
+    ack->ack_index = req.prev_index > 0
+                         ? std::min(log_.last_index(), req.prev_index - 1)
+                         : 0;
+    network()->Send(std::move(ack));
+    return;
+  }
+
+  for (const ReplEntry& entry : req.entries) {
+    if (entry.index <= log_.last_index()) {
+      if (log_.At(entry.index).epoch == entry.epoch) continue;  // duplicate
+      // Divergent tail from a deposed leader: quorum-applied prefixes can
+      // never diverge, so truncation below the watermark is a bug.
+      GEOTP_CHECK(entry.index > follower_watermark_ &&
+                      entry.index > applied_index_,
+                  "replication log diverges below the commit watermark");
+      TruncateFrom(entry.index);
+    }
+    GEOTP_CHECK(entry.index == log_.last_index() + 1, "log gap in append");
+    AppendTracked(entry);
+  }
+
+  const uint64_t verified = req.prev_index + req.entries.size();
+  consistent_prefix_ = std::max(consistent_prefix_, verified);
+  follower_watermark_ = std::max(
+      follower_watermark_, std::min(req.commit_watermark, consistent_prefix_));
+  ApplyCommitted(follower_watermark_);
+  if (applied_index_ >= req.commit_watermark) {
+    fresh_as_of_ = loop()->Now();
+  }
+  ack->ok = true;
+  ack->ack_index = consistent_prefix_;
+  network()->Send(std::move(ack));
+}
+
+void Replicator::AppendTracked(const ReplEntry& entry) {
+  const uint64_t index = log_.Append(entry);
+  switch (entry.type) {
+    case ReplEntryType::kPrepare:
+      unresolved_prepares_[entry.xid.txn_id] = index;
+      break;
+    case ReplEntryType::kCommit:
+      unresolved_prepares_.erase(entry.xid.txn_id);
+      commit_entries_[entry.xid.txn_id] = index;
+      break;
+    case ReplEntryType::kAbort:
+      unresolved_prepares_.erase(entry.xid.txn_id);
+      break;
+  }
+}
+
+void Replicator::TruncateFrom(uint64_t from) {
+  log_.TruncateFrom(from);
+  for (auto it = unresolved_prepares_.begin();
+       it != unresolved_prepares_.end();) {
+    it = it->second >= from ? unresolved_prepares_.erase(it) : std::next(it);
+  }
+  for (auto it = commit_entries_.begin(); it != commit_entries_.end();) {
+    it = it->second >= from ? commit_entries_.erase(it) : std::next(it);
+  }
+  consistent_prefix_ = std::min(consistent_prefix_, from - 1);
+}
+
+void Replicator::OnAppendAck(const ReplAppendAck& ack) {
+  if (ack.epoch > election_.epoch()) {
+    // A replica moved to a newer epoch: our leadership (if any) is over.
+    election_.ObserveEpoch(ack.epoch);
+    SyncRoleState();
+    return;
+  }
+  shipper_.OnAck(ack.from, ack);
+}
+
+void Replicator::OnVoteRequest(const ReplVoteRequest& req) {
+  const bool leader_fresh =
+      election_.role() == Role::kLeader ||
+      loop()->Now() - last_leader_contact_ < group_.config.election_timeout;
+  const bool granted = election_.GrantVote(
+      req.from, req.epoch, req.last_log_epoch, req.last_log_index,
+      LastLogEpoch(), log_.last_index(), leader_fresh);
+  if (granted) {
+    // Give the candidate a full timeout before we would stand ourselves.
+    last_leader_contact_ = loop()->Now();
+  }
+  SyncRoleState();
+  auto resp = std::make_unique<ReplVoteResponse>();
+  resp->from = self();
+  resp->to = req.from;
+  resp->group = group_.logical;
+  resp->epoch = granted ? req.epoch : election_.epoch();
+  resp->granted = granted;
+  resp->voter_last_index = log_.last_index();
+  network()->Send(std::move(resp));
+}
+
+void Replicator::OnVoteResponse(const ReplVoteResponse& resp) {
+  if (!resp.granted) {
+    election_.ObserveEpoch(resp.epoch);
+    SyncRoleState();
+    return;
+  }
+  if (election_.OnVoteGranted(resp.from, resp.epoch)) {
+    BecomeLeader();
+  }
+}
+
+void Replicator::OnFollowerRead(const FollowerReadRequest& req) {
+  auto resp = std::make_unique<FollowerReadResponse>();
+  resp->from = self();
+  resp->to = req.from;
+  resp->group = group_.logical;
+  resp->txn_id = req.txn_id;
+  resp->round_seq = req.round_seq;
+  resp->staleness = Staleness();
+  if (resp->staleness > req.max_staleness) {
+    resp->ok = false;
+    stats_.follower_reads_rejected++;
+  } else {
+    resp->ok = true;
+    for (const RecordKey& key : req.keys) {
+      auto record = node_->engine().store().Get(key);
+      resp->values.push_back(record ? record->value : 0);
+    }
+    stats_.follower_reads_served++;
+  }
+  network()->Send(std::move(resp));
+}
+
+// ---------------------------------------------------------------------------
+// Timers, elections, role changes
+// ---------------------------------------------------------------------------
+
+void Replicator::ArmElectionTimer(Micros delay) {
+  election_timer_ = loop()->Schedule(delay, [this]() {
+    election_timer_ = sim::kInvalidEvent;
+    OnElectionCheck();
+  });
+}
+
+void Replicator::OnElectionCheck() {
+  if (node_->crashed() || election_.role() == Role::kLeader) return;
+  if (loop()->Now() - last_leader_contact_ >=
+      group_.config.election_timeout) {
+    StartElection();
+    if (election_.role() == Role::kLeader) return;  // won unopposed
+  }
+  const Micros stagger = ordinal_ * group_.config.election_stagger;
+  ArmElectionTimer(election_.role() == Role::kCandidate
+                       ? group_.config.election_retry_backoff + stagger
+                       : group_.config.election_timeout + stagger);
+}
+
+void Replicator::StartElection() {
+  election_.StartElection(log_.last_index());
+  if (election_.role() == Role::kLeader) {
+    // Single-member group: candidacy wins instantly.
+    BecomeLeader();
+    return;
+  }
+  for (NodeId replica : group_.replicas) {
+    if (replica == self()) continue;
+    auto req = std::make_unique<ReplVoteRequest>();
+    req->from = self();
+    req->to = replica;
+    req->group = group_.logical;
+    req->epoch = election_.epoch();
+    req->last_log_epoch = LastLogEpoch();
+    req->last_log_index = log_.last_index();
+    network()->Send(std::move(req));
+  }
+}
+
+void Replicator::ArmHeartbeatTimer() {
+  heartbeat_timer_ =
+      loop()->Schedule(group_.config.heartbeat_interval, [this]() {
+        heartbeat_timer_ = sim::kInvalidEvent;
+        if (node_->crashed() || !IsLeader()) return;
+        shipper_.Tick();
+        ArmHeartbeatTimer();
+      });
+}
+
+void Replicator::BecomeLeader() {
+  stats_.promotions++;
+  GEOTP_INFO("replica " << self() << " leads group " << group_.logical
+                        << " at epoch " << election_.epoch());
+  // 1. Catch up the local store to the quorum-durable commit point.
+  ApplyCommitted(follower_watermark_);
+  // 2. Start shipping: followers re-verify their logs against ours.
+  shipper_.Activate(group_.logical, election_.epoch(), Followers(),
+                    group_.QuorumSize(), follower_watermark_);
+  // 3. Commit/abort entries past our watermark (accepted from the old
+  //    leader, quorum unknown): apply each locally once it reaches quorum
+  //    under our term. The coordinating middleware re-sends decisions after
+  //    the announce, which resolves idempotently against these entries.
+  for (uint64_t index = follower_watermark_ + 1; index <= log_.last_index();
+       ++index) {
+    const ReplEntryType type = log_.At(index).type;
+    if (type != ReplEntryType::kCommit && type != ReplEntryType::kAbort) {
+      continue;
+    }
+    shipper_.AwaitQuorum(index, [this, index]() {
+      ApplyEntry(log_.At(index));
+      applied_index_ = std::max(applied_index_, index);
+    });
+  }
+  // 4. Staged prepares become in-doubt XA branches; re-vote them so the
+  //    coordinator (or its presumed-abort path) resolves them.
+  InstallStagedPrepares();
+  AnnounceLeadership();
+  ArmHeartbeatTimer();
+}
+
+void Replicator::InstallStagedPrepares() {
+  std::vector<std::pair<uint64_t, TxnId>> staged;
+  staged.reserve(unresolved_prepares_.size());
+  for (const auto& [txn, index] : unresolved_prepares_) {
+    staged.emplace_back(index, txn);
+  }
+  std::sort(staged.begin(), staged.end());
+  for (const auto& [index, txn] : staged) {
+    const ReplEntry& entry = log_.At(index);
+    if (node_->engine().StateOf(entry.xid) != storage::TxnState::kPrepared) {
+      std::vector<std::pair<RecordKey, int64_t>> writes;
+      writes.reserve(entry.writes.size());
+      for (const protocol::ReplWrite& w : entry.writes) {
+        writes.emplace_back(w.key, w.value);
+      }
+      Status st = node_->engine().InstallPreparedBranch(entry.xid, writes,
+                                                        loop()->Now());
+      GEOTP_CHECK(st.ok(), "installing staged prepare: " << st.ToString());
+      stats_.prepared_installs++;
+    }
+    if (entry.coordinator != kInvalidNode) {
+      auto vote = std::make_unique<VoteMessage>();
+      vote->from = self();
+      vote->to = entry.coordinator;
+      vote->xid = entry.xid;
+      vote->vote = Vote::kPrepared;
+      network()->Send(std::move(vote));
+      stats_.revotes_sent++;
+    }
+  }
+}
+
+void Replicator::AnnounceLeadership() {
+  for (NodeId dm : group_.middlewares) {
+    auto announce = std::make_unique<LeaderAnnounce>();
+    announce->from = self();
+    announce->to = dm;
+    announce->group = group_.logical;
+    announce->epoch = election_.epoch();
+    announce->leader = self();
+    network()->Send(std::move(announce));
+  }
+}
+
+void Replicator::SyncRoleState() {
+  if (election_.role() == Role::kLeader) return;
+  RetireLeadership();
+  if (election_timer_ == sim::kInvalidEvent && !node_->crashed()) {
+    ArmElectionTimer(group_.config.election_timeout +
+                     ordinal_ * group_.config.election_stagger);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Apply path
+// ---------------------------------------------------------------------------
+
+void Replicator::ApplyCommitted(uint64_t target) {
+  target = std::min(target, log_.last_index());
+  while (applied_index_ < target) {
+    ++applied_index_;
+    ApplyEntry(log_.At(applied_index_));
+  }
+}
+
+void Replicator::ApplyEntry(const ReplEntry& entry) {
+  stats_.entries_applied++;
+  storage::TransactionEngine& engine = node_->engine();
+  const storage::TxnState state = engine.StateOf(entry.xid);
+  switch (entry.type) {
+    case ReplEntryType::kPrepare:
+      break;  // staged only; nothing becomes visible until commit
+    case ReplEntryType::kCommit:
+      if (state == storage::TxnState::kPrepared ||
+          state == storage::TxnState::kActive) {
+        // Our engine still holds the branch (this replica led when it
+        // executed): a local XA commit releases locks; the data is already
+        // in place.
+        Status st = engine.Commit(entry.xid, loop()->Now());
+        if (st.ok()) break;
+        (void)engine.Rollback(entry.xid, loop()->Now());
+      }
+      // Pure replica apply: idempotent absolute writes.
+      for (const protocol::ReplWrite& w : entry.writes) {
+        engine.store().Apply(w.key, w.value);
+      }
+      break;
+    case ReplEntryType::kAbort:
+      if (state == storage::TxnState::kPrepared ||
+          state == storage::TxnState::kActive) {
+        (void)engine.Rollback(entry.xid, loop()->Now());
+      }
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash / restart
+// ---------------------------------------------------------------------------
+
+void Replicator::OnCrash() {
+  if (election_timer_ != sim::kInvalidEvent) {
+    loop()->Cancel(election_timer_);
+    election_timer_ = sim::kInvalidEvent;
+  }
+  if (heartbeat_timer_ != sim::kInvalidEvent) {
+    loop()->Cancel(heartbeat_timer_);
+    heartbeat_timer_ = sim::kInvalidEvent;
+  }
+  election_.StepDown();
+  RetireLeadership();
+}
+
+void Replicator::OnRestart() {
+  last_leader_contact_ = loop()->Now();
+  consistent_prefix_ = 0;  // must re-verify the log against the leader
+  fresh_as_of_ = -1;
+  ArmElectionTimer(group_.config.election_timeout +
+                   ordinal_ * group_.config.election_stagger);
+}
+
+}  // namespace replication
+}  // namespace geotp

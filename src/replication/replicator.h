@@ -1,0 +1,185 @@
+// Replicator: per-replica actor of one replica group.
+//
+// Each DataSourceNode owning a Replicator is a member of a replica group.
+// The leader ships WAL entries (prepare / commit / abort, with write sets)
+// to the followers and reports prepare/commit durability to the middleware
+// only after a quorum of the group holds the entry. Followers apply
+// committed write sets to their local store (giving stale-bounded follower
+// reads), detect leader failure via heartbeat loss, and elect a new leader
+// deterministically (longest log wins, election timeouts staggered by
+// replica ordinal). A promoted leader installs quorum-staged prepared
+// branches into its engine as in-doubt XA branches, re-votes them to their
+// coordinating middleware, and announces the new epoch to the middlewares,
+// which re-route and retry in-flight branches.
+#ifndef GEOTP_REPLICATION_REPLICATOR_H_
+#define GEOTP_REPLICATION_REPLICATOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "protocol/messages.h"
+#include "replication/election.h"
+#include "replication/log_shipper.h"
+#include "replication/replication_config.h"
+#include "sim/event_loop.h"
+
+namespace geotp {
+namespace datasource {
+class DataSourceNode;
+}  // namespace datasource
+
+namespace replication {
+
+struct ReplicatorStats {
+  uint64_t appends_received = 0;
+  uint64_t entries_applied = 0;
+  uint64_t promotions = 0;
+  uint64_t prepared_installs = 0;
+  uint64_t revotes_sent = 0;
+  uint64_t follower_reads_served = 0;
+  uint64_t follower_reads_rejected = 0;
+  uint64_t not_leader_rejections = 0;
+};
+
+class Replicator {
+ public:
+  using QuorumCallback = std::function<void()>;
+
+  Replicator(datasource::DataSourceNode* node, GroupConfig group);
+
+  /// Arms timers for the initial role: the member whose id equals the
+  /// group's logical id starts as epoch-0 leader, the rest as followers.
+  void Start();
+
+  NodeId group_id() const { return group_.logical; }
+  Role role() const { return election_.role(); }
+  bool IsLeader() const { return election_.role() == Role::kLeader; }
+  uint64_t epoch() const { return election_.epoch(); }
+  NodeId leader_hint() const { return election_.leader(); }
+
+  const ReplicationLog& log() const { return log_; }
+  uint64_t applied_index() const { return applied_index_; }
+  uint64_t commit_watermark() const {
+    return IsLeader() ? shipper_.commit_watermark() : follower_watermark_;
+  }
+  /// Follower data staleness: virtual time since this replica last knew it
+  /// had applied everything the leader had committed. 0 on the leader.
+  Micros Staleness() const;
+
+  const ReplicatorStats& stats() const { return stats_; }
+  const ElectionStats& election_stats() const { return election_.stats(); }
+  const LogShipperStats& shipper_stats() const { return shipper_.stats(); }
+
+  // ----- leader-side durability hooks (called by the data source) ---------
+
+  /// Appends a prepare entry carrying the branch write set; `on_quorum`
+  /// fires once it is durable on a quorum (the vote may then be reported).
+  /// Deduplicates: a second call for the same transaction just waits.
+  void ReplicatePrepare(const Xid& xid,
+                        std::vector<protocol::ReplWrite> writes,
+                        NodeId coordinator, QuorumCallback on_quorum);
+
+  /// Appends a commit entry carrying the final write set; `on_quorum`
+  /// fires once durable, after any internally registered apply callbacks.
+  void ReplicateCommit(const Xid& xid,
+                       std::vector<protocol::ReplWrite> writes,
+                       QuorumCallback on_quorum);
+
+  /// Appends an abort entry iff an unresolved prepare entry exists for the
+  /// transaction (followers must unstage it). Fire-and-forget.
+  void ReplicateAbortIfPrepared(TxnId txn);
+
+  /// Index of the commit entry for `txn`, if one was ever appended — used
+  /// to answer duplicate commit decisions idempotently after failover.
+  std::optional<uint64_t> CommitEntryIndex(TxnId txn) const;
+  void AwaitQuorum(uint64_t index, QuorumCallback on_quorum) {
+    shipper_.AwaitQuorum(index, std::move(on_quorum));
+  }
+
+  // ----- lifecycle --------------------------------------------------------
+
+  /// Consumes replication traffic. Returns false for unrelated messages.
+  bool HandleMessage(sim::MessageBase* msg);
+
+  /// Crash: timers stop, volatile shipping state drops; the log (a WAL)
+  /// and applied store survive, mirroring the engine's crash semantics.
+  void OnCrash();
+
+  /// Restart: rejoins as a follower and re-verifies its log against the
+  /// current leader before anything is applied again.
+  void OnRestart();
+
+ private:
+  void OnAppend(const protocol::ReplAppendRequest& req);
+  void OnAppendAck(const protocol::ReplAppendAck& ack);
+  void OnVoteRequest(const protocol::ReplVoteRequest& req);
+  void OnVoteResponse(const protocol::ReplVoteResponse& resp);
+  void OnFollowerRead(const protocol::FollowerReadRequest& req);
+
+  /// Epoch of the last log entry (0 for an empty log) — the first half of
+  /// the (epoch, index) log-position pair elections compare.
+  uint64_t LastLogEpoch() const;
+  /// Group members other than this replica.
+  std::vector<NodeId> Followers() const;
+  /// Folds the shipper's quorum progress into the follower-side state and
+  /// deactivates it (deposition and crash share this).
+  void RetireLeadership();
+
+  void ArmElectionTimer(Micros delay);
+  void OnElectionCheck();
+  void StartElection();
+  void ArmHeartbeatTimer();
+  void BecomeLeader();
+  /// Recreates quorum-staged prepared branches as in-doubt XA branches in
+  /// the engine and re-votes them to their coordinators.
+  void InstallStagedPrepares();
+  void AnnounceLeadership();
+
+  /// Applies committed entries up to `target` (follower path).
+  void ApplyCommitted(uint64_t target);
+  void ApplyEntry(const protocol::ReplEntry& entry);
+  /// Appends one entry and maintains the prepare/commit tracking maps.
+  void AppendTracked(const protocol::ReplEntry& entry);
+  /// Removes log entries >= `from` plus their tracking state.
+  void TruncateFrom(uint64_t from);
+  /// After any possible role change: retires leader-only machinery and
+  /// keeps the election timer armed for non-leaders.
+  void SyncRoleState();
+
+  sim::EventLoop* loop() const;
+  sim::Network* network() const;
+  NodeId self() const;
+
+  datasource::DataSourceNode* node_;
+  GroupConfig group_;
+  int ordinal_ = 0;  ///< position in group_.replicas
+  ElectionState election_;
+  ReplicationLog log_;
+  LogShipper shipper_;
+
+  // Follower-side state.
+  /// Prefix of the log verified to match the current leader's log.
+  uint64_t consistent_prefix_ = 0;
+  uint64_t follower_watermark_ = 0;
+  uint64_t applied_index_ = 0;
+  Micros last_leader_contact_ = 0;
+  Micros fresh_as_of_ = -1;  ///< -1: never caught up
+
+  /// Prepare entries without a later commit/abort entry (txn -> index).
+  /// On promotion these become in-doubt engine branches.
+  std::unordered_map<TxnId, uint64_t> unresolved_prepares_;
+  /// Commit entry per transaction (for idempotent decision retries).
+  std::unordered_map<TxnId, uint64_t> commit_entries_;
+
+  sim::EventId election_timer_ = sim::kInvalidEvent;
+  sim::EventId heartbeat_timer_ = sim::kInvalidEvent;
+  ReplicatorStats stats_;
+};
+
+}  // namespace replication
+}  // namespace geotp
+
+#endif  // GEOTP_REPLICATION_REPLICATOR_H_

@@ -128,6 +128,50 @@ Status TransactionEngine::Prepare(const Xid& xid, Micros now) {
   return Status::OK();
 }
 
+std::vector<std::pair<RecordKey, int64_t>> TransactionEngine::WriteSetOf(
+    const Xid& xid) const {
+  std::vector<std::pair<RecordKey, int64_t>> writes;
+  const TxnData* data = Find(xid);
+  if (data == nullptr) return writes;
+  for (const UndoEntry& undo : data->undo) {
+    bool seen = false;
+    for (const auto& [key, value] : writes) {
+      if (key == undo.key) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;  // several writes to one key: one final value
+    auto record = store_.Get(undo.key);
+    writes.emplace_back(undo.key, record ? record->value : 0);
+  }
+  return writes;
+}
+
+Status TransactionEngine::InstallPreparedBranch(
+    const Xid& xid, const std::vector<std::pair<RecordKey, int64_t>>& writes,
+    Micros now) {
+  GEOTP_RETURN_NOT_OK(Begin(xid));
+  TxnData* data = Find(xid);
+  for (const auto& [key, value] : writes) {
+    bool granted = false;
+    const LockRequestId id = locks_.RequestLock(
+        xid, key, LockMode::kExclusive,
+        [&granted](Status status) { granted = status.ok(); });
+    // The engine is quiescent during failover promotion, so every lock
+    // grant is synchronous.
+    GEOTP_CHECK(id == kInvalidLockRequest && granted,
+                "install: lock contention on " << key.ToString());
+    auto existing = store_.Get(key);
+    data->undo.push_back(UndoEntry{key, existing ? existing->value : 0,
+                                   existing ? existing->version : 0});
+    store_.Apply(key, value);
+  }
+  data->state = TxnState::kPrepared;
+  wal_.Append(WalEntryType::kPrepare, xid, now);
+  return Status::OK();
+}
+
 Status TransactionEngine::Commit(const Xid& xid, Micros now) {
   TxnData* data = Find(xid);
   if (data == nullptr) {

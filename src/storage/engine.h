@@ -22,6 +22,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -97,6 +98,19 @@ class TransactionEngine {
   /// XA prepare: persists the branch (WAL entry). ACTIVE -> PREPARED.
   /// Fails with kAborted if there is a pending (unfinished) operation.
   Status Prepare(const Xid& xid, Micros now);
+
+  /// The branch's write set as (key, final absolute value) pairs, deduped
+  /// by key. Valid while the branch is ACTIVE or PREPARED (undo entries
+  /// still present). Used to ship writes to replication followers.
+  std::vector<std::pair<RecordKey, int64_t>> WriteSetOf(const Xid& xid) const;
+
+  /// Failover path: recreates a prepared branch from a replicated write
+  /// set — takes exclusive locks, applies the writes with undo, and moves
+  /// straight to PREPARED so a later Commit/Rollback behaves normally.
+  /// The caller guarantees a quiescent engine (locks must be free).
+  Status InstallPreparedBranch(
+      const Xid& xid, const std::vector<std::pair<RecordKey, int64_t>>& writes,
+      Micros now);
 
   /// XA commit: PREPARED -> COMMITTED (or ACTIVE -> COMMITTED for the
   /// one-phase path). Releases all locks.

@@ -10,13 +10,16 @@
 #include "datasource/data_source.h"
 #include "middleware/middleware.h"
 #include "protocol/messages.h"
+#include "replication/replication_config.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
 
 namespace geotp {
 namespace testing_support {
 
-/// Node ids: 0 = client, 1 = middleware, 2.. = data sources.
+/// Node ids: 0 = client, 1 = middleware, 2..2+n-1 = data sources (replica
+/// group leaders when replication_factor > 1), then (rf-1) followers per
+/// source appended in group order.
 class MiniCluster {
  public:
   struct Options {
@@ -25,22 +28,57 @@ class MiniCluster {
     middleware::MiddlewareConfig dm = middleware::MiddlewareConfig::GeoTP();
     uint64_t keys_per_node = 1000;
     uint32_t table = 1;
+    /// Replicas per data source (1 = replication off).
+    int replication_factor = 1;
+    /// Leader <-> follower RTT (same-region replicas).
+    double follower_rtt_ms = 2.0;
+    replication::ReplicationConfig repl;
   };
 
   MiniCluster() : MiniCluster(Options()) {}
 
   explicit MiniCluster(Options options) : options_(options) {
     const int n = options.num_data_sources;
-    sim::LatencyMatrix matrix(2 + n);
+    const int rf = options.replication_factor;
+    const int followers_per_group = rf - 1;
+    const int total_nodes = 2 + n * rf;
+    auto rtt_of = [&options](int i) {
+      return i < static_cast<int>(options.rtts_ms.size())
+                 ? options.rtts_ms[static_cast<size_t>(i)]
+                 : 50.0;
+    };
+    auto follower_id = [n, followers_per_group](int group, int k) {
+      return 2 + n + group * followers_per_group + k;
+    };
+
+    sim::LatencyMatrix matrix(total_nodes);
     matrix.SetSymmetric(0, 1, sim::LinkSpec::FromRttMs(0.5));
     for (int i = 0; i < n; ++i) {
-      const double rtt = i < static_cast<int>(options.rtts_ms.size())
-                             ? options.rtts_ms[static_cast<size_t>(i)]
-                             : 50.0;
+      const double rtt = rtt_of(i);
       matrix.SetSymmetric(1, 2 + i, sim::LinkSpec::FromRttMs(rtt));
       matrix.SetSymmetric(0, 2 + i, sim::LinkSpec::FromRttMs(rtt));
       for (int j = 0; j < i; ++j) {
         matrix.SetSymmetric(2 + j, 2 + i, sim::LinkSpec::FromRttMs(50.0));
+      }
+      // Followers live in the leader's region: cheap links to their leader
+      // and to each other, leader-like links to everything else.
+      for (int k = 0; k < followers_per_group; ++k) {
+        const NodeId f = follower_id(i, k);
+        matrix.SetSymmetric(2 + i, f,
+                            sim::LinkSpec::FromRttMs(options.follower_rtt_ms));
+        matrix.SetSymmetric(1, f, sim::LinkSpec::FromRttMs(
+                                      rtt + options.follower_rtt_ms));
+        matrix.SetSymmetric(0, f, sim::LinkSpec::FromRttMs(
+                                      rtt + options.follower_rtt_ms));
+        for (int other = 0; other < total_nodes; ++other) {
+          if (other == f || other <= 1 || other == 2 + i) continue;
+          const bool same_group = other >= follower_id(i, 0) &&
+                                  other < follower_id(i + 1, 0);
+          matrix.SetSymmetric(f, other,
+                              sim::LinkSpec::FromRttMs(
+                                  same_group ? options.follower_rtt_ms
+                                             : 50.0));
+        }
       }
     }
     network_ = std::make_unique<sim::Network>(&loop_, matrix);
@@ -52,12 +90,33 @@ class MiniCluster {
                                      ds_ids);
 
     for (int i = 0; i < n; ++i) {
-      datasource::DataSourceConfig config =
-          datasource::DataSourceConfig::MySql();
-      config.early_abort = options.dm.early_abort;
-      sources_.push_back(std::make_unique<datasource::DataSourceNode>(
-          2 + i, network_.get(), config));
-      sources_.back()->Attach();
+      std::vector<NodeId> replicas = {2 + i};
+      for (int k = 0; k < followers_per_group; ++k) {
+        replicas.push_back(follower_id(i, k));
+      }
+      if (rf > 1) catalog.SetReplicaGroup(2 + i, replicas);
+
+      for (NodeId replica : replicas) {
+        datasource::DataSourceConfig config =
+            datasource::DataSourceConfig::MySql();
+        config.early_abort = options.dm.early_abort;
+        auto node = std::make_unique<datasource::DataSourceNode>(
+            replica, network_.get(), config);
+        if (rf > 1) {
+          replication::GroupConfig group;
+          group.logical = 2 + i;
+          group.replicas = replicas;
+          group.middlewares = {1};
+          group.config = options.repl;
+          node->EnableReplication(group);
+        }
+        node->Attach();
+        if (replica == 2 + i) {
+          sources_.push_back(std::move(node));
+        } else {
+          followers_.push_back(std::move(node));
+        }
+      }
     }
     dm_ = std::make_unique<middleware::MiddlewareNode>(
         1, /*ordinal=*/0, network_.get(), std::move(catalog), options.dm);
@@ -74,9 +133,34 @@ class MiniCluster {
   datasource::DataSourceNode& source(int i) {
     return *sources_[static_cast<size_t>(i)];
   }
+  /// Follower `k` of data source `i` (replication_factor > 1 only).
+  datasource::DataSourceNode& follower(int i, int k) {
+    const int per_group = options_.replication_factor - 1;
+    return *followers_[static_cast<size_t>(i * per_group + k)];
+  }
+  /// All replicas of group `i`: the seed leader first, then followers.
+  std::vector<datasource::DataSourceNode*> replica_group(int i) {
+    std::vector<datasource::DataSourceNode*> group = {
+        sources_[static_cast<size_t>(i)].get()};
+    for (int k = 0; k < options_.replication_factor - 1; ++k) {
+      group.push_back(&follower(i, k));
+    }
+    return group;
+  }
+  /// The replica currently leading group `i` (nullptr mid-election).
+  datasource::DataSourceNode* leader_of(int i) {
+    for (auto* node : replica_group(i)) {
+      if (!node->crashed() && node->replicator() != nullptr &&
+          node->replicator()->IsLeader()) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
   std::vector<datasource::DataSourceNode*> source_ptrs() {
     std::vector<datasource::DataSourceNode*> out;
     for (auto& src : sources_) out.push_back(src.get());
+    for (auto& src : followers_) out.push_back(src.get());
     return out;
   }
 
@@ -177,6 +261,7 @@ class MiniCluster {
   sim::EventLoop loop_;
   std::unique_ptr<sim::Network> network_;
   std::vector<std::unique_ptr<datasource::DataSourceNode>> sources_;
+  std::vector<std::unique_ptr<datasource::DataSourceNode>> followers_;
   std::unique_ptr<middleware::MiddlewareNode> dm_;
   std::map<uint64_t, ClientTxn> txns_;
 };

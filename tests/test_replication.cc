@@ -1,0 +1,299 @@
+// Replication subsystem tests: quorum-gated durability, leader failover
+// with the bank-transfer balance-conservation invariant, stale-bounded
+// follower reads, and rejoin/catch-up of a restarted leader.
+#include <gtest/gtest.h>
+
+#include "replication/log_shipper.h"
+#include "sim_fixture.h"
+
+namespace geotp {
+namespace {
+
+using middleware::MiddlewareConfig;
+using testing_support::MiniCluster;
+
+MiniCluster::Options ReplicatedOptions(int rf = 3) {
+  MiniCluster::Options options;
+  options.dm = MiddlewareConfig::GeoTP();
+  options.replication_factor = rf;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Log shipping basics
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationLogTest, AppendSliceTruncate) {
+  replication::ReplicationLog log;
+  for (int i = 0; i < 5; ++i) {
+    protocol::ReplEntry entry;
+    entry.type = protocol::ReplEntryType::kCommit;
+    entry.xid = Xid{static_cast<TxnId>(100 + i), 2};
+    EXPECT_EQ(log.Append(entry), static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(log.last_index(), 5u);
+  EXPECT_EQ(log.At(3).xid.txn_id, 102u);
+  auto slice = log.Slice(2, 4);
+  ASSERT_EQ(slice.size(), 3u);
+  EXPECT_EQ(slice[0].index, 2u);
+  log.TruncateFrom(4);
+  EXPECT_EQ(log.last_index(), 3u);
+  log.TruncateFrom(10);  // no-op
+  EXPECT_EQ(log.last_index(), 3u);
+}
+
+TEST(ReplicationTest, CommittedWritesReachFollowers) {
+  MiniCluster cluster(ReplicatedOptions());
+  ASSERT_EQ(cluster.RunTxn(1, {MiniCluster::Write(cluster.KeyOn(0, 1), 42),
+                               MiniCluster::Write(cluster.KeyOn(1, 2), 7)})
+                .ok(),
+            true);
+  cluster.RunFor(500);  // let appends drain to both groups' followers
+
+  for (int group : {0, 1}) {
+    for (int k = 0; k < 2; ++k) {
+      auto& store = cluster.follower(group, k).engine().store();
+      const RecordKey key = cluster.KeyOn(group, group == 0 ? 1 : 2);
+      auto record = store.Get(key);
+      ASSERT_TRUE(record.has_value())
+          << "group " << group << " follower " << k;
+      EXPECT_EQ(record->value, group == 0 ? 42 : 7);
+    }
+    // The leader shipped a prepare and a commit entry per group (or one
+    // commit for the one-phase path) and every entry reached quorum.
+    auto* repl = cluster.source(group).replicator();
+    EXPECT_TRUE(repl->IsLeader());
+    EXPECT_GE(repl->log().last_index(), 1u);
+    EXPECT_EQ(repl->commit_watermark(), repl->log().last_index());
+  }
+}
+
+// The tentpole guarantee: commit durability is only reported once the
+// entry is on a quorum. With both followers partitioned the commit must
+// stall; restoring one follower completes it.
+TEST(ReplicationTest, QuorumGatesCommitDurability) {
+  MiniCluster cluster(ReplicatedOptions());
+  cluster.network().Partition(cluster.follower(0, 0).id());
+  cluster.network().Partition(cluster.follower(0, 1).id());
+
+  cluster.SendRound(1, {MiniCluster::Write(cluster.KeyOn(0, 3), 5)}, true);
+  cluster.RunFor(1000);
+  ASSERT_FALSE(cluster.txn(1).round_responses.empty());
+  cluster.SendCommit(1);
+  cluster.RunFor(2000);
+  // Execution finished, but the commit cannot reach a quorum.
+  EXPECT_FALSE(cluster.txn(1).has_result);
+
+  cluster.network().Restore(cluster.follower(0, 0).id());
+  cluster.RunFor(2000);  // heartbeat retransmission catches the follower up
+  ASSERT_TRUE(cluster.txn(1).has_result);
+  EXPECT_TRUE(cluster.txn(1).result.ok());
+  auto record = cluster.follower(0, 0).engine().store().Get(cluster.KeyOn(0, 3));
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->value, 5);
+}
+
+// Quorum acks fire in log order even when acks arrive out of order across
+// entries (two groups' entries interleave arbitrarily).
+TEST(ReplicationTest, QuorumAckOrdering) {
+  MiniCluster cluster(ReplicatedOptions());
+  for (uint64_t t = 1; t <= 5; ++t) {
+    ASSERT_TRUE(cluster
+                    .RunTxn(t, {MiniCluster::Write(cluster.KeyOn(0, t),
+                                                   static_cast<int64_t>(t)),
+                                MiniCluster::Write(cluster.KeyOn(1, t),
+                                                   static_cast<int64_t>(t))})
+                    .ok());
+  }
+  cluster.RunFor(500);
+  for (int group : {0, 1}) {
+    auto* repl = cluster.source(group).replicator();
+    // Watermark never runs ahead of the log and everything reached quorum.
+    EXPECT_EQ(repl->commit_watermark(), repl->log().last_index());
+    for (int k = 0; k < 2; ++k) {
+      EXPECT_EQ(cluster.follower(group, k).replicator()->applied_index(),
+                repl->commit_watermark());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leader failover
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationTest, LeaderFailoverElectsFollowerAndConservesBalances) {
+  MiniCluster cluster(ReplicatedOptions());
+  Rng rng(7);
+  constexpr int kAccounts = 12;
+  uint64_t tag = 1;
+
+  auto transfer = [&](uint64_t t) {
+    const int node_a = static_cast<int>(rng.NextU64(2));
+    const int node_b = 1 - node_a;
+    const uint64_t off_a = rng.NextU64(kAccounts);
+    const uint64_t off_b = rng.NextU64(kAccounts);
+    const int64_t amount = static_cast<int64_t>(rng.NextU64(40)) + 1;
+    cluster.SendRound(t, {
+        MiniCluster::Write(cluster.KeyOn(node_a, off_a), -amount, true),
+        MiniCluster::Write(cluster.KeyOn(node_b, off_b), amount, true),
+    }, true);
+  };
+
+  // Phase 1: normal traffic.
+  for (int i = 0; i < 10; ++i) {
+    transfer(tag++);
+    cluster.RunFor(40);
+  }
+
+  // Kill group 0's leader mid-traffic (no restart): the followers must
+  // elect a replacement and the middleware must re-route.
+  cluster.source(0).Crash();
+  for (int i = 0; i < 6; ++i) {
+    transfer(tag++);
+    cluster.RunFor(40);
+  }
+  cluster.RunFor(2000);  // election + announce + retries settle
+
+  datasource::DataSourceNode* new_leader = cluster.leader_of(0);
+  ASSERT_NE(new_leader, nullptr) << "no leader elected for group 0";
+  EXPECT_NE(new_leader->id(), cluster.source(0).id());
+  EXPECT_GE(new_leader->replicator()->epoch(), 1u);
+  EXPECT_GE(cluster.dm().stats().failovers_observed, 1u);
+
+  // Phase 2: the workload continues against the new leader.
+  const uint64_t resume_tag = tag;
+  for (int i = 0; i < 10; ++i) {
+    transfer(tag++);
+    cluster.RunFor(60);
+  }
+
+  // Settle: commit everything that produced a round response.
+  std::vector<bool> commit_sent(tag, false);
+  for (int pass = 0; pass < 4; ++pass) {
+    cluster.RunFor(8000);
+    for (uint64_t t = 1; t < tag; ++t) {
+      auto& txn = cluster.txn(t);
+      if (!commit_sent[t] && !txn.has_result && !txn.round_responses.empty()) {
+        cluster.SendCommit(t);
+        commit_sent[t] = true;
+      }
+    }
+  }
+  cluster.RunFor(8000);
+
+  // Post-failover transactions must actually work (not all abort).
+  int resumed_commits = 0;
+  for (uint64_t t = resume_tag; t < tag; ++t) {
+    auto& txn = cluster.txn(t);
+    if (txn.has_result && txn.result.ok()) resumed_commits++;
+  }
+  EXPECT_GT(resumed_commits, 0);
+
+  // Balance conservation over the surviving replicas' committed state.
+  int64_t sum = 0;
+  auto& store0 = new_leader->engine().store();
+  auto& store1 = cluster.source(1).engine().store();
+  for (uint64_t off = 0; off < kAccounts; ++off) {
+    if (auto rec = store0.Get(cluster.KeyOn(0, off))) sum += rec->value;
+    if (auto rec = store1.Get(cluster.KeyOn(1, off))) sum += rec->value;
+  }
+  EXPECT_EQ(sum, 0);
+
+  // No in-doubt branches linger on the promoted leader.
+  EXPECT_TRUE(new_leader->engine().PreparedXids().empty());
+  EXPECT_EQ(new_leader->engine().ActiveCount(), 0u);
+}
+
+TEST(ReplicationTest, RestartedLeaderRejoinsAsFollowerAndCatchesUp) {
+  MiniCluster cluster(ReplicatedOptions());
+  ASSERT_TRUE(cluster.RunTxn(1, {MiniCluster::Write(cluster.KeyOn(0, 1), 10)})
+                  .ok());
+
+  cluster.source(0).Crash();
+  cluster.RunFor(1500);  // election completes
+  datasource::DataSourceNode* new_leader = cluster.leader_of(0);
+  ASSERT_NE(new_leader, nullptr);
+  ASSERT_NE(new_leader->id(), cluster.source(0).id());
+
+  // Write through the new leader while the old one is down.
+  ASSERT_TRUE(cluster.RunTxn(2, {MiniCluster::Write(cluster.KeyOn(0, 1), 20)})
+                  .ok());
+
+  cluster.source(0).Restart();
+  cluster.RunFor(2000);  // heartbeats re-ship the missing entries
+
+  EXPECT_EQ(cluster.source(0).replicator()->role(),
+            replication::Role::kFollower);
+  EXPECT_TRUE(new_leader->replicator()->IsLeader());
+  auto record = cluster.source(0).engine().store().Get(cluster.KeyOn(0, 1));
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->value, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Follower reads
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationTest, FollowerReadsServeFreshCommittedData) {
+  MiniCluster::Options options = ReplicatedOptions();
+  options.dm.follower_reads = true;
+  options.dm.follower_read_stale_bound = MsToMicros(500);
+  MiniCluster cluster(options);
+
+  ASSERT_TRUE(cluster.RunTxn(1, {MiniCluster::Write(cluster.KeyOn(0, 4), 99)})
+                  .ok());
+  cluster.RunFor(200);  // replicate + heartbeat freshness
+
+  Status st = cluster.RunTxn(2, {MiniCluster::Read(cluster.KeyOn(0, 4))});
+  ASSERT_TRUE(st.ok());
+  ASSERT_FALSE(cluster.txn(2).round_responses.empty());
+  EXPECT_EQ(cluster.txn(2).round_responses[0].values[0], 99);
+  EXPECT_GE(cluster.dm().stats().follower_reads, 1u);
+  // No branch ever began at the leader for the read-only transaction.
+  EXPECT_EQ(cluster.source(0).stats().batches_executed, 1u);  // the write
+}
+
+TEST(ReplicationTest, StaleFollowerReadFallsBackToLeader) {
+  MiniCluster::Options options = ReplicatedOptions();
+  options.dm.follower_reads = true;
+  // Heartbeats far apart (with the election timeout pushed further out so
+  // the leader is not deposed) + a tiny staleness bound: followers are
+  // always too stale by the time a read arrives.
+  options.repl.heartbeat_interval = SecToMicros(5);
+  options.repl.election_timeout = SecToMicros(30);
+  options.repl.election_stagger = SecToMicros(1);
+  options.dm.follower_read_stale_bound = MsToMicros(1);
+  MiniCluster cluster(options);
+
+  ASSERT_TRUE(cluster.RunTxn(1, {MiniCluster::Write(cluster.KeyOn(0, 6), 55)})
+                  .ok());
+  cluster.RunFor(1000);
+
+  Status st = cluster.RunTxn(2, {MiniCluster::Read(cluster.KeyOn(0, 6))});
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(cluster.txn(2).round_responses[0].values[0], 55);
+  EXPECT_GE(cluster.dm().stats().follower_read_fallbacks, 1u);
+}
+
+TEST(ReplicationTest, CrashedFollowerReadTimesOutAndFallsBack) {
+  MiniCluster::Options options = ReplicatedOptions();
+  options.dm.follower_reads = true;
+  options.dm.follower_read_stale_bound = MsToMicros(500);
+  options.dm.follower_read_timeout = MsToMicros(300);
+  MiniCluster cluster(options);
+
+  ASSERT_TRUE(cluster.RunTxn(1, {MiniCluster::Write(cluster.KeyOn(0, 8), 31)})
+                  .ok());
+  cluster.RunFor(200);
+  // Crash both followers: whichever one the read is routed to is dead.
+  cluster.follower(0, 0).Crash();
+  cluster.follower(0, 1).Crash();
+
+  Status st = cluster.RunTxn(2, {MiniCluster::Read(cluster.KeyOn(0, 8))});
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(cluster.txn(2).round_responses[0].values[0], 31);
+  EXPECT_GE(cluster.dm().stats().follower_read_fallbacks, 1u);
+}
+
+}  // namespace
+}  // namespace geotp
