@@ -13,8 +13,8 @@ using namespace geotp::bench;
 
 int main() {
   PrintHeader("Fig. 6a/6b — resource proxies (SSP vs GeoTP, YCSB MC)");
-  std::printf("%-12s %16s %16s %16s\n", "system", "events/commit",
-              "msgs/commit", "footprint bytes");
+  std::printf("%-12s %16s %16s %16s %14s %14s\n", "system", "events/commit",
+              "msgs/commit", "footprint bytes", "wal entries", "fsyncs/commit");
   for (SystemKind system : {SystemKind::kSSP, SystemKind::kGeoTP}) {
     ExperimentConfig config = DefaultConfig();
     config.system = system;
@@ -23,10 +23,13 @@ int main() {
     const auto r = RunExperiment(config);
     const double commits = static_cast<double>(
         r.run.committed > 0 ? r.run.committed : 1);
-    std::printf("%-12s %16.1f %16.1f %16zu\n", Label(system).c_str(),
+    std::printf("%-12s %16.1f %16.1f %16zu %14llu %14.2f\n",
+                Label(system).c_str(),
                 static_cast<double>(r.events_processed) / commits,
                 static_cast<double>(r.network_messages) / commits,
-                r.footprint_bytes);
+                r.footprint_bytes,
+                static_cast<unsigned long long>(r.wal_entries),
+                r.FsyncsPerCommit());
   }
   std::printf(
       "Expected shape: GeoTP does LESS coordination per committed txn\n"

@@ -1,0 +1,94 @@
+// Group-commit sweep: batch delay x concurrency.
+//
+// The paper's Fig. 6 cost breakdown shows durability (the XA PREPARE and
+// COMMIT fsyncs) dominating data-source time. This bench quantifies how
+// much of that cost group commit amortizes: for each terminal count it
+// runs the unbatched baseline (one independent fsync per record, the
+// pre-group-commit model) against group commit at several batch-delay
+// settings, reporting committed throughput, mean latency, WAL entries vs
+// physical fsyncs, and fsyncs per committed transaction.
+//
+// Acceptance tracking: at >= 64 terminals the batched rows must show
+// >= 30% fewer fsyncs per commit than the unbatched baseline (the closing
+// summary line states the measured reduction).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace geotp;
+using namespace geotp::bench;
+
+namespace {
+
+struct Row {
+  int terminals;
+  const char* label;
+  ExperimentResult result;
+};
+
+ExperimentResult RunOne(int terminals, bool batching, Micros batch_delay) {
+  ExperimentConfig config = DefaultConfig();
+  config.system = SystemKind::kGeoTP;
+  config.driver.terminals = terminals;
+  config.ycsb.theta = 0.7;
+  config.ycsb.distributed_ratio = 0.2;
+  config.ds_tweak = [batching, batch_delay](datasource::DataSourceConfig* ds) {
+    ds->group_commit.enabled = batching;
+    ds->group_commit.max_batch_delay = batch_delay;
+  };
+  return RunExperiment(config);
+}
+
+void PrintDetail(const Row& row) {
+  const auto& r = row.result;
+  std::printf(
+      "%4d %-14s  tput=%8.1f txn/s  mean=%7.1f ms  entries=%7llu  "
+      "fsyncs=%7llu  fsyncs/commit=%6.2f  max_batch=%llu\n",
+      row.terminals, row.label, r.Tps(), r.MeanLatencyMs(),
+      static_cast<unsigned long long>(r.wal_entries),
+      static_cast<unsigned long long>(r.wal_fsyncs), r.FsyncsPerCommit(),
+      static_cast<unsigned long long>(r.group_commit.max_batch_entries));
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Group commit sweep (GeoTP, YCSB theta=0.7, 20% distributed)");
+  std::printf("%4s %-14s\n", "term", "policy");
+
+  const int kTerminals[] = {16, 64, 256};
+  const Micros kDelays[] = {0, 200, 1000, 3000};
+
+  double baseline_64 = 0.0;
+  double best_batched_64 = -1.0;
+  for (int terminals : kTerminals) {
+    const ExperimentResult unbatched =
+        RunOne(terminals, /*batching=*/false, 0);
+    PrintDetail(Row{terminals, "unbatched", unbatched});
+    if (terminals >= 64 && baseline_64 == 0.0) {
+      baseline_64 = unbatched.FsyncsPerCommit();
+    }
+    for (Micros delay : kDelays) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "batch(%lldus)",
+                    static_cast<long long>(delay));
+      const ExperimentResult batched = RunOne(terminals, true, delay);
+      PrintDetail(Row{terminals, label, batched});
+      if (terminals == 64 &&
+          (best_batched_64 < 0 ||
+           batched.FsyncsPerCommit() < best_batched_64)) {
+        best_batched_64 = batched.FsyncsPerCommit();
+      }
+    }
+  }
+
+  if (baseline_64 > 0.0 && best_batched_64 >= 0.0) {
+    const double reduction = 1.0 - best_batched_64 / baseline_64;
+    std::printf(
+        "summary: fsyncs/commit at 64 terminals: unbatched=%.2f "
+        "batched(best)=%.2f reduction=%.1f%% (target >= 30%%)\n",
+        baseline_64, best_batched_64, 100.0 * reduction);
+    std::printf("acceptance: %s\n", reduction >= 0.30 ? "PASS" : "FAIL");
+  }
+  return 0;
+}

@@ -51,20 +51,27 @@ void ScalarDbNode::Attach() {
 }
 
 void ScalarDbNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
-  if (auto* round = dynamic_cast<ClientRoundRequest*>(msg.get())) {
-    OnClientRound(*round);
-  } else if (auto* read = dynamic_cast<StoreReadResponse*>(msg.get())) {
-    OnReadResponse(*read);
-  } else if (auto* finish = dynamic_cast<ClientFinishRequest*>(msg.get())) {
-    OnClientFinish(*finish);
-  } else if (auto* prep = dynamic_cast<StorePrepareResponse*>(msg.get())) {
-    OnPrepareResponse(*prep);
-  } else if (auto* ack = dynamic_cast<StoreDecisionAck*>(msg.get())) {
-    OnDecisionAck(*ack);
-  } else if (auto* pong = dynamic_cast<protocol::PingResponse*>(msg.get())) {
-    monitor_->OnPong(*pong);
-  } else {
-    GEOTP_CHECK(false, "scalardb: unknown message");
+  switch (msg->type()) {
+    case sim::MessageType::kClientRoundRequest:
+      OnClientRound(static_cast<ClientRoundRequest&>(*msg));
+      return;
+    case sim::MessageType::kStoreReadResponse:
+      OnReadResponse(static_cast<StoreReadResponse&>(*msg));
+      return;
+    case sim::MessageType::kClientFinishRequest:
+      OnClientFinish(static_cast<ClientFinishRequest&>(*msg));
+      return;
+    case sim::MessageType::kStorePrepareResponse:
+      OnPrepareResponse(static_cast<StorePrepareResponse&>(*msg));
+      return;
+    case sim::MessageType::kStoreDecisionAck:
+      OnDecisionAck(static_cast<StoreDecisionAck&>(*msg));
+      return;
+    case sim::MessageType::kPingResponse:
+      monitor_->OnPong(static_cast<protocol::PingResponse&>(*msg));
+      return;
+    default:
+      GEOTP_CHECK(false, "scalardb: unknown message");
   }
 }
 

@@ -19,6 +19,9 @@ namespace baselines {
 
 /// Versioned read of a batch of records.
 struct StoreReadRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kStoreReadRequest;
+  }
   TxnId txn = kInvalidTxn;
   uint64_t req_id = 0;
   std::vector<RecordKey> keys;
@@ -31,6 +34,9 @@ struct ReadResult {
 };
 
 struct StoreReadResponse : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kStoreReadResponse;
+  }
   TxnId txn = kInvalidTxn;
   uint64_t req_id = 0;
   Status status;
@@ -48,23 +54,35 @@ struct StagedOp {
 
 /// Consensus-commit prepare: validate read versions, install intents.
 struct StorePrepareRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kStorePrepareRequest;
+  }
   TxnId txn = kInvalidTxn;
   std::vector<StagedOp> ops;
   size_t WireSize() const override { return 48 + ops.size() * 32; }
 };
 
 struct StorePrepareResponse : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kStorePrepareResponse;
+  }
   TxnId txn = kInvalidTxn;
   Status status;
 };
 
 /// Promote (commit=true) or discard (commit=false) the txn's intents.
 struct StoreDecisionRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kStoreDecisionRequest;
+  }
   TxnId txn = kInvalidTxn;
   bool commit = true;
 };
 
 struct StoreDecisionAck : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kStoreDecisionAck;
+  }
   TxnId txn = kInvalidTxn;
   bool commit = true;
 };
@@ -76,6 +94,9 @@ struct StoreDecisionAck : sim::MessageBase {
 /// Execute a batch at an owner tablet: reads return committed values;
 /// writes install provisional intents immediately (fail-fast on conflict).
 struct YbBatchRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kYbBatchRequest;
+  }
   TxnId txn = kInvalidTxn;
   uint64_t req_id = 0;
   std::vector<StagedOp> ops;  ///< expected_version unused (pessimistic write)
@@ -83,6 +104,9 @@ struct YbBatchRequest : sim::MessageBase {
 };
 
 struct YbBatchResponse : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kYbBatchResponse;
+  }
   TxnId txn = kInvalidTxn;
   uint64_t req_id = 0;
   Status status;
@@ -91,6 +115,9 @@ struct YbBatchResponse : sim::MessageBase {
 
 /// Asynchronous intent resolution after the status record committed.
 struct YbResolveRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kYbResolveRequest;
+  }
   TxnId txn = kInvalidTxn;
   bool commit = true;
 };

@@ -18,21 +18,28 @@ void StoreNode::Attach() {
 }
 
 void StoreNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
-  if (auto* read = dynamic_cast<StoreReadRequest*>(msg.get())) {
-    OnRead(*read);
-  } else if (auto* prepare = dynamic_cast<StorePrepareRequest*>(msg.get())) {
-    OnPrepare(*prepare);
-  } else if (auto* decision = dynamic_cast<StoreDecisionRequest*>(msg.get())) {
-    OnDecision(*decision);
-  } else if (auto* ping = dynamic_cast<protocol::PingRequest*>(msg.get())) {
-    auto pong = std::make_unique<protocol::PingResponse>();
-    pong->from = id_;
-    pong->to = ping->from;
-    pong->seq = ping->seq;
-    pong->sent_at = ping->sent_at;
-    network_->Send(std::move(pong));
-  } else {
-    GEOTP_CHECK(false, "store node " << id_ << ": unknown message");
+  switch (msg->type()) {
+    case sim::MessageType::kStoreReadRequest:
+      OnRead(static_cast<StoreReadRequest&>(*msg));
+      return;
+    case sim::MessageType::kStorePrepareRequest:
+      OnPrepare(static_cast<StorePrepareRequest&>(*msg));
+      return;
+    case sim::MessageType::kStoreDecisionRequest:
+      OnDecision(static_cast<StoreDecisionRequest&>(*msg));
+      return;
+    case sim::MessageType::kPingRequest: {
+      auto& ping = static_cast<protocol::PingRequest&>(*msg);
+      auto pong = std::make_unique<protocol::PingResponse>();
+      pong->from = id_;
+      pong->to = ping.from;
+      pong->seq = ping.seq;
+      pong->sent_at = ping.sent_at;
+      network_->Send(std::move(pong));
+      return;
+    }
+    default:
+      GEOTP_CHECK(false, "store node " << id_ << ": unknown message");
   }
 }
 

@@ -25,25 +25,34 @@ void YbTabletNode::Attach() {
 }
 
 void YbTabletNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
-  if (auto* round = dynamic_cast<ClientRoundRequest*>(msg.get())) {
-    OnClientRound(*round);
-  } else if (auto* resp = dynamic_cast<YbBatchResponse*>(msg.get())) {
-    OnBatchResponse(*resp);
-  } else if (auto* finish = dynamic_cast<ClientFinishRequest*>(msg.get())) {
-    OnClientFinish(*finish);
-  } else if (auto* batch = dynamic_cast<YbBatchRequest*>(msg.get())) {
-    OnBatch(*batch);
-  } else if (auto* resolve = dynamic_cast<YbResolveRequest*>(msg.get())) {
-    OnResolve(*resolve);
-  } else if (auto* ping = dynamic_cast<protocol::PingRequest*>(msg.get())) {
-    auto pong = std::make_unique<protocol::PingResponse>();
-    pong->from = id_;
-    pong->to = ping->from;
-    pong->seq = ping->seq;
-    pong->sent_at = ping->sent_at;
-    network_->Send(std::move(pong));
-  } else {
-    GEOTP_CHECK(false, "yugabyte: unknown message");
+  switch (msg->type()) {
+    case sim::MessageType::kClientRoundRequest:
+      OnClientRound(static_cast<ClientRoundRequest&>(*msg));
+      return;
+    case sim::MessageType::kYbBatchResponse:
+      OnBatchResponse(static_cast<YbBatchResponse&>(*msg));
+      return;
+    case sim::MessageType::kClientFinishRequest:
+      OnClientFinish(static_cast<ClientFinishRequest&>(*msg));
+      return;
+    case sim::MessageType::kYbBatchRequest:
+      OnBatch(static_cast<YbBatchRequest&>(*msg));
+      return;
+    case sim::MessageType::kYbResolveRequest:
+      OnResolve(static_cast<YbResolveRequest&>(*msg));
+      return;
+    case sim::MessageType::kPingRequest: {
+      auto& ping = static_cast<protocol::PingRequest&>(*msg);
+      auto pong = std::make_unique<protocol::PingResponse>();
+      pong->from = id_;
+      pong->to = ping.from;
+      pong->seq = ping.seq;
+      pong->sent_at = ping.sent_at;
+      network_->Send(std::move(pong));
+      return;
+    }
+    default:
+      GEOTP_CHECK(false, "yugabyte: unknown message");
   }
 }
 

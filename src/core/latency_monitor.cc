@@ -1,6 +1,7 @@
 #include "core/latency_monitor.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 #include "sim/event_loop.h"
@@ -24,10 +25,20 @@ void LatencyMonitor::Start() {
 
 void LatencyMonitor::SendPings() {
   if (!running_) return;
-  for (NodeId target : targets_) {
+  // Resolve the probe set fresh each round: after a failover the provider
+  // points at the new leader (and the followers), not the crashed seed.
+  std::vector<PingTarget> targets;
+  if (provider_) {
+    targets = provider_();
+  } else {
+    targets.reserve(targets_.size());
+    for (NodeId node : targets_) targets.push_back(PingTarget{node, node});
+  }
+  for (const PingTarget& target : targets) {
+    alias_of_[target.node] = target.alias;
     auto ping = std::make_unique<protocol::PingRequest>();
     ping->from = self_;
-    ping->to = target;
+    ping->to = target.node;
     ping->seq = ++seq_;
     ping->sent_at = network_->loop()->Now();
     network_->Send(std::move(ping));
@@ -39,7 +50,16 @@ void LatencyMonitor::SendPings() {
 void LatencyMonitor::OnPong(const protocol::PingResponse& pong) {
   ++pongs_received_;
   const Micros sample = network_->loop()->Now() - pong.sent_at;
-  const NodeId node = pong.from;
+  last_pong_at_[pong.from] = network_->loop()->Now();
+  RecordSample(pong.from, sample);
+  auto alias = alias_of_.find(pong.from);
+  if (alias != alias_of_.end() && alias->second != pong.from &&
+      alias->second != kInvalidNode) {
+    RecordSample(alias->second, sample);
+  }
+}
+
+void LatencyMonitor::RecordSample(NodeId node, Micros sample) {
   if (config_.bootstrap_first_sample && !seeded_[node]) {
     seeded_[node] = true;
     estimates_[node] = sample;
@@ -54,6 +74,12 @@ void LatencyMonitor::OnPong(const protocol::PingResponse& pong) {
 Micros LatencyMonitor::RttEstimate(NodeId node) const {
   auto it = estimates_.find(node);
   return it == estimates_.end() ? 0 : it->second;
+}
+
+Micros LatencyMonitor::SampleAge(NodeId node) const {
+  auto it = last_pong_at_.find(node);
+  if (it == last_pong_at_.end()) return std::numeric_limits<Micros>::max();
+  return network_->loop()->Now() - it->second;
 }
 
 Micros LatencyMonitor::MaxRtt(const std::vector<NodeId>& nodes) const {

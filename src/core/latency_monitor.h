@@ -8,6 +8,7 @@
 #ifndef GEOTP_CORE_LATENCY_MONITOR_H_
 #define GEOTP_CORE_LATENCY_MONITOR_H_
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -26,11 +27,30 @@ struct LatencyMonitorConfig {
   bool bootstrap_first_sample = true;
 };
 
+/// One probe destination. `node` is the physical replica to ping; `alias`
+/// is the id the sample is additionally recorded under — the replica
+/// group's logical id for the current leader (so scheduler lookups by
+/// logical source keep working across failovers), or `node` itself.
+struct PingTarget {
+  NodeId node = kInvalidNode;
+  NodeId alias = kInvalidNode;
+};
+
 class LatencyMonitor {
  public:
+  using TargetProvider = std::function<std::vector<PingTarget>()>;
+
   LatencyMonitor(NodeId self, sim::Network* network,
                  std::vector<NodeId> targets,
                  LatencyMonitorConfig config = LatencyMonitorConfig());
+
+  /// Re-evaluated before every ping round, so probes follow failovers
+  /// (the ROADMAP stale-leader bug: without this the monitor kept pinging
+  /// the crashed seed leader forever). Without a provider the constructor
+  /// targets are pinged as-is.
+  void SetTargetProvider(TargetProvider provider) {
+    provider_ = std::move(provider);
+  }
 
   /// Begins the periodic ping schedule.
   void Start();
@@ -43,6 +63,12 @@ class LatencyMonitor {
   /// Current RTT estimate to `node`. Falls back to 0 before any sample.
   Micros RttEstimate(NodeId node) const;
 
+  /// Virtual time since `node` last answered a ping (max if it never
+  /// did). A crashed node's estimate freezes; callers doing
+  /// lowest-RTT routing must treat stale estimates as unknown or they
+  /// will pin themselves to a dead node.
+  Micros SampleAge(NodeId node) const;
+
   /// Highest estimated RTT across the given nodes (max tau in Eq. 3).
   Micros MaxRtt(const std::vector<NodeId>& nodes) const;
 
@@ -51,13 +77,18 @@ class LatencyMonitor {
 
  private:
   void SendPings();
+  void RecordSample(NodeId node, Micros sample);
 
   NodeId self_;
   sim::Network* network_;
   std::vector<NodeId> targets_;
+  TargetProvider provider_;
   LatencyMonitorConfig config_;
   std::unordered_map<NodeId, Micros> estimates_;
   std::unordered_map<NodeId, bool> seeded_;
+  std::unordered_map<NodeId, Micros> last_pong_at_;
+  /// Alias recorded for each pinged physical node in the latest round.
+  std::unordered_map<NodeId, NodeId> alias_of_;
   bool running_ = false;
   uint64_t seq_ = 0;
   uint64_t pings_sent_ = 0;

@@ -10,10 +10,13 @@ namespace datasource {
 using protocol::BranchExecuteRequest;
 using protocol::BranchExecuteResponse;
 using protocol::DecisionAck;
+using protocol::DecisionBatch;
+using protocol::DecisionItem;
 using protocol::DecisionRequest;
 using protocol::PeerAbortRequest;
 using protocol::PingRequest;
 using protocol::PingResponse;
+using protocol::PrepareBatch;
 using protocol::PrepareRequest;
 using protocol::Vote;
 using protocol::VoteMessage;
@@ -24,7 +27,10 @@ DataSourceNode::DataSourceNode(NodeId id, sim::Network* network,
       network_(network),
       config_(config),
       engine_(config.engine),
-      agent_(std::make_unique<GeoAgent>(this)) {}
+      committer_(network->loop(), config.group_commit),
+      agent_(std::make_unique<GeoAgent>(this)) {
+  committer_.set_on_fsync([this]() { engine_.NoteWalFsync(); });
+}
 
 void DataSourceNode::Attach() {
   network_->RegisterNode(id_, [this](std::unique_ptr<sim::MessageBase> msg) {
@@ -73,21 +79,49 @@ void DataSourceNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
   if (replicator_ != nullptr && replicator_->HandleMessage(msg.get())) {
     return;
   }
-  if (auto* exec = dynamic_cast<BranchExecuteRequest*>(msg.get())) {
-    if (RedirectIfNotLeader(exec->from)) return;
-    OnExecute(*exec);
-  } else if (auto* prep = dynamic_cast<PrepareRequest*>(msg.get())) {
-    if (RedirectIfNotLeader(prep->from)) return;
-    OnPrepare(*prep);
-  } else if (auto* decision = dynamic_cast<DecisionRequest*>(msg.get())) {
-    if (RedirectIfNotLeader(decision->from)) return;
-    OnDecision(*decision);
-  } else if (auto* peer = dynamic_cast<PeerAbortRequest*>(msg.get())) {
-    agent_->OnPeerAbort(*peer);
-  } else if (auto* ping = dynamic_cast<PingRequest*>(msg.get())) {
-    OnPing(*ping);
-  } else {
-    GEOTP_CHECK(false, "data source " << id_ << ": unknown message");
+  switch (msg->type()) {
+    case sim::MessageType::kBranchExecuteRequest: {
+      auto& exec = static_cast<BranchExecuteRequest&>(*msg);
+      if (RedirectIfNotLeader(exec.from)) return;
+      OnExecute(exec);
+      return;
+    }
+    case sim::MessageType::kPrepareRequest: {
+      auto& prep = static_cast<PrepareRequest&>(*msg);
+      if (RedirectIfNotLeader(prep.from)) return;
+      OnPrepare(prep.xid, prep.from);
+      return;
+    }
+    case sim::MessageType::kPrepareBatch: {
+      auto& batch = static_cast<PrepareBatch&>(*msg);
+      if (RedirectIfNotLeader(batch.from)) return;
+      for (const Xid& xid : batch.xids) OnPrepare(xid, batch.from);
+      return;
+    }
+    case sim::MessageType::kDecisionRequest: {
+      auto& decision = static_cast<DecisionRequest&>(*msg);
+      if (RedirectIfNotLeader(decision.from)) return;
+      OnDecision(DecisionItem{decision.xid, decision.commit,
+                              decision.one_phase},
+                 decision.from);
+      return;
+    }
+    case sim::MessageType::kDecisionBatch: {
+      auto& batch = static_cast<DecisionBatch&>(*msg);
+      if (RedirectIfNotLeader(batch.from)) return;
+      for (const DecisionItem& item : batch.items) {
+        OnDecision(item, batch.from);
+      }
+      return;
+    }
+    case sim::MessageType::kPeerAbortRequest:
+      agent_->OnPeerAbort(static_cast<PeerAbortRequest&>(*msg));
+      return;
+    case sim::MessageType::kPingRequest:
+      OnPing(static_cast<PingRequest&>(*msg));
+      return;
+    default:
+      GEOTP_CHECK(false, "data source " << id_ << ": unknown message");
   }
 }
 
@@ -235,14 +269,14 @@ void DataSourceNode::SendExecuteResponse(
   network_->Send(std::move(resp));
 }
 
-void DataSourceNode::OnPrepare(const PrepareRequest& req) {
+void DataSourceNode::OnPrepare(const Xid& xid, NodeId coordinator) {
   // Explicit prepare: the classic 2PC path, or the §III case of a source
-  // that is not processing the transaction's last statement.
+  // that is not processing the transaction's last statement. The prepare
+  // record joins the WAL device's open batch; the branch transitions (and
+  // the vote goes out) only when the shared fsync completes.
   stats_.explicit_prepares++;
-  const Xid xid = req.xid;
-  const NodeId coordinator = req.from;
-  loop()->Schedule(config_.engine.prepare_fsync_cost, [this, xid,
-                                                       coordinator]() {
+  committer_.Append(config_.engine.prepare_fsync_cost, [this, xid,
+                                                        coordinator]() {
     if (crashed_) return;
     Status st = engine_.Prepare(xid, loop()->Now());
     if (st.ok()) {
@@ -270,12 +304,12 @@ void DataSourceNode::OnPrepare(const PrepareRequest& req) {
   });
 }
 
-void DataSourceNode::OnDecision(const DecisionRequest& req) {
-  agent_->ClearTombstone(req.xid.txn_id);
-  const Xid xid = req.xid;
-  const NodeId coordinator = req.from;
-  if (req.commit) {
-    const bool one_phase = req.one_phase;
+void DataSourceNode::OnDecision(const DecisionItem& item,
+                                NodeId coordinator) {
+  agent_->ClearTombstone(item.xid.txn_id);
+  const Xid xid = item.xid;
+  if (item.commit) {
+    const bool one_phase = item.one_phase;
     // Decision retry after a failover: if the commit entry already exists
     // and the branch is gone (committed via log apply), just confirm once
     // the entry is quorum-durable.
@@ -299,7 +333,9 @@ void DataSourceNode::OnDecision(const DecisionRequest& req) {
         return;
       }
     }
-    loop()->Schedule(
+    // The commit record shares the WAL device's flush with any concurrent
+    // prepare/commit records (group commit).
+    committer_.Append(
         config_.engine.commit_fsync_cost,
         [this, xid, coordinator, one_phase]() {
           if (crashed_) return;
@@ -385,6 +421,9 @@ void DataSourceNode::OnCoordinatorFailure(NodeId middleware) {
 void DataSourceNode::Crash() {
   crashed_ = true;
   network_->Partition(id_);
+  // The WAL device's open batch dies with the node: entries waiting for a
+  // group-commit fsync were never durable, so their waiters must not fire.
+  committer_.Reset();
   // Data sources abort every branch that has not completed the prepare
   // phase (paper §V-A common setting ❷).
   engine_.Crash(loop()->Now());

@@ -29,6 +29,7 @@
 #include "sim/network.h"
 #include "sql/rewriter.h"
 #include "storage/engine.h"
+#include "storage/group_commit.h"
 
 namespace geotp {
 namespace datasource {
@@ -42,6 +43,10 @@ struct DataSourceConfig {
   /// Early abort (geo-agent notifies peers directly). Usually set from the
   /// middleware's mode; kept here because the behaviour is agent-side.
   bool early_abort = true;
+  /// Group-commit policy of the WAL device: prepare/commit fsyncs from
+  /// concurrent branches share one flush (enabled by default; disable for
+  /// the unbatched per-transaction fsync baseline).
+  storage::GroupCommitConfig group_commit;
 
   static DataSourceConfig MySql() {
     DataSourceConfig config;
@@ -91,6 +96,9 @@ class DataSourceNode {
   }
   const DataSourceConfig& config() const { return config_; }
   storage::TransactionEngine& engine() { return engine_; }
+  /// The WAL device's group committer: prepare/commit durability waits go
+  /// through here so concurrent branches share fsyncs.
+  storage::GroupCommitter& committer() { return committer_; }
   GeoAgent& agent() { return *agent_; }
   const DataSourceStats& stats() const { return stats_; }
   sim::EventLoop* loop() { return network_->loop(); }
@@ -150,8 +158,8 @@ class DataSourceNode {
   void FinishExecSuccess(const std::shared_ptr<ExecState>& state);
   void FinishExecFailure(const std::shared_ptr<ExecState>& state,
                          Status status);
-  void OnPrepare(const protocol::PrepareRequest& req);
-  void OnDecision(const protocol::DecisionRequest& req);
+  void OnPrepare(const Xid& xid, NodeId coordinator);
+  void OnDecision(const protocol::DecisionItem& item, NodeId coordinator);
   void OnPing(const protocol::PingRequest& req);
 
   void SendExecuteResponse(const std::shared_ptr<ExecState>& state,
@@ -161,6 +169,7 @@ class DataSourceNode {
   sim::Network* network_;
   DataSourceConfig config_;
   storage::TransactionEngine engine_;
+  storage::GroupCommitter committer_;
   std::unique_ptr<GeoAgent> agent_;
   std::unique_ptr<replication::Replicator> replicator_;
   DataSourceStats stats_;

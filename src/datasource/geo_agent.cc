@@ -20,47 +20,57 @@ void GeoAgent::AsyncPrepare(const Xid& xid, const std::vector<NodeId>& peers,
   // WAN round trip the DM-driven prepare would cost, §IV-A).
   const bool centralized = peers.empty();
   const Micros lan_cost = node->config().agent_lan_rtt;
-  const Micros prepare_cost =
-      centralized ? 0 : node->config().engine.prepare_fsync_cost;
-  node->loop()->Schedule(lan_cost + prepare_cost, [this, node, xid, peers,
-                                                   coordinator,
-                                                   centralized]() {
+  node->loop()->Schedule(lan_cost, [this, node, xid, peers, coordinator,
+                                    centralized]() {
     if (node->crashed()) return;
-    if (node->engine().StateOf(xid) != storage::TxnState::kActive) {
-      // Rolled back while the prepare was in flight (early abort from a
-      // peer); the rollback path already reported to the DM.
-      return;
-    }
-    auto vote = std::make_unique<VoteMessage>();
-    vote->from = node->id();
-    vote->to = coordinator;
-    vote->xid = xid;
     if (centralized) {
+      if (node->engine().StateOf(xid) != storage::TxnState::kActive) return;
       // Algorithm 1 line 8: no peers -> IDLE; the branch stays active and
-      // commits one-phase.
+      // commits one-phase. No prepare record, no fsync.
+      auto vote = std::make_unique<VoteMessage>();
+      vote->from = node->id();
+      vote->to = coordinator;
+      vote->xid = xid;
       vote->vote = Vote::kIdle;
       node->network()->Send(std::move(vote));
       return;
     }
-    Status st = node->engine().Prepare(xid, node->loop()->Now());
-    if (st.ok()) {
-      node->stats_.decentralized_prepares++;
-      // With replication, the PREPARED vote waits until the prepare entry
-      // (and its write set) is durable on a quorum of the replica group.
-      node->AfterLocalPrepare(xid, coordinator, [node, xid, coordinator]() {
-        if (node->crashed()) return;
-        auto gated_vote = std::make_unique<VoteMessage>();
-        gated_vote->from = node->id();
-        gated_vote->to = coordinator;
-        gated_vote->xid = xid;
-        gated_vote->vote = Vote::kPrepared;
-        node->network()->Send(std::move(gated_vote));
-      });
-    } else {
-      vote->vote = Vote::kFailure;
-      node->network()->Send(std::move(vote));
-      AsyncRollback(xid, peers, coordinator, /*notify_dm=*/false);
-    }
+    // The prepare record joins the WAL device's open batch; the branch
+    // transitions (and the vote goes out) at the shared fsync completion.
+    node->committer().Append(
+        node->config().engine.prepare_fsync_cost,
+        [this, node, xid, peers, coordinator]() {
+          if (node->crashed()) return;
+          if (node->engine().StateOf(xid) != storage::TxnState::kActive) {
+            // Rolled back while the prepare was in flight (early abort
+            // from a peer); the rollback path already reported to the DM.
+            return;
+          }
+          Status st = node->engine().Prepare(xid, node->loop()->Now());
+          if (st.ok()) {
+            node->stats_.decentralized_prepares++;
+            // With replication, the PREPARED vote waits until the prepare
+            // entry (and its write set) is durable on a group quorum.
+            node->AfterLocalPrepare(
+                xid, coordinator, [node, xid, coordinator]() {
+                  if (node->crashed()) return;
+                  auto gated_vote = std::make_unique<VoteMessage>();
+                  gated_vote->from = node->id();
+                  gated_vote->to = coordinator;
+                  gated_vote->xid = xid;
+                  gated_vote->vote = Vote::kPrepared;
+                  node->network()->Send(std::move(gated_vote));
+                });
+          } else {
+            auto vote = std::make_unique<VoteMessage>();
+            vote->from = node->id();
+            vote->to = coordinator;
+            vote->xid = xid;
+            vote->vote = Vote::kFailure;
+            node->network()->Send(std::move(vote));
+            AsyncRollback(xid, peers, coordinator, /*notify_dm=*/false);
+          }
+        });
   });
 }
 

@@ -117,7 +117,10 @@ MiddlewareNode::MiddlewareNode(NodeId id, uint32_t ordinal,
           id, network, catalog_.AllDataSources(), config_.monitor)),
       scheduler_(std::make_unique<core::GeoScheduler>(
           config_.scheduler, monitor_.get(), footprint_.get())),
-      rng_(0xD1CEBA5E + id) {}
+      rng_(0xD1CEBA5E + id),
+      log_committer_(network->loop(), config_.log_group_commit) {
+  log_committer_.set_on_fsync([this]() { stats_.log_flushes++; });
+}
 
 MiddlewareNode::~MiddlewareNode() = default;
 
@@ -125,31 +128,56 @@ void MiddlewareNode::Attach() {
   network_->RegisterNode(id_, [this](std::unique_ptr<sim::MessageBase> msg) {
     HandleMessage(std::move(msg));
   });
+  // Probe the *physical* replicas serving each logical source: the current
+  // leader (aliased to the logical id so scheduling estimates survive a
+  // failover) and its followers (so follower-read routing can pick the
+  // nearest replica by measured RTT).
+  monitor_->SetTargetProvider([this]() {
+    std::vector<core::PingTarget> targets;
+    for (NodeId logical : catalog_.AllDataSources()) {
+      const NodeId leader = catalog_.LeaderOf(logical);
+      targets.push_back(core::PingTarget{leader, logical});
+      for (NodeId follower : catalog_.FollowersOf(logical)) {
+        targets.push_back(core::PingTarget{follower, follower});
+      }
+    }
+    return targets;
+  });
   monitor_->Start();
 }
 
 void MiddlewareNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
   if (crashed_) return;
-  if (auto* round = dynamic_cast<ClientRoundRequest*>(msg.get())) {
-    OnClientRound(*round);
-  } else if (auto* resp = dynamic_cast<BranchExecuteResponse*>(msg.get())) {
-    OnExecResponse(*resp);
-  } else if (auto* vote = dynamic_cast<VoteMessage*>(msg.get())) {
-    OnVote(*vote);
-  } else if (auto* finish = dynamic_cast<ClientFinishRequest*>(msg.get())) {
-    OnClientFinish(*finish);
-  } else if (auto* ack = dynamic_cast<DecisionAck*>(msg.get())) {
-    OnDecisionAck(*ack);
-  } else if (auto* read = dynamic_cast<FollowerReadResponse*>(msg.get())) {
-    OnFollowerReadResponse(*read);
-  } else if (auto* announce = dynamic_cast<LeaderAnnounce*>(msg.get())) {
-    OnLeaderAnnounce(*announce);
-  } else if (auto* redirect = dynamic_cast<NotLeaderResponse*>(msg.get())) {
-    OnNotLeader(*redirect);
-  } else if (auto* pong = dynamic_cast<PingResponse*>(msg.get())) {
-    monitor_->OnPong(*pong);
-  } else {
-    GEOTP_CHECK(false, "middleware " << id_ << ": unknown message");
+  switch (msg->type()) {
+    case sim::MessageType::kClientRoundRequest:
+      OnClientRound(static_cast<ClientRoundRequest&>(*msg));
+      return;
+    case sim::MessageType::kBranchExecuteResponse:
+      OnExecResponse(static_cast<BranchExecuteResponse&>(*msg));
+      return;
+    case sim::MessageType::kVoteMessage:
+      OnVote(static_cast<VoteMessage&>(*msg));
+      return;
+    case sim::MessageType::kClientFinishRequest:
+      OnClientFinish(static_cast<ClientFinishRequest&>(*msg));
+      return;
+    case sim::MessageType::kDecisionAck:
+      OnDecisionAck(static_cast<DecisionAck&>(*msg));
+      return;
+    case sim::MessageType::kFollowerReadResponse:
+      OnFollowerReadResponse(static_cast<FollowerReadResponse&>(*msg));
+      return;
+    case sim::MessageType::kLeaderAnnounce:
+      OnLeaderAnnounce(static_cast<LeaderAnnounce&>(*msg));
+      return;
+    case sim::MessageType::kNotLeaderResponse:
+      OnNotLeader(static_cast<NotLeaderResponse&>(*msg));
+      return;
+    case sim::MessageType::kPingResponse:
+      monitor_->OnPong(static_cast<PingResponse&>(*msg));
+      return;
+    default:
+      GEOTP_CHECK(false, "middleware " << id_ << ": unknown message");
   }
 }
 
@@ -243,12 +271,7 @@ void MiddlewareNode::PlanAndDispatchRound(TxnId id) {
       config_.commit_protocol == CommitProtocol::kDecentralized) {
     for (auto& [node, p] : txn->participants) {
       if (p.begun && groups.count(node) == 0) {
-        auto prep = std::make_unique<PrepareRequest>();
-        prep->from = id_;
-        prep->to = catalog_.LeaderOf(node);
-        prep->xid = Xid{txn->id, node};
-        network_->Send(std::move(prep));
-        stats_.prepare_requests_sent++;
+        QueuePrepare(catalog_.LeaderOf(node), Xid{txn->id, node});
       }
     }
   }
@@ -341,7 +364,22 @@ bool MiddlewareNode::TryFollowerRead(Txn& txn, NodeId logical,
                                      uint64_t round_seq) {
   const std::vector<NodeId> followers = catalog_.FollowersOf(logical);
   if (followers.empty()) return false;
-  const NodeId target = followers[txn.id % followers.size()];
+  // Prefer the nearest follower by the monitor's measured RTT. Only fresh
+  // estimates count: a crashed follower's estimate freezes at its last
+  // (attractive) value, and pinning every read to it would turn follower
+  // reads into a 100% timeout path. Fall back to hashing while no
+  // follower has a fresh sample.
+  const Micros freshness_bound = 10 * config_.monitor.ping_interval;
+  NodeId target = followers[txn.id % followers.size()];
+  Micros best_rtt = 0;
+  for (NodeId follower : followers) {
+    if (monitor_->SampleAge(follower) > freshness_bound) continue;
+    const Micros rtt = monitor_->RttEstimate(follower);
+    if (rtt > 0 && (best_rtt == 0 || rtt < best_rtt)) {
+      best_rtt = rtt;
+      target = follower;
+    }
+  }
   auto req = std::make_unique<FollowerReadRequest>();
   req->from = id_;
   req->to = target;
@@ -481,12 +519,7 @@ void MiddlewareNode::StartCommit(Txn& txn) {
       txn.phase = Phase::kWaitCommitVotes;
       for (auto& [node, p] : txn.participants) {
         if (!p.begun) continue;
-        auto prep = std::make_unique<PrepareRequest>();
-        prep->from = id_;
-        prep->to = catalog_.LeaderOf(node);
-        prep->xid = Xid{txn.id, node};
-        network_->Send(std::move(prep));
-        stats_.prepare_requests_sent++;
+        QueuePrepare(catalog_.LeaderOf(node), Xid{txn.id, node});
       }
       return;
     }
@@ -564,11 +597,16 @@ void MiddlewareNode::CheckVotesComplete(Txn& txn) {
 }
 
 void MiddlewareNode::FlushLogAndDispatch(Txn& txn, bool commit) {
+  // The decision joins the decision log's open group-commit batch; it is
+  // logged (and dispatched) only when the shared flush completes. A DM
+  // crash loses the open batch — exactly the decisions that were never
+  // durable, so recovery's presumed abort stays correct.
   const TxnId id = txn.id;
-  loop()->Schedule(config_.log_flush_cost, [this, id, commit]() {
+  log_committer_.Append(config_.log_flush_cost, [this, id, commit]() {
     Txn* txn = FindTxn(id);
     if (txn == nullptr) return;
     log_.push_back(DecisionLogEntry{id, commit});
+    stats_.log_entries_flushed++;
     DispatchDecision(*txn, commit, /*one_phase=*/false);
   });
 }
@@ -581,14 +619,8 @@ void MiddlewareNode::DispatchDecision(Txn& txn, bool commit, bool one_phase) {
   for (auto& [node, p] : txn.participants) {
     if (!p.begun) continue;
     if (!commit && p.rollback_confirmed) continue;  // already rolled back
-    auto decision = std::make_unique<DecisionRequest>();
-    decision->from = id_;
-    decision->to = catalog_.LeaderOf(node);
-    decision->xid = Xid{txn.id, node};
-    decision->commit = commit;
-    decision->one_phase = one_phase;
-    network_->Send(std::move(decision));
-    stats_.decisions_sent++;
+    QueueDecision(catalog_.LeaderOf(node), Xid{txn.id, node}, commit,
+                  one_phase);
     ++sent;
   }
   if (!commit) {
@@ -596,6 +628,80 @@ void MiddlewareNode::DispatchDecision(Txn& txn, bool commit, bool one_phase) {
   } else if (sent == 0) {
     FinishTxn(txn, /*committed=*/true);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced dispatch
+// ---------------------------------------------------------------------------
+
+void MiddlewareNode::QueuePrepare(NodeId dest, const Xid& xid) {
+  pending_prepares_[dest].push_back(xid);
+  ScheduleDispatchFlush();
+}
+
+void MiddlewareNode::QueueDecision(NodeId dest, const Xid& xid, bool commit,
+                                   bool one_phase) {
+  pending_decisions_[dest].push_back(
+      protocol::DecisionItem{xid, commit, one_phase});
+  ScheduleDispatchFlush();
+}
+
+void MiddlewareNode::ScheduleDispatchFlush() {
+  if (dispatch_flush_scheduled_) return;
+  dispatch_flush_scheduled_ = true;
+  // Delay 0: fires later in the same event-loop tick, after whatever
+  // cascade (a group-commit flush releasing many transactions at once)
+  // finished queueing — so same-destination messages merge.
+  loop()->Schedule(0, [this]() { FlushDispatchQueues(); });
+}
+
+void MiddlewareNode::FlushDispatchQueues() {
+  dispatch_flush_scheduled_ = false;
+  if (crashed_) {
+    pending_prepares_.clear();
+    pending_decisions_.clear();
+    return;
+  }
+  for (auto& [dest, xids] : pending_prepares_) {
+    stats_.prepare_requests_sent += xids.size();
+    if (xids.size() == 1) {
+      auto prep = std::make_unique<PrepareRequest>();
+      prep->from = id_;
+      prep->to = dest;
+      prep->xid = xids.front();
+      network_->Send(std::move(prep));
+      continue;
+    }
+    auto batch = std::make_unique<protocol::PrepareBatch>();
+    batch->from = id_;
+    batch->to = dest;
+    batch->xids = std::move(xids);
+    stats_.prepare_batches_sent++;
+    stats_.dispatches_coalesced += batch->xids.size() - 1;
+    network_->Send(std::move(batch));
+  }
+  pending_prepares_.clear();
+  for (auto& [dest, items] : pending_decisions_) {
+    stats_.decisions_sent += items.size();
+    if (items.size() == 1) {
+      auto decision = std::make_unique<DecisionRequest>();
+      decision->from = id_;
+      decision->to = dest;
+      decision->xid = items.front().xid;
+      decision->commit = items.front().commit;
+      decision->one_phase = items.front().one_phase;
+      network_->Send(std::move(decision));
+      continue;
+    }
+    auto batch = std::make_unique<protocol::DecisionBatch>();
+    batch->from = id_;
+    batch->to = dest;
+    batch->items = std::move(items);
+    stats_.decision_batches_sent++;
+    stats_.dispatches_coalesced += batch->items.size() - 1;
+    network_->Send(std::move(batch));
+  }
+  pending_decisions_.clear();
 }
 
 void MiddlewareNode::OnDecisionAck(const DecisionAck& ack) {
@@ -773,25 +879,14 @@ void MiddlewareNode::HandleFailover(NodeId logical) {
         if (!p.begun || p.decision_acked) break;
         // Re-send the undecided commit; the new leader resolves it
         // idempotently against its replicated log.
-        auto decision = std::make_unique<DecisionRequest>();
-        decision->from = id_;
-        decision->to = catalog_.LeaderOf(logical);
-        decision->xid = Xid{txn.id, logical};
-        decision->commit = true;
-        decision->one_phase = txn.decision_one_phase;
-        network_->Send(std::move(decision));
-        stats_.decisions_sent++;
+        QueueDecision(catalog_.LeaderOf(logical), Xid{txn.id, logical},
+                      /*commit=*/true, txn.decision_one_phase);
         break;
       }
       case Phase::kAborting: {
         if (!p.begun || p.rollback_confirmed) break;
-        auto decision = std::make_unique<DecisionRequest>();
-        decision->from = id_;
-        decision->to = catalog_.LeaderOf(logical);
-        decision->xid = Xid{txn.id, logical};
-        decision->commit = false;
-        network_->Send(std::move(decision));
-        stats_.decisions_sent++;
+        QueueDecision(catalog_.LeaderOf(logical), Xid{txn.id, logical},
+                      /*commit=*/false, /*one_phase=*/false);
         break;
       }
     }
@@ -810,14 +905,7 @@ void MiddlewareNode::ResolveOrphanVote(const VoteMessage& vote) {
     if (entry.txn_id == vote.xid.txn_id) committed = entry.commit;
   }
   if (!committed) stats_.presumed_aborts++;
-  auto decision = std::make_unique<DecisionRequest>();
-  decision->from = id_;
-  decision->to = vote.from;
-  decision->xid = vote.xid;
-  decision->commit = committed;
-  decision->one_phase = false;
-  network_->Send(std::move(decision));
-  stats_.decisions_sent++;
+  QueueDecision(vote.from, vote.xid, committed, /*one_phase=*/false);
 }
 
 // ---------------------------------------------------------------------------
@@ -828,6 +916,11 @@ void MiddlewareNode::Crash() {
   crashed_ = true;
   network_->Partition(id_);
   txns_.clear();  // in-memory coordinator state is lost; log_ survives
+  // Decisions in the decision log's open batch were never durable: the
+  // crash loses them (their transactions resolve via presumed abort).
+  log_committer_.Reset();
+  pending_prepares_.clear();
+  pending_decisions_.clear();
 }
 
 void MiddlewareNode::Restart(
@@ -847,14 +940,7 @@ void MiddlewareNode::Restart(
       for (const auto& entry : log_) {
         if (entry.txn_id == xid.txn_id) committed = entry.commit;
       }
-      auto decision = std::make_unique<DecisionRequest>();
-      decision->from = id_;
-      decision->to = src->id();
-      decision->xid = xid;
-      decision->commit = committed;
-      decision->one_phase = false;
-      network_->Send(std::move(decision));
-      stats_.decisions_sent++;
+      QueueDecision(src->id(), xid, committed, /*one_phase=*/false);
     }
   }
 }

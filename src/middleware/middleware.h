@@ -35,6 +35,7 @@
 #include "middleware/catalog.h"
 #include "protocol/messages.h"
 #include "sim/network.h"
+#include "storage/group_commit.h"
 
 namespace geotp {
 namespace datasource {
@@ -64,6 +65,9 @@ struct MiddlewareConfig {
   Micros analysis_cost = 300;
   /// Commit/abort decision log fsync at the DM (Algorithm 1 FlushLog).
   Micros log_flush_cost = 500;
+  /// Group-commit policy of the decision log: concurrent FlushLog calls
+  /// share one flush (the same abstraction the data sources use).
+  storage::GroupCommitConfig log_group_commit;
   /// Serve all-read batches of final-round branches from replication
   /// followers (stale-bounded; falls back to the leader on rejection).
   bool follower_reads = false;
@@ -111,6 +115,12 @@ struct MiddlewareStats {
   uint64_t failovers_observed = 0;       ///< leadership changes adopted
   uint64_t branch_retries = 0;           ///< in-flight batches re-dispatched
   uint64_t presumed_aborts = 0;          ///< orphan votes resolved from log
+  // Group commit / coalescing observability (fsync amortization).
+  uint64_t log_flushes = 0;          ///< decision-log fsyncs performed
+  uint64_t log_entries_flushed = 0;  ///< decisions made durable
+  uint64_t prepare_batches_sent = 0;   ///< multi-prepare envelopes
+  uint64_t decision_batches_sent = 0;  ///< multi-decision envelopes
+  uint64_t dispatches_coalesced = 0;   ///< messages saved by batching
   metrics::PhaseBreakdown breakdown;
 };
 
@@ -135,6 +145,9 @@ class MiddlewareNode {
   core::LatencyMonitor& monitor() { return *monitor_; }
   core::HotspotFootprint& footprint() { return *footprint_; }
   const std::vector<DecisionLogEntry>& decision_log() const { return log_; }
+  const storage::GroupCommitter& log_committer() const {
+    return log_committer_;
+  }
   sim::EventLoop* loop() { return network_->loop(); }
 
   /// Number of transactions currently coordinated (in any phase).
@@ -241,6 +254,16 @@ class MiddlewareNode {
   void CheckAbortDone(Txn& txn);
   void FinishTxn(Txn& txn, bool committed);
 
+  // ----- coalesced dispatch -----------------------------------------------
+  /// Queue a prepare/decision for `dest`; everything queued within one
+  /// event-loop tick leaves as one PrepareBatch/DecisionBatch per
+  /// destination (group commit releases many decisions at once).
+  void QueuePrepare(NodeId dest, const Xid& xid);
+  void QueueDecision(NodeId dest, const Xid& xid, bool commit,
+                     bool one_phase);
+  void ScheduleDispatchFlush();
+  void FlushDispatchQueues();
+
   Txn* FindTxn(TxnId id);
   std::vector<NodeId> ParticipantIds(const Txn& txn) const;
 
@@ -255,9 +278,18 @@ class MiddlewareNode {
   Rng rng_;
   MiddlewareStats stats_;
   std::vector<DecisionLogEntry> log_;  // durable
+  /// Group committer of the decision log: concurrent FlushLog calls share
+  /// one `log_flush_cost` flush; a DM crash loses the open batch (those
+  /// decisions were never durable, so presumed abort applies).
+  storage::GroupCommitter log_committer_;
   uint64_t next_seq_ = 1;
   bool crashed_ = false;
   std::unordered_map<TxnId, Txn> txns_;
+
+  // Same-tick dispatch coalescing (one envelope per destination).
+  std::map<NodeId, std::vector<Xid>> pending_prepares_;
+  std::map<NodeId, std::vector<protocol::DecisionItem>> pending_decisions_;
+  bool dispatch_flush_scheduled_ = false;
 };
 
 }  // namespace middleware

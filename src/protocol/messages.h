@@ -36,6 +36,9 @@ struct ClientOp {
 /// transaction; `last_round` carries the last-statement annotation that
 /// lets GeoTP trigger the decentralized prepare (paper §IV-A).
 struct ClientRoundRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kClientRoundRequest;
+  }
   uint64_t client_tag = 0;  ///< client-side correlation handle
   TxnId txn_id = kInvalidTxn;  ///< 0 on the first round; DM assigns
   std::vector<ClientOp> ops;
@@ -44,6 +47,9 @@ struct ClientRoundRequest : sim::MessageBase {
 };
 
 struct ClientRoundResponse : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kClientRoundResponse;
+  }
   uint64_t client_tag = 0;
   TxnId txn_id = kInvalidTxn;
   Status status;
@@ -53,6 +59,9 @@ struct ClientRoundResponse : sim::MessageBase {
 
 /// COMMIT (or ROLLBACK) submitted by the client.
 struct ClientFinishRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kClientFinishRequest;
+  }
   uint64_t client_tag = 0;
   TxnId txn_id = kInvalidTxn;
   bool commit = true;
@@ -60,6 +69,9 @@ struct ClientFinishRequest : sim::MessageBase {
 
 /// Final transaction outcome to the client.
 struct ClientTxnResult : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kClientTxnResult;
+  }
   uint64_t client_tag = 0;
   TxnId txn_id = kInvalidTxn;
   Status status;
@@ -71,6 +83,9 @@ struct ClientTxnResult : sim::MessageBase {
 
 /// Executes a batch of operations of one subtransaction branch.
 struct BranchExecuteRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kBranchExecuteRequest;
+  }
   Xid xid;
   uint64_t round_seq = 0;
   bool begin_branch = false;      ///< first batch for this branch
@@ -87,6 +102,9 @@ struct BranchExecuteRequest : sim::MessageBase {
 };
 
 struct BranchExecuteResponse : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kBranchExecuteResponse;
+  }
   Xid xid;
   uint64_t round_seq = 0;
   Status status;
@@ -102,6 +120,9 @@ struct BranchExecuteResponse : sim::MessageBase {
 /// Explicit prepare request (classic 2PC path, and the "notify sources not
 /// processing the last statement" case of §III).
 struct PrepareRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kPrepareRequest;
+  }
   Xid xid;
 };
 
@@ -117,19 +138,39 @@ enum class Vote : uint8_t {
 const char* VoteName(Vote vote);
 
 struct VoteMessage : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kVoteMessage;
+  }
   Xid xid;
   Vote vote = Vote::kPrepared;
+};
+
+/// Several explicit prepares bound for one data source, coalesced by the
+/// DM's dispatch queue when they go out in the same event-loop tick (group
+/// commit at the DM releases many decisions/prepares at once).
+struct PrepareBatch : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kPrepareBatch;
+  }
+  std::vector<Xid> xids;
+  size_t WireSize() const override { return 48 + xids.size() * 24; }
 };
 
 /// Final decision from the DM. `one_phase` commits an un-prepared branch
 /// directly (XA COMMIT ... ONE PHASE; centralized transactions).
 struct DecisionRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kDecisionRequest;
+  }
   Xid xid;
   bool commit = true;
   bool one_phase = false;
 };
 
 struct DecisionAck : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kDecisionAck;
+  }
   Xid xid;
   bool committed = false;
   /// Echo of the request's one_phase flag: a failed one-phase commit is a
@@ -139,6 +180,24 @@ struct DecisionAck : sim::MessageBase {
   Status status;
 };
 
+/// One decision of a DecisionBatch.
+struct DecisionItem {
+  Xid xid;
+  bool commit = true;
+  bool one_phase = false;
+};
+
+/// Several decisions bound for one data source, coalesced like
+/// PrepareBatch. The source processes items in order and acks each one
+/// individually (acks carry per-transaction status).
+struct DecisionBatch : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kDecisionBatch;
+  }
+  std::vector<DecisionItem> items;
+  size_t WireSize() const override { return 48 + items.size() * 24; }
+};
+
 // ---------------------------------------------------------------------------
 // Geo-agent <-> geo-agent (early abort, §IV-A)
 // ---------------------------------------------------------------------------
@@ -146,6 +205,9 @@ struct DecisionAck : sim::MessageBase {
 /// Proactive peer-abort notification, sent data-source to data-source
 /// without DM coordination.
 struct PeerAbortRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kPeerAbortRequest;
+  }
   TxnId txn_id = kInvalidTxn;
   NodeId origin = kInvalidNode;  ///< the data source where the failure hit
 };
@@ -184,6 +246,9 @@ struct ReplEntry {
 /// Leader -> follower log shipping. Empty `entries` is a heartbeat; both
 /// carry the quorum commit watermark so followers can apply.
 struct ReplAppendRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kReplAppendRequest;
+  }
   NodeId group = kInvalidNode;  ///< logical data source id
   uint64_t epoch = 0;
   /// Index of the entry immediately before `entries` (0 = log start).
@@ -194,6 +259,11 @@ struct ReplAppendRequest : sim::MessageBase {
   uint64_t prev_epoch = 0;
   std::vector<ReplEntry> entries;
   uint64_t commit_watermark = 0;
+  /// Highest index every group member is known to hold (leader's min match
+  /// bounded by the watermark): followers may compact their log prefix up
+  /// to here and no further, so any future leader can still re-ship the
+  /// retained tail to a lagging peer.
+  uint64_t compact_floor = 0;
   size_t WireSize() const override {
     size_t bytes = 64;
     for (const ReplEntry& e : entries) bytes += 48 + e.writes.size() * 16;
@@ -202,6 +272,9 @@ struct ReplAppendRequest : sim::MessageBase {
 };
 
 struct ReplAppendAck : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kReplAppendAck;
+  }
   NodeId group = kInvalidNode;
   uint64_t epoch = 0;  ///< follower's current epoch (leader steps down if newer)
   /// Highest log index the follower holds after processing the append.
@@ -212,6 +285,9 @@ struct ReplAppendAck : sim::MessageBase {
 
 /// Candidate -> replica during leader election.
 struct ReplVoteRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kReplVoteRequest;
+  }
   NodeId group = kInvalidNode;
   uint64_t epoch = 0;  ///< candidate's proposed (incremented) epoch
   /// (epoch of last log entry, log length): voters compare these
@@ -223,6 +299,9 @@ struct ReplVoteRequest : sim::MessageBase {
 };
 
 struct ReplVoteResponse : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kReplVoteResponse;
+  }
   NodeId group = kInvalidNode;
   uint64_t epoch = 0;
   bool granted = false;
@@ -233,6 +312,9 @@ struct ReplVoteResponse : sim::MessageBase {
 /// Broadcast by a freshly elected leader to the middlewares so they update
 /// routing and retry in-flight branches.
 struct LeaderAnnounce : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kLeaderAnnounce;
+  }
   NodeId group = kInvalidNode;
   uint64_t epoch = 0;
   NodeId leader = kInvalidNode;
@@ -242,6 +324,9 @@ struct LeaderAnnounce : sim::MessageBase {
 /// Sent by a replica that received coordinator traffic while not being the
 /// group's leader (stale middleware routing).
 struct NotLeaderResponse : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kNotLeaderResponse;
+  }
   NodeId group = kInvalidNode;
   uint64_t epoch = 0;
   NodeId leader_hint = kInvalidNode;  ///< kInvalidNode while electing
@@ -251,6 +336,9 @@ struct NotLeaderResponse : sim::MessageBase {
 /// Stale-bounded read of committed data served by a follower, used for
 /// read-only branches when the middleware enables follower reads.
 struct FollowerReadRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kFollowerReadRequest;
+  }
   NodeId group = kInvalidNode;
   TxnId txn_id = kInvalidTxn;
   uint64_t round_seq = 0;
@@ -260,6 +348,9 @@ struct FollowerReadRequest : sim::MessageBase {
 };
 
 struct FollowerReadResponse : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kFollowerReadResponse;
+  }
   NodeId group = kInvalidNode;
   TxnId txn_id = kInvalidTxn;
   uint64_t round_seq = 0;
@@ -274,12 +365,18 @@ struct FollowerReadResponse : sim::MessageBase {
 // ---------------------------------------------------------------------------
 
 struct PingRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kPingRequest;
+  }
   uint64_t seq = 0;
   Micros sent_at = 0;
   size_t WireSize() const override { return 32; }
 };
 
 struct PingResponse : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kPingResponse;
+  }
   uint64_t seq = 0;
   Micros sent_at = 0;
   size_t WireSize() const override { return 32; }

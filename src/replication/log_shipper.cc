@@ -16,6 +16,8 @@ void LogShipper::Activate(NodeId group, uint64_t epoch,
                           std::vector<NodeId> followers, size_t quorum_size,
                           uint64_t floor) {
   active_ = true;
+  activation_++;
+  ship_scheduled_ = false;
   group_ = group;
   epoch_ = epoch;
   quorum_size_ = quorum_size;
@@ -33,6 +35,8 @@ void LogShipper::Activate(NodeId group, uint64_t epoch,
 
 void LogShipper::Deactivate() {
   active_ = false;
+  activation_++;
+  ship_scheduled_ = false;
   pending_.clear();
 }
 
@@ -43,12 +47,35 @@ uint64_t LogShipper::AppendAndShip(ReplEntry entry, QuorumCallback on_quorum) {
   if (on_quorum != nullptr) {
     pending_.emplace(index, std::move(on_quorum));
   }
-  for (auto& [follower, progress] : followers_) {
-    ShipTo(follower, progress);
-  }
+  // Coalesce: every entry appended in this event-loop tick (a group-commit
+  // flush appends many) ships in ONE request per follower, acked as one.
+  ScheduleShip();
   // The leader's own copy counts toward the quorum.
   AdvanceWatermark();
   return index;
+}
+
+void LogShipper::ScheduleShip() {
+  if (ship_scheduled_) return;
+  ship_scheduled_ = true;
+  const uint64_t activation = activation_;
+  network_->loop()->Schedule(0, [this, activation]() {
+    if (activation != activation_ || !active_) return;
+    ship_scheduled_ = false;
+    for (auto& [follower, progress] : followers_) {
+      if (progress.next_index <= log_->last_index()) {
+        ShipTo(follower, progress);
+      }
+    }
+  });
+}
+
+uint64_t LogShipper::MinMatchIndex() const {
+  uint64_t min_match = log_->last_index();
+  for (const auto& [follower, progress] : followers_) {
+    min_match = std::min(min_match, progress.match_index);
+  }
+  return min_match;
 }
 
 void LogShipper::AwaitQuorum(uint64_t index, QuorumCallback on_quorum) {
@@ -67,11 +94,12 @@ void LogShipper::ShipTo(NodeId follower, Progress& progress) {
   req->group = group_;
   req->epoch = epoch_;
   req->prev_index = progress.next_index - 1;
-  req->prev_epoch =
-      req->prev_index > 0 ? log_->At(req->prev_index).epoch : 0;
+  req->prev_epoch = log_->EpochAt(req->prev_index);
   req->entries = log_->Slice(progress.next_index, log_->last_index());
   req->commit_watermark = commit_watermark_;
+  req->compact_floor = std::min(MinMatchIndex(), commit_watermark_);
   stats_.entries_shipped += req->entries.size();
+  if (!req->entries.empty()) stats_.append_batches_shipped++;
   network_->Send(std::move(req));
   // Optimistically advance; a failed ack rewinds next_index.
   progress.next_index = log_->last_index() + 1;

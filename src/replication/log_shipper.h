@@ -8,11 +8,14 @@
 #ifndef GEOTP_REPLICATION_LOG_SHIPPER_H_
 #define GEOTP_REPLICATION_LOG_SHIPPER_H_
 
+#include <algorithm>
+#include <deque>
 #include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
 #include "protocol/messages.h"
 #include "replication/replication_config.h"
 #include "sim/network.h"
@@ -20,14 +23,30 @@
 namespace geotp {
 namespace replication {
 
-/// Sequential log of ReplEntry, 1-based indexing.
+/// Sequential log of ReplEntry, 1-based indexing. A compacted prefix
+/// (entries every member already applied) may be truncated away: index
+/// arithmetic stays global, only storage for [1, offset] is released.
 class ReplicationLog {
  public:
-  uint64_t last_index() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  /// Smallest index still stored (offset + 1); may exceed last_index()
+  /// when everything was compacted.
+  uint64_t first_index() const { return offset_ + 1; }
+  uint64_t last_index() const { return offset_ + entries_.size(); }
+  bool empty() const { return last_index() == 0; }
 
   const protocol::ReplEntry& At(uint64_t index) const {
-    return entries_[static_cast<size_t>(index - 1)];
+    GEOTP_CHECK(index > offset_ && index <= last_index(),
+                "log index " << index << " outside [" << first_index()
+                             << ", " << last_index() << "]");
+    return entries_[static_cast<size_t>(index - offset_ - 1)];
+  }
+
+  /// Epoch of the entry at `index`; also answers at the compaction
+  /// boundary (index == offset) and 0 for the log start.
+  uint64_t EpochAt(uint64_t index) const {
+    if (index == 0) return 0;
+    if (index == offset_) return offset_epoch_;
+    return At(index).epoch;
   }
 
   /// Appends at last_index() + 1 and returns the assigned index.
@@ -37,28 +56,47 @@ class ReplicationLog {
     return last_index();
   }
 
-  /// Drops every entry with index >= `from`.
+  /// Drops every entry with index >= `from` (divergent-tail repair).
   void TruncateFrom(uint64_t from) {
-    if (from <= entries_.size()) {
-      entries_.resize(static_cast<size_t>(from - 1));
+    GEOTP_CHECK(from > offset_, "tail truncation into compacted prefix");
+    if (from <= last_index()) {
+      entries_.resize(static_cast<size_t>(from - offset_ - 1));
     }
   }
 
-  /// Entries in [from, to] (clamped), for shipping.
+  /// Compaction: releases every entry with index <= `upto` (clamped).
+  /// Returns how many entries were dropped.
+  uint64_t TruncatePrefix(uint64_t upto) {
+    upto = std::min(upto, last_index());
+    if (upto <= offset_) return 0;
+    const uint64_t dropped = upto - offset_;
+    offset_epoch_ = At(upto).epoch;
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<ptrdiff_t>(dropped));
+    offset_ = upto;
+    return dropped;
+  }
+
+  /// Entries in [from, to] (clamped), for shipping. `from` must not reach
+  /// into the compacted prefix.
   std::vector<protocol::ReplEntry> Slice(uint64_t from, uint64_t to) const {
     std::vector<protocol::ReplEntry> out;
-    for (uint64_t i = from; i <= to && i <= last_index(); ++i) {
+    for (uint64_t i = std::max(from, first_index());
+         i <= to && i <= last_index(); ++i) {
       out.push_back(At(i));
     }
     return out;
   }
 
  private:
-  std::vector<protocol::ReplEntry> entries_;
+  std::deque<protocol::ReplEntry> entries_;
+  uint64_t offset_ = 0;        ///< highest compacted-away index
+  uint64_t offset_epoch_ = 0;  ///< epoch of the entry at offset_
 };
 
 struct LogShipperStats {
   uint64_t entries_shipped = 0;
+  uint64_t append_batches_shipped = 0;  ///< non-empty ReplAppendRequests
   uint64_t acks_received = 0;
   uint64_t retransmissions = 0;
   uint64_t quorum_callbacks_fired = 0;
@@ -82,11 +120,18 @@ class LogShipper {
   uint64_t commit_watermark() const { return commit_watermark_; }
   const LogShipperStats& stats() const { return stats_; }
 
-  /// Appends `entry` to the log, ships it, and runs `on_quorum` once the
-  /// entry is durable on a quorum. With a quorum of one (or a group of
-  /// one), the callback fires synchronously. Pass nullptr for
-  /// fire-and-forget entries (aborts).
+  /// Appends `entry` to the log and schedules shipping; `on_quorum` runs
+  /// once the entry is durable on a quorum. With a quorum of one (or a
+  /// group of one), the callback fires synchronously. Pass nullptr for
+  /// fire-and-forget entries (aborts). Entries appended within one
+  /// event-loop tick leave as ONE ReplAppendRequest per follower, acked as
+  /// one batch.
   uint64_t AppendAndShip(protocol::ReplEntry entry, QuorumCallback on_quorum);
+
+  /// Lowest index known replicated on every follower (conservative: 0
+  /// until each follower acked). Used as the compaction bound so no
+  /// follower is ever asked to accept a truncated-away entry.
+  uint64_t MinMatchIndex() const;
 
   /// Registers an extra quorum callback for an existing entry (decision
   /// retries after failover). Fires immediately if already quorum-durable.
@@ -106,6 +151,9 @@ class LogShipper {
   };
 
   void ShipTo(NodeId follower, Progress& progress);
+  /// Coalesced shipping: one delay-0 event per tick ships every pending
+  /// entry to every lagging follower in one request each.
+  void ScheduleShip();
   void AdvanceWatermark();
 
   NodeId self_;
@@ -115,6 +163,9 @@ class LogShipper {
   NodeId group_ = kInvalidNode;
   uint64_t epoch_ = 0;
   size_t quorum_size_ = 1;
+  bool ship_scheduled_ = false;
+  /// Bumped on Activate/Deactivate so stale ship events are no-ops.
+  uint64_t activation_ = 0;
   std::unordered_map<NodeId, Progress> followers_;
   uint64_t commit_watermark_ = 0;
   /// Pending quorum callbacks, keyed by entry index (fired in order).

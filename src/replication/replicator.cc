@@ -40,7 +40,7 @@ sim::Network* Replicator::network() const { return node_->network(); }
 NodeId Replicator::self() const { return node_->id(); }
 
 uint64_t Replicator::LastLogEpoch() const {
-  return log_.empty() ? 0 : log_.At(log_.last_index()).epoch;
+  return log_.EpochAt(log_.last_index());
 }
 
 std::vector<NodeId> Replicator::Followers() const {
@@ -149,20 +149,25 @@ std::optional<uint64_t> Replicator::CommitEntryIndex(TxnId txn) const {
 // ---------------------------------------------------------------------------
 
 bool Replicator::HandleMessage(sim::MessageBase* msg) {
-  if (auto* append = dynamic_cast<ReplAppendRequest*>(msg)) {
-    OnAppend(*append);
-  } else if (auto* ack = dynamic_cast<ReplAppendAck*>(msg)) {
-    OnAppendAck(*ack);
-  } else if (auto* vote_req = dynamic_cast<ReplVoteRequest*>(msg)) {
-    OnVoteRequest(*vote_req);
-  } else if (auto* vote_resp = dynamic_cast<ReplVoteResponse*>(msg)) {
-    OnVoteResponse(*vote_resp);
-  } else if (auto* read = dynamic_cast<FollowerReadRequest*>(msg)) {
-    OnFollowerRead(*read);
-  } else {
-    return false;
+  switch (msg->type()) {
+    case sim::MessageType::kReplAppendRequest:
+      OnAppend(static_cast<ReplAppendRequest&>(*msg));
+      return true;
+    case sim::MessageType::kReplAppendAck:
+      OnAppendAck(static_cast<ReplAppendAck&>(*msg));
+      return true;
+    case sim::MessageType::kReplVoteRequest:
+      OnVoteRequest(static_cast<ReplVoteRequest&>(*msg));
+      return true;
+    case sim::MessageType::kReplVoteResponse:
+      OnVoteResponse(static_cast<ReplVoteResponse&>(*msg));
+      return true;
+    case sim::MessageType::kFollowerReadRequest:
+      OnFollowerRead(static_cast<FollowerReadRequest&>(*msg));
+      return true;
+    default:
+      return false;
   }
-  return true;
 }
 
 void Replicator::OnAppend(const ReplAppendRequest& req) {
@@ -192,7 +197,7 @@ void Replicator::OnAppend(const ReplAppendRequest& req) {
   // Raft-style log matching: our entry at prev_index must be the leader's.
   if (req.prev_index > log_.last_index() ||
       (req.prev_index > 0 &&
-       log_.At(req.prev_index).epoch != req.prev_epoch)) {
+       log_.EpochAt(req.prev_index) != req.prev_epoch)) {
     ack->ok = false;
     ack->ack_index = req.prev_index > 0
                          ? std::min(log_.last_index(), req.prev_index - 1)
@@ -202,6 +207,9 @@ void Replicator::OnAppend(const ReplAppendRequest& req) {
   }
 
   for (const ReplEntry& entry : req.entries) {
+    // Entries at or below our compacted prefix are quorum-applied
+    // duplicates (a conservative retransmit after leadership churn).
+    if (entry.index < log_.first_index()) continue;
     if (entry.index <= log_.last_index()) {
       if (log_.At(entry.index).epoch == entry.epoch) continue;  // duplicate
       // Divergent tail from a deposed leader: quorum-applied prefixes can
@@ -216,6 +224,7 @@ void Replicator::OnAppend(const ReplAppendRequest& req) {
   }
 
   const uint64_t verified = req.prev_index + req.entries.size();
+  compact_floor_ = std::max(compact_floor_, req.compact_floor);
   consistent_prefix_ = std::max(consistent_prefix_, verified);
   follower_watermark_ = std::max(
       follower_watermark_, std::min(req.commit_watermark, consistent_prefix_));
@@ -223,6 +232,7 @@ void Replicator::OnAppend(const ReplAppendRequest& req) {
   if (applied_index_ >= req.commit_watermark) {
     fresh_as_of_ = loop()->Now();
   }
+  MaybeTruncateLog();
   ack->ok = true;
   ack->ack_index = consistent_prefix_;
   network()->Send(std::move(ack));
@@ -242,6 +252,28 @@ void Replicator::AppendTracked(const ReplEntry& entry) {
       unresolved_prepares_.erase(entry.xid.txn_id);
       break;
   }
+}
+
+void Replicator::MaybeTruncateLog() {
+  // Safe compaction point: everything at quorum that this replica already
+  // reflects, bounded by what EVERY group member already holds (a
+  // truncated entry can never be re-shipped, and any replica may be the
+  // next leader). The leader computes that bound as its min follower
+  // match index; followers learn it as the append-carried compact_floor.
+  // A leader reflects its whole quorum-durable prefix through local
+  // engine commits, so applied_index_ (a follower-side notion) only
+  // bounds followers. Unresolved prepares are pinned: a promotion must
+  // still install them as in-doubt branches.
+  uint64_t safe = commit_watermark();
+  if (IsLeader()) {
+    safe = std::min(safe, shipper_.MinMatchIndex());
+  } else {
+    safe = std::min({safe, applied_index_, compact_floor_});
+  }
+  for (const auto& [txn, index] : unresolved_prepares_) {
+    safe = std::min(safe, index - 1);
+  }
+  stats_.log_entries_truncated += log_.TruncatePrefix(safe);
 }
 
 void Replicator::TruncateFrom(uint64_t from) {
@@ -371,6 +403,7 @@ void Replicator::ArmHeartbeatTimer() {
         heartbeat_timer_ = sim::kInvalidEvent;
         if (node_->crashed() || !IsLeader()) return;
         shipper_.Tick();
+        MaybeTruncateLog();
         ArmHeartbeatTimer();
       });
 }

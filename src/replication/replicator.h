@@ -42,6 +42,7 @@ struct ReplicatorStats {
   uint64_t follower_reads_served = 0;
   uint64_t follower_reads_rejected = 0;
   uint64_t not_leader_rejections = 0;
+  uint64_t log_entries_truncated = 0;  ///< compacted-away prefix entries
 };
 
 class Replicator {
@@ -145,6 +146,9 @@ class Replicator {
   void AppendTracked(const protocol::ReplEntry& entry);
   /// Removes log entries >= `from` plus their tracking state.
   void TruncateFrom(uint64_t from);
+  /// Compacts the log prefix every group member has applied (bounded by
+  /// unresolved prepares, which a promotion still needs to install).
+  void MaybeTruncateLog();
   /// After any possible role change: retires leader-only machinery and
   /// keeps the election timer armed for non-leaders.
   void SyncRoleState();
@@ -165,6 +169,10 @@ class Replicator {
   uint64_t consistent_prefix_ = 0;
   uint64_t follower_watermark_ = 0;
   uint64_t applied_index_ = 0;
+  /// Leader-announced compaction bound (its min follower match index): a
+  /// follower must retain everything above it so that, if promoted, it
+  /// can still re-ship the tail to the laggiest peer (no snapshots yet).
+  uint64_t compact_floor_ = 0;
   Micros last_leader_contact_ = 0;
   Micros fresh_as_of_ = -1;  ///< -1: never caught up
 

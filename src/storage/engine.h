@@ -78,6 +78,10 @@ class TransactionEngine {
   LockManager& locks() { return locks_; }
   const Wal& wal() const { return wal_; }
 
+  /// Reports one physical WAL fsync (the data-source node's GroupCommitter
+  /// calls this once per completed flush, however many entries it covered).
+  void NoteWalFsync() { wal_.NoteFsync(); }
+
   /// Begins a transaction branch. Fails if the xid is already known.
   Status Begin(const Xid& xid);
 

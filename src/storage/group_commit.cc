@@ -1,0 +1,105 @@
+#include "storage/group_commit.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+namespace geotp {
+namespace storage {
+
+void GroupCommitter::Append(Micros fsync_cost, DurableCallback on_durable) {
+  if (!config_.enabled) {
+    // Unbatched baseline: an independent fsync per entry, charged in
+    // parallel (the pre-group-commit model).
+    const uint64_t generation = generation_;
+    loop_->Schedule(fsync_cost, [this, generation,
+                                 cb = std::move(on_durable)]() {
+      if (generation != generation_) return;  // crashed meanwhile
+      stats_.fsyncs++;
+      stats_.entries++;
+      stats_.max_batch_entries = std::max<uint64_t>(
+          stats_.max_batch_entries, 1);
+      if (on_fsync_) on_fsync_();
+      cb();
+    });
+    return;
+  }
+
+  open_.push_back(Entry{fsync_cost, std::move(on_durable)});
+  if (flushing_) return;  // joins the next batch when the device frees
+  if (open_.size() >= config_.max_batch_size) {
+    if (open_timer_ != sim::kInvalidEvent) {
+      loop_->Cancel(open_timer_);
+      open_timer_ = sim::kInvalidEvent;
+    }
+    StartFlush();
+    return;
+  }
+  if (open_timer_ != sim::kInvalidEvent) return;  // batch already open
+  const uint64_t generation = generation_;
+  open_timer_ = loop_->Schedule(config_.max_batch_delay,
+                                [this, generation]() {
+                                  if (generation != generation_) return;
+                                  open_timer_ = sim::kInvalidEvent;
+                                  if (!flushing_) StartFlush();
+                                });
+}
+
+void GroupCommitter::StartFlush() {
+  if (open_.empty()) return;
+  flushing_ = true;
+  if (open_.size() <= config_.max_batch_size) {
+    in_flight_ = std::move(open_);
+    open_.clear();
+  } else {
+    // A backlog wider than one batch (accumulated while the device was
+    // busy) drains max_batch_size entries per flush.
+    in_flight_.assign(
+        std::make_move_iterator(open_.begin()),
+        std::make_move_iterator(open_.begin() +
+                                static_cast<ptrdiff_t>(config_.max_batch_size)));
+    open_.erase(open_.begin(),
+                open_.begin() + static_cast<ptrdiff_t>(config_.max_batch_size));
+  }
+  Micros cost = 0;
+  for (const Entry& entry : in_flight_) cost = std::max(cost, entry.cost);
+  const uint64_t generation = generation_;
+  loop_->Schedule(cost, [this, generation]() { FinishFlush(generation); });
+}
+
+void GroupCommitter::FinishFlush(uint64_t generation) {
+  if (generation != generation_) return;  // crashed while on the device
+  stats_.fsyncs++;
+  stats_.entries += in_flight_.size();
+  stats_.max_batch_entries =
+      std::max<uint64_t>(stats_.max_batch_entries, in_flight_.size());
+  if (on_fsync_) on_fsync_();
+  // Waiters may append again from their callbacks; detach the batch first.
+  std::vector<Entry> done = std::move(in_flight_);
+  in_flight_.clear();
+  flushing_ = false;
+  for (Entry& entry : done) entry.on_durable();
+  // Entries that arrived while the device was busy have waited long
+  // enough: flush them immediately, ignoring max_batch_delay.
+  if (!flushing_ && !open_.empty()) {
+    if (open_timer_ != sim::kInvalidEvent) {
+      loop_->Cancel(open_timer_);
+      open_timer_ = sim::kInvalidEvent;
+    }
+    StartFlush();
+  }
+}
+
+void GroupCommitter::Reset() {
+  generation_++;
+  if (open_timer_ != sim::kInvalidEvent) {
+    loop_->Cancel(open_timer_);
+    open_timer_ = sim::kInvalidEvent;
+  }
+  open_.clear();
+  in_flight_.clear();
+  flushing_ = false;
+}
+
+}  // namespace storage
+}  // namespace geotp

@@ -1,0 +1,106 @@
+// GroupCommitter: fsync batching for the durability hot path.
+//
+// Real engines do not pay one fsync per transaction: concurrent commits
+// join an open batch and a single flush of the log device makes the whole
+// batch durable (InnoDB group commit, PostgreSQL commit_delay). This class
+// models that pipeline on the simulated event loop:
+//
+//   * Append(cost, on_durable) joins the open batch. The batch's flush is
+//     scheduled when the batch opens — after `max_batch_delay` (0 still
+//     coalesces every append from the same event-loop tick) — or starts
+//     early once `max_batch_size` entries joined.
+//   * The log device is serial: while a flush is in flight, new appends
+//     accumulate into the next batch, which starts when the device frees.
+//   * Every waiter is acked (its `on_durable` runs) only at flush
+//     completion; the flush duration is the max of the batch's per-entry
+//     costs, so a batch of one behaves exactly like an unbatched fsync.
+//   * Reset() models a crash: the open batch and any in-flight flush are
+//     lost — no waiter ever fires, mirroring WAL entries that were
+//     buffered but never reached the disk.
+//
+// With `enabled = false` every Append schedules its own independent fsync
+// (the pre-group-commit cost model), which the benchmarks use as the
+// unbatched baseline.
+#ifndef GEOTP_STORAGE_GROUP_COMMIT_H_
+#define GEOTP_STORAGE_GROUP_COMMIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/event_loop.h"
+
+namespace geotp {
+namespace storage {
+
+struct GroupCommitConfig {
+  /// false: one independent fsync per entry (legacy per-txn schedule).
+  bool enabled = true;
+  /// How long an open batch waits for co-travellers before flushing.
+  /// 0 still merges every append from the same event-loop tick.
+  Micros max_batch_delay = 0;
+  /// A batch this full flushes immediately.
+  size_t max_batch_size = 64;
+};
+
+struct GroupCommitStats {
+  uint64_t fsyncs = 0;          ///< flushes completed
+  uint64_t entries = 0;         ///< entries made durable
+  uint64_t max_batch_entries = 0;
+  /// Mean entries per flush — the amortization factor Fig. 6 cares about.
+  double MeanBatchEntries() const {
+    return fsyncs == 0 ? 0.0
+                       : static_cast<double>(entries) /
+                             static_cast<double>(fsyncs);
+  }
+};
+
+class GroupCommitter {
+ public:
+  using DurableCallback = std::function<void()>;
+
+  GroupCommitter(sim::EventLoop* loop, GroupCommitConfig config)
+      : loop_(loop), config_(config) {}
+
+  /// Joins the open batch. `fsync_cost` is this entry's device time if it
+  /// flushed alone; the shared flush charges the max across the batch.
+  /// `on_durable` runs when that flush completes, never earlier.
+  void Append(Micros fsync_cost, DurableCallback on_durable);
+
+  /// Crash: drops the open batch and the in-flight flush without running
+  /// any waiter. Durable (already-flushed) entries are unaffected.
+  void Reset();
+
+  /// Hook run once per completed flush (WAL fsync accounting).
+  void set_on_fsync(std::function<void()> hook) { on_fsync_ = std::move(hook); }
+
+  const GroupCommitStats& stats() const { return stats_; }
+  const GroupCommitConfig& config() const { return config_; }
+  size_t pending() const { return open_.size() + in_flight_.size(); }
+
+ private:
+  struct Entry {
+    Micros cost;
+    DurableCallback on_durable;
+  };
+
+  void StartFlush();
+  void FinishFlush(uint64_t generation);
+
+  sim::EventLoop* loop_;
+  GroupCommitConfig config_;
+  std::function<void()> on_fsync_;
+  std::vector<Entry> open_;       ///< batch accepting new entries
+  std::vector<Entry> in_flight_;  ///< batch whose flush is on the device
+  bool flushing_ = false;
+  sim::EventId open_timer_ = sim::kInvalidEvent;
+  /// Bumped by Reset() so stale scheduled events become no-ops.
+  uint64_t generation_ = 0;
+  GroupCommitStats stats_;
+};
+
+}  // namespace storage
+}  // namespace geotp
+
+#endif  // GEOTP_STORAGE_GROUP_COMMIT_H_

@@ -25,10 +25,17 @@ struct WalEntry {
 
 class Wal {
  public:
+  /// Appends (buffers) an entry. Appending alone is NOT durability: the
+  /// entry reaches the disk at the next fsync, which the owner reports via
+  /// NoteFsync(). Under group commit many entries share one fsync, so the
+  /// two counters diverge — Fig. 6 resource accounting needs both.
   void Append(WalEntryType type, const Xid& xid, Micros at) {
     entries_.push_back(WalEntry{type, xid, at});
-    ++fsyncs_;
   }
+
+  /// Records one physical log-device flush (possibly covering many
+  /// appended entries).
+  void NoteFsync() { ++fsyncs_; }
 
   const std::vector<WalEntry>& entries() const { return entries_; }
   uint64_t fsyncs() const { return fsyncs_; }

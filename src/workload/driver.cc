@@ -49,12 +49,15 @@ void ClientDriver::Start() {
 }
 
 void ClientDriver::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
-  if (auto* resp = dynamic_cast<ClientRoundResponse*>(msg.get())) {
-    OnRoundResponse(*resp);
-  } else if (auto* result = dynamic_cast<ClientTxnResult*>(msg.get())) {
-    OnTxnResult(*result);
-  } else {
-    GEOTP_CHECK(false, "client: unknown message");
+  switch (msg->type()) {
+    case sim::MessageType::kClientRoundResponse:
+      OnRoundResponse(static_cast<ClientRoundResponse&>(*msg));
+      return;
+    case sim::MessageType::kClientTxnResult:
+      OnTxnResult(static_cast<ClientTxnResult&>(*msg));
+      return;
+    default:
+      GEOTP_CHECK(false, "client: unknown message");
   }
 }
 

@@ -1,5 +1,6 @@
 #include "workload/runner.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -90,6 +91,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
             ? datasource::DataSourceConfig::Postgres()
             : datasource::DataSourceConfig::MySql();
     ds_config.early_abort = dm_config.early_abort;
+    if (config.ds_tweak) config.ds_tweak(&ds_config);
     sources.push_back(std::make_unique<datasource::DataSourceNode>(
         topo.data_sources[i], &network, ds_config));
     sources.back()->Attach();
@@ -131,6 +133,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.events_processed = loop.events_processed();
   result.network_messages = network.total_messages();
   result.footprint_bytes = dm.footprint().ApproxBytes();
+  for (const auto& src : sources) {
+    result.wal_entries += src->engine().wal().entries().size();
+    result.wal_fsyncs += src->engine().wal().fsyncs();
+    const storage::GroupCommitStats& gc = src->committer().stats();
+    result.group_commit.fsyncs += gc.fsyncs;
+    result.group_commit.entries += gc.entries;
+    result.group_commit.max_batch_entries = std::max(
+        result.group_commit.max_batch_entries, gc.max_batch_entries);
+  }
   return result;
 }
 

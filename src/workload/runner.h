@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "datasource/data_source.h"
 #include "metrics/stats.h"
 #include "middleware/middleware.h"
 #include "sql/rewriter.h"
@@ -61,6 +62,10 @@ struct ExperimentConfig {
   /// (ablations over alpha, ping interval, admission knobs, ...).
   std::function<void(middleware::MiddlewareConfig*)> dm_tweak;
 
+  /// Hook to tweak each data source's config after the dialect preset is
+  /// applied (group-commit policy, fsync costs, ...).
+  std::function<void(datasource::DataSourceConfig*)> ds_tweak;
+
   /// Hook run after assembly, before Start() — used by the dynamic-network
   /// experiment (Fig. 11b) to schedule latency re-configuration events.
   std::function<void(sim::EventLoop*, sim::Network*)> pre_run;
@@ -76,6 +81,19 @@ struct ExperimentResult {
   uint64_t events_processed = 0;
   uint64_t network_messages = 0;
   size_t footprint_bytes = 0;
+  // Durability accounting across all data sources (middleware systems):
+  // WAL entries vs physical fsyncs diverge under group commit.
+  uint64_t wal_entries = 0;
+  uint64_t wal_fsyncs = 0;
+  storage::GroupCommitStats group_commit;  ///< summed; max_batch is the max
+
+  /// Physical WAL flushes per committed transaction — the Fig. 6-style
+  /// durability-cost metric bench_group_commit sweeps.
+  double FsyncsPerCommit() const {
+    return run.committed == 0 ? 0.0
+                              : static_cast<double>(wal_fsyncs) /
+                                    static_cast<double>(run.committed);
+  }
 
   double Tps() const { return run.ThroughputTps(); }
   double AbortRate() const { return run.AbortRate(); }

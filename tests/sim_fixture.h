@@ -33,6 +33,8 @@ class MiniCluster {
     /// Leader <-> follower RTT (same-region replicas).
     double follower_rtt_ms = 2.0;
     replication::ReplicationConfig repl;
+    /// WAL group-commit policy applied to every data source.
+    storage::GroupCommitConfig group_commit;
   };
 
   MiniCluster() : MiniCluster(Options()) {}
@@ -100,6 +102,7 @@ class MiniCluster {
         datasource::DataSourceConfig config =
             datasource::DataSourceConfig::MySql();
         config.early_abort = options.dm.early_abort;
+        config.group_commit = options.group_commit;
         auto node = std::make_unique<datasource::DataSourceNode>(
             replica, network_.get(), config);
         if (rf > 1) {

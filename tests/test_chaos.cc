@@ -173,5 +173,84 @@ TEST_P(ReplicatedChaosTest, LeaderCrashFailoverConservesBalances) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReplicatedChaosTest,
                          ::testing::Values(3, 11, 17, 29));
 
+// Group-commit chaos: same replicated leader-crash schedule, but with a
+// wide WAL batching window at every replica, so crashes regularly land
+// while multiple transactions sit in one open (un-flushed) batch. The
+// balance sum must still be conserved: losing a batch may abort
+// transactions but can never tear one.
+class BatchedChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchedChaosTest, BatchingPlusFailoverConservesBalances) {
+  MiniCluster::Options options;
+  options.dm = MiddlewareConfig::GeoTP();
+  options.replication_factor = 3;
+  options.group_commit.max_batch_delay = 400;  // wide open-batch window
+  options.group_commit.max_batch_size = 8;
+  MiniCluster cluster(options);
+  Rng rng(GetParam());
+  constexpr int kAccounts = 16;
+  constexpr int kTxns = 60;
+
+  uint64_t tag = 1;
+  int leader_crashes = 0;
+  for (int i = 0; i < kTxns; ++i) {
+    const int node_a = static_cast<int>(rng.NextU64(2));
+    const int node_b = static_cast<int>(rng.NextU64(2));
+    const uint64_t off_a = rng.NextU64(kAccounts);
+    uint64_t off_b = rng.NextU64(kAccounts);
+    if (node_a == node_b && off_a == off_b) off_b = (off_b + 1) % kAccounts;
+    const int64_t amount = static_cast<int64_t>(rng.NextU64(50)) + 1;
+    cluster.SendRound(tag, {
+        MiniCluster::Write(cluster.KeyOn(node_a, off_a), -amount, true),
+        MiniCluster::Write(cluster.KeyOn(node_b, off_b), amount, true),
+    }, true);
+    ++tag;
+    cluster.RunFor(rng.NextU64(50));
+
+    if (rng.NextBool(0.08)) {
+      const int group = static_cast<int>(rng.NextU64(2));
+      auto* leader = cluster.leader_of(group);
+      if (leader != nullptr) {
+        leader->Crash();
+        cluster.RunFor(300 + rng.NextU64(300));
+        leader->Restart();
+        ++leader_crashes;
+      }
+    }
+  }
+
+  std::vector<bool> commit_sent(tag, false);
+  for (int pass = 0; pass < 4; ++pass) {
+    cluster.RunFor(8000);
+    for (uint64_t t = 1; t < tag; ++t) {
+      auto& txn = cluster.txn(t);
+      if (!commit_sent[t] && !txn.has_result && !txn.round_responses.empty()) {
+        cluster.SendCommit(t);
+        commit_sent[t] = true;
+      }
+    }
+  }
+  cluster.RunFor(8000);
+
+  int64_t sum = 0;
+  for (int group = 0; group < 2; ++group) {
+    auto* leader = cluster.leader_of(group);
+    ASSERT_NE(leader, nullptr) << "group " << group << " has no leader";
+    for (uint64_t off = 0; off < kAccounts; ++off) {
+      auto rec = leader->engine().store().Get(cluster.KeyOn(group, off));
+      if (rec) sum += rec->value;
+    }
+    EXPECT_TRUE(leader->engine().PreparedXids().empty())
+        << "group " << group << " leader " << leader->id();
+    EXPECT_EQ(leader->engine().ActiveCount(), 0u)
+        << "group " << group << " leader " << leader->id();
+  }
+  EXPECT_EQ(sum, 0) << "seed " << GetParam() << " (" << leader_crashes
+                    << " leader crashes injected)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedChaosTest,
+                         ::testing::Values(7, 19, 42));
+
 }  // namespace
 }  // namespace geotp

@@ -146,6 +146,62 @@ TEST(RecoveryTest, RecoveryIsIdempotent) {
             20);
 }
 
+TEST(RecoveryTest, CrashMidBatchLosesWholeOpenBatchButNothingDurable) {
+  // Open a wide group-commit window so two prepares are provably sitting
+  // in the same un-flushed batch when the source crashes. GeoTP(O1)
+  // dispatches immediately (no latency-aware postponing), keeping the
+  // probe timing below deterministic.
+  MiniCluster::Options options;
+  options.dm = MiddlewareConfig::GeoTPO1();
+  options.group_commit.max_batch_delay = MsToMicros(50);
+  MiniCluster cluster(options);
+
+  // A first transaction prepares and becomes durable at source 0.
+  cluster.SendRound(1, {
+      MiniCluster::Write(cluster.KeyOn(0, 1), 10),
+      MiniCluster::Write(cluster.KeyOn(1, 1), 20),
+  }, true);
+  cluster.RunFor(500);
+  ASSERT_EQ(cluster.source(0).engine().PreparedXids().size(), 1u);
+  const uint64_t durable_fsyncs = cluster.source(0).engine().wal().fsyncs();
+  ASSERT_GE(durable_fsyncs, 1u);
+
+  // Two more transactions reach source 0 and join one open batch.
+  cluster.SendRound(2, {
+      MiniCluster::Write(cluster.KeyOn(0, 2), 30),
+      MiniCluster::Write(cluster.KeyOn(1, 2), 40),
+  }, true);
+  cluster.SendRound(3, {
+      MiniCluster::Write(cluster.KeyOn(0, 3), 50),
+      MiniCluster::Write(cluster.KeyOn(1, 3), 60),
+  }, true);
+  cluster.RunFor(10);  // executed + appended, still inside the 50ms window
+  ASSERT_EQ(cluster.source(0).committer().pending(), 2u);
+  ASSERT_EQ(cluster.source(0).engine().PreparedXids().size(), 1u);
+
+  // Crash mid-batch: the open batch dies; nothing from it was durable.
+  cluster.source(0).Crash();
+  cluster.RunFor(100);
+  cluster.source(0).Restart();
+  cluster.RunFor(1000);
+
+  // Txn 1's prepare was flushed before the crash and must survive
+  // in-doubt; txns 2 and 3 lost their entire open batch.
+  EXPECT_EQ(cluster.source(0).engine().PreparedXids().size(), 1u);
+  EXPECT_EQ(cluster.source(0).engine().wal().fsyncs(), durable_fsyncs);
+  EXPECT_EQ(cluster.source(0).engine().store().Get(cluster.KeyOn(0, 2))->value,
+            0);
+  EXPECT_EQ(cluster.source(0).engine().store().Get(cluster.KeyOn(0, 3))->value,
+            0);
+
+  // Recovery resolves the surviving in-doubt branch (no logged commit ->
+  // abort), leaving nothing prepared.
+  cluster.dm().Crash();
+  cluster.dm().Restart(cluster.source_ptrs());
+  cluster.RunFor(1000);
+  EXPECT_EQ(cluster.source(0).engine().PreparedXids().size(), 0u);
+}
+
 TEST(RecoveryTest, CommittedResultsSurviveDoubleCrash) {
   MiniCluster cluster(GeoTpOptions());
   ASSERT_TRUE(cluster.RunTxn(1, {

@@ -42,6 +42,33 @@ TEST(ReplicationLogTest, AppendSliceTruncate) {
   EXPECT_EQ(log.last_index(), 3u);
 }
 
+TEST(ReplicationLogTest, PrefixTruncationKeepsGlobalIndexing) {
+  replication::ReplicationLog log;
+  for (int i = 0; i < 6; ++i) {
+    protocol::ReplEntry entry;
+    entry.type = protocol::ReplEntryType::kCommit;
+    entry.epoch = static_cast<uint64_t>(i);
+    entry.xid = Xid{static_cast<TxnId>(100 + i), 2};
+    log.Append(entry);
+  }
+  EXPECT_EQ(log.TruncatePrefix(4), 4u);
+  EXPECT_EQ(log.first_index(), 5u);
+  EXPECT_EQ(log.last_index(), 6u);
+  EXPECT_EQ(log.At(5).xid.txn_id, 104u);
+  // The compaction boundary still answers epoch queries (log matching).
+  EXPECT_EQ(log.EpochAt(4), 3u);
+  // Slices clamp into the retained range.
+  auto slice = log.Slice(1, 6);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0].index, 5u);
+  // Re-truncating below the offset is a no-op; appends continue at 7.
+  EXPECT_EQ(log.TruncatePrefix(3), 0u);
+  protocol::ReplEntry entry;
+  entry.type = protocol::ReplEntryType::kCommit;
+  entry.xid = Xid{200, 2};
+  EXPECT_EQ(log.Append(entry), 7u);
+}
+
 TEST(ReplicationTest, CommittedWritesReachFollowers) {
   MiniCluster cluster(ReplicatedOptions());
   ASSERT_EQ(cluster.RunTxn(1, {MiniCluster::Write(cluster.KeyOn(0, 1), 42),
@@ -293,6 +320,95 @@ TEST(ReplicationTest, CrashedFollowerReadTimesOutAndFallsBack) {
   ASSERT_TRUE(st.ok());
   EXPECT_EQ(cluster.txn(2).round_responses[0].values[0], 31);
   EXPECT_GE(cluster.dm().stats().follower_read_fallbacks, 1u);
+}
+
+TEST(ReplicationTest, FollowerReadsAvoidCrashedFollowerWithFrozenEstimate) {
+  MiniCluster::Options options = ReplicatedOptions();
+  options.dm.follower_reads = true;
+  options.dm.follower_read_stale_bound = MsToMicros(500);
+  MiniCluster cluster(options);
+
+  ASSERT_TRUE(cluster.RunTxn(1, {MiniCluster::Write(cluster.KeyOn(0, 4), 17)})
+                  .ok());
+  cluster.RunFor(200);  // both followers have RTT samples
+  // Crash one follower. Its RTT estimate freezes at an attractive value;
+  // routing must notice the stale sample and pick the live follower
+  // instead of timing out against the dead one on every read.
+  cluster.follower(0, 0).Crash();
+  cluster.RunFor(300);  // crashed follower's samples go stale
+
+  const uint64_t fallbacks_before =
+      cluster.dm().stats().follower_read_fallbacks;
+  Status st = cluster.RunTxn(2, {MiniCluster::Read(cluster.KeyOn(0, 4))});
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(cluster.txn(2).round_responses[0].values[0], 17);
+  // Served by the surviving follower directly — no timeout fallback.
+  EXPECT_EQ(cluster.dm().stats().follower_read_fallbacks, fallbacks_before);
+  EXPECT_GE(
+      cluster.follower(0, 1).replicator()->stats().follower_reads_served, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Log compaction & probe re-targeting
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationTest, ReplicatedLogIsTruncatedUpToQuorumAppliedIndex) {
+  MiniCluster cluster(ReplicatedOptions());
+  for (uint64_t t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(cluster
+                    .RunTxn(t, {MiniCluster::Write(cluster.KeyOn(0, t), 10),
+                                MiniCluster::Write(cluster.KeyOn(1, t), 20)})
+                    .ok());
+  }
+  cluster.RunFor(2000);  // heartbeats drain applies + compaction
+
+  for (auto* replica : cluster.replica_group(0)) {
+    const auto* repl = replica->replicator();
+    // Everything resolved: the whole applied prefix is compacted away.
+    EXPECT_GT(repl->stats().log_entries_truncated, 0u)
+        << "replica " << replica->id();
+    EXPECT_GE(repl->log().first_index(), repl->applied_index())
+        << "replica " << replica->id();
+  }
+  // The system keeps working on the compacted log (ship/ack/apply).
+  ASSERT_TRUE(cluster.RunTxn(100, {MiniCluster::Write(cluster.KeyOn(0, 99), 5),
+                                   MiniCluster::Write(cluster.KeyOn(1, 99), 6)})
+                  .ok());
+}
+
+TEST(ReplicationTest, LatencyMonitorRetargetsProbesAfterFailover) {
+  MiniCluster cluster(ReplicatedOptions());
+  cluster.RunFor(500);
+  // Pre-failover: the monitor pings the seed leader (and the followers,
+  // for nearest-replica routing), so all replicas have RTT estimates.
+  auto& monitor = cluster.dm().monitor();
+  EXPECT_GT(monitor.RttEstimate(cluster.source(0).id()), 0);
+  EXPECT_GT(monitor.RttEstimate(cluster.follower(0, 0).id()), 0);
+  EXPECT_GT(monitor.RttEstimate(cluster.follower(0, 1).id()), 0);
+
+  cluster.source(0).Crash();
+  cluster.RunFor(3000);  // election + announce; probes re-target
+  datasource::DataSourceNode* new_leader = cluster.leader_of(0);
+  ASSERT_NE(new_leader, nullptr);
+  ASSERT_NE(new_leader->id(), cluster.source(0).id());
+
+  // The crashed seed no longer answers; pings must now flow to the new
+  // leader and keep the *logical* source estimate alive (scheduling looks
+  // the logical id up). Sample counts at the new leader keep growing.
+  const uint64_t pongs_before = monitor.pongs_received();
+  const Micros logical_estimate = monitor.RttEstimate(2);  // logical id of group 0
+  EXPECT_GT(logical_estimate, 0);
+  cluster.RunFor(500);
+  EXPECT_GT(monitor.pongs_received(), pongs_before);
+  EXPECT_GT(monitor.RttEstimate(new_leader->id()), 0);
+  // The logical estimate now tracks the new leader's (longer) path, not
+  // the dead seed's: it converges towards the new leader's estimate.
+  cluster.RunFor(2000);
+  const Micros leader_rtt = monitor.RttEstimate(new_leader->id());
+  const Micros logical_rtt = monitor.RttEstimate(2);
+  EXPECT_NEAR(static_cast<double>(logical_rtt),
+              static_cast<double>(leader_rtt),
+              static_cast<double>(leader_rtt) * 0.2 + 100.0);
 }
 
 }  // namespace
