@@ -48,6 +48,11 @@ int main() {
                 r.dm.breakdown.MeanMs(phase));
   }
   std::printf("mean end-to-end latency: %.1f ms\n", r.MeanLatencyMs());
+  // Shard-map visibility: migrations (if any) show up in the perf
+  // trajectory of every bench JSON that reports DM stats.
+  std::printf("shard_map_epoch=%llu shard_redirects=%llu\n",
+              static_cast<unsigned long long>(r.dm.shard_map_epoch),
+              static_cast<unsigned long long>(r.dm.shard_redirects));
   std::printf(
       "Expected shape (paper Fig. 6c): analysis ~1ms, prepare-wait a few\n"
       "ms (decentralized prepare overlaps execution), execution and commit\n"

@@ -42,6 +42,7 @@ int main() {
   PrintHeader("Fig. 11b — online adaptivity: latency re-shaped every 40s");
   std::printf("%-10s %12s %12s\n", "t (s)", "SSP tput", "GeoTP tput");
   std::vector<std::vector<std::pair<double, double>>> series;
+  std::vector<uint64_t> shard_epochs;
   for (SystemKind system : {SystemKind::kSSP, SystemKind::kGeoTP}) {
     ExperimentConfig config = DefaultConfig();
     config.system = system;
@@ -63,13 +64,20 @@ int main() {
         });
       }
     };
-    series.push_back(RunExperiment(config).throughput_series);
+    const ExperimentResult result = RunExperiment(config);
+    series.push_back(result.throughput_series);
+    shard_epochs.push_back(result.dm.shard_map_epoch);
   }
   const size_t n = std::min(series[0].size(), series[1].size());
   for (size_t i = 9; i < n; i += 10) {  // print every 10s
     std::printf("%-10.0f %12.1f %12.1f\n", series[0][i].first,
                 series[0][i].second, series[1][i].second);
   }
+  // Shard-map visibility (static placement here: epoch stays 0 unless a
+  // bench opts into the elastic-sharding balancer).
+  std::printf("shard_map_epoch: SSP=%llu GeoTP=%llu\n",
+              static_cast<unsigned long long>(shard_epochs[0]),
+              static_cast<unsigned long long>(shard_epochs[1]));
   std::printf(
       "\nExpected shape (paper Fig. 11): (a) GeoTP above SSP at every dr\n"
       "with bounded jitter spread; (b) GeoTP re-adapts after each 40s\n"

@@ -179,10 +179,12 @@ void HotspotFootprint::LruUnlink(Node* node) {
 
 void HotspotFootprint::EvictIfNeeded() {
   while (size_ > config_.capacity && lru_tail_ != nullptr) {
-    // Do not evict records with transactions in flight: their a_cnt would
-    // be lost and Eq. 9 would undercount the queue.
+    // Do not evict records with transactions in flight (their a_cnt would
+    // be lost and Eq. 9 would undercount the queue), nor the LRU head —
+    // it is the record being touched right now.
     Node* victim = lru_tail_;
-    while (victim != nullptr && victim->stats.a_cnt > 0) {
+    while (victim != nullptr &&
+           (victim->stats.a_cnt > 0 || victim == lru_head_)) {
       victim = victim->lru_prev;
     }
     if (victim == nullptr) return;  // everything busy; allow soft overflow
@@ -221,7 +223,15 @@ HotspotFootprint::Node* HotspotFootprint::Touch(const RecordKey& key) {
     // Fresh node (not yet in the LRU list).
     ++size_;
     LruPushFront(node);
-    EvictIfNeeded();
+    if (size_ > config_.capacity) {
+      EvictIfNeeded();
+      // The eviction's AVL removal splices payloads across nodes (the
+      // two-children delete transplants the in-order successor), so the
+      // pointer captured above may now name a DIFFERENT record — or freed
+      // memory. Re-resolve by key; the LRU head itself is never evicted.
+      node = FindNode(key);
+      GEOTP_CHECK(node != nullptr, "touched record evicted under us");
+    }
   } else {
     LruUnlink(node);
     LruPushFront(node);

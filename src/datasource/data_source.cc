@@ -28,7 +28,8 @@ DataSourceNode::DataSourceNode(NodeId id, sim::Network* network,
       config_(config),
       engine_(config.engine),
       committer_(network->loop(), config.group_commit),
-      agent_(std::make_unique<GeoAgent>(this)) {
+      agent_(std::make_unique<GeoAgent>(this)),
+      migrator_(std::make_unique<sharding::ShardMigrator>(this)) {
   committer_.set_on_fsync([this]() { engine_.NoteWalFsync(); });
 }
 
@@ -76,9 +77,28 @@ bool DataSourceNode::RedirectIfNotLeader(NodeId requester) {
 
 void DataSourceNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
   if (crashed_) return;
+  if (msg->type() == sim::MessageType::kFollowerReadRequest) {
+    // Shard guard ahead of the replicator: a follower of a group the map
+    // no longer places these keys on must not serve them (its copy froze
+    // at cutover while its replication freshness keeps advancing). A
+    // not-ok reply sends the DM down the leader path, which redirects.
+    auto& read = static_cast<protocol::FollowerReadRequest&>(*msg);
+    if (!migrator_->OwnsKeys(read.keys)) {
+      auto resp = std::make_unique<protocol::FollowerReadResponse>();
+      resp->from = id_;
+      resp->to = read.from;
+      resp->group = read.group;
+      resp->txn_id = read.txn_id;
+      resp->round_seq = read.round_seq;
+      resp->ok = false;
+      network_->Send(std::move(resp));
+      return;
+    }
+  }
   if (replicator_ != nullptr && replicator_->HandleMessage(msg.get())) {
     return;
   }
+  if (migrator_->HandleMessage(msg.get())) return;
   switch (msg->type()) {
     case sim::MessageType::kBranchExecuteRequest: {
       auto& exec = static_cast<BranchExecuteRequest&>(*msg);
@@ -134,6 +154,32 @@ void DataSourceNode::OnExecute(const BranchExecuteRequest& req) {
   state->started_at = loop()->Now();
   state->reply_to = req.from;
 
+  // Elastic sharding: refuse batches on fenced (mid-migration) ranges —
+  // the client retries and, post-cutover, routes to the new owner — and
+  // bounce batches routed under a stale shard-map epoch with a redirect.
+  const sharding::ShardRange* moved = nullptr;
+  switch (migrator_->CheckOps(req.ops, &moved)) {
+    case sharding::ShardMigrator::RouteCheck::kServe:
+      break;
+    case sharding::ShardMigrator::RouteCheck::kFenced:
+      stats_.shard_fenced_rejections++;
+      SendExecuteResponse(state,
+                          Status::Unavailable("shard range migrating"),
+                          /*rolled_back=*/false);
+      return;
+    case sharding::ShardMigrator::RouteCheck::kMoved: {
+      stats_.shard_redirects_sent++;
+      auto redirect = std::make_unique<protocol::ShardRedirect>();
+      redirect->from = id_;
+      redirect->to = req.from;
+      redirect->txn_id = req.xid.txn_id;
+      redirect->round_seq = req.round_seq;
+      redirect->entry = *moved;
+      network_->Send(std::move(redirect));
+      return;
+    }
+  }
+
   // Early abort may have outrun this (possibly postponed) request.
   if (agent_->IsTombstoned(req.xid.txn_id)) {
     SendExecuteResponse(state, Status::Aborted("transaction early-aborted"),
@@ -155,6 +201,10 @@ void DataSourceNode::OnExecute(const BranchExecuteRequest& req) {
     SendExecuteResponse(state, Status::Aborted("branch gone"),
                         /*rolled_back=*/true);
     return;
+  }
+  BranchInfo& branch = branches_[req.xid.txn_id];
+  for (const protocol::ClientOp& op : req.ops) {
+    branch.keys.push_back(op.key);
   }
 
   stats_.batches_executed++;
@@ -341,6 +391,13 @@ void DataSourceNode::OnDecision(const DecisionItem& item,
           if (crashed_) return;
           auto finish = [this, xid, coordinator, one_phase]() {
             if (crashed_) return;
+            // Capture the write set before Commit releases it: an active
+            // outbound migration forwards the intersecting writes to the
+            // shard's destination as deltas.
+            std::vector<std::pair<RecordKey, int64_t>> migrating_writes;
+            if (migrator_->WantsCommittedWrites()) {
+              migrating_writes = engine_.WriteSetOf(xid);
+            }
             Status st = engine_.Commit(xid, loop()->Now());
             if (!st.ok() && replicator_ != nullptr &&
                 replicator_->CommitEntryIndex(xid.txn_id).has_value()) {
@@ -348,8 +405,12 @@ void DataSourceNode::OnDecision(const DecisionItem& item,
               // (apply callback raced a duplicate decision): success.
               st = Status::OK();
             }
-            if (st.ok()) stats_.commits++;
+            if (st.ok()) {
+              stats_.commits++;
+              migrator_->OnCommittedWrites(migrating_writes);
+            }
             branches_.erase(xid.txn_id);
+            migrator_->OnBranchResolved();
             auto ack = std::make_unique<DecisionAck>();
             ack->from = id_;
             ack->to = coordinator;
@@ -383,6 +444,7 @@ void DataSourceNode::OnDecision(const DecisionItem& item,
     NoteLocalRollback(xid.txn_id);
     stats_.rollbacks++;
     branches_.erase(xid.txn_id);
+    migrator_->OnBranchResolved();
     auto ack = std::make_unique<DecisionAck>();
     ack->from = id_;
     ack->to = coordinator;
@@ -390,6 +452,32 @@ void DataSourceNode::OnDecision(const DecisionItem& item,
     ack->committed = false;
     ack->status = Status::OK();
     network_->Send(std::move(ack));
+  }
+}
+
+void DataSourceNode::AbortBranchForMigration(TxnId txn) {
+  auto it = branches_.find(txn);
+  if (it == branches_.end()) return;
+  const NodeId coordinator = it->second.coordinator;
+  const Xid xid{txn, logical_id()};
+  branches_.erase(it);
+  // The tombstone refuses batches already in flight toward the fence; the
+  // DM's abort decision clears it.
+  agent_->Tombstone(txn);
+  // With a pending lock request, the rollback cancels it and the exec
+  // failure path reports to the DM; otherwise confirm via a ROLLBACKED
+  // vote (same split as the peer-abort path).
+  const bool had_pending = engine_.HasPendingOp(xid);
+  (void)engine_.Rollback(xid, loop()->Now());
+  NoteLocalRollback(txn);
+  stats_.rollbacks++;
+  if (!had_pending && coordinator != kInvalidNode) {
+    auto vote = std::make_unique<VoteMessage>();
+    vote->from = id_;
+    vote->to = coordinator;
+    vote->xid = xid;
+    vote->vote = Vote::kRollbacked;
+    network_->Send(std::move(vote));
   }
 }
 
@@ -428,6 +516,7 @@ void DataSourceNode::Crash() {
   // phase (paper §V-A common setting ❷).
   engine_.Crash(loop()->Now());
   branches_.clear();
+  migrator_->OnCrash();
   if (replicator_ != nullptr) replicator_->OnCrash();
 }
 

@@ -25,6 +25,7 @@
 #include "datasource/geo_agent.h"
 #include "protocol/messages.h"
 #include "replication/replicator.h"
+#include "sharding/migrator.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
 #include "sql/rewriter.h"
@@ -72,6 +73,9 @@ struct DataSourceStats {
   uint64_t early_aborts_received = 0;
   uint64_t commits = 0;
   uint64_t rollbacks = 0;
+  // Elastic sharding (src/sharding).
+  uint64_t shard_fenced_rejections = 0;  ///< batches refused mid-migration
+  uint64_t shard_redirects_sent = 0;     ///< stale-epoch bounces
 };
 
 class DataSourceNode {
@@ -100,6 +104,8 @@ class DataSourceNode {
   /// through here so concurrent branches share fsyncs.
   storage::GroupCommitter& committer() { return committer_; }
   GeoAgent& agent() { return *agent_; }
+  /// Elastic sharding: live migration + stale-epoch redirects.
+  sharding::ShardMigrator& migrator() { return *migrator_; }
   const DataSourceStats& stats() const { return stats_; }
   sim::EventLoop* loop() { return network_->loop(); }
   sim::Network* network() { return network_; }
@@ -120,10 +126,15 @@ class DataSourceNode {
 
  private:
   friend class GeoAgent;
+  friend class sharding::ShardMigrator;
 
   struct BranchInfo {
     std::vector<NodeId> peers;
     NodeId coordinator = kInvalidNode;
+    /// Every key the branch's batches touched — the migration fence uses
+    /// this to abort (active) or drain (prepared) branches on the moving
+    /// range without scanning the engine.
+    std::vector<RecordKey> keys;
   };
 
   /// In-flight execution of one BranchExecuteRequest.
@@ -151,6 +162,10 @@ class DataSourceNode {
   void NoteLocalRollback(TxnId txn);
   /// True if this replica must redirect coordinator traffic to the leader.
   bool RedirectIfNotLeader(NodeId requester);
+  /// Migration fence: rolls back an active branch and confirms to its
+  /// coordinator (the client retries; post-cutover the retry routes to the
+  /// shard's new owner). Mirrors the peer-abort path.
+  void AbortBranchForMigration(TxnId txn);
 
   void HandleMessage(std::unique_ptr<sim::MessageBase> msg);
   void OnExecute(const protocol::BranchExecuteRequest& req);
@@ -172,6 +187,7 @@ class DataSourceNode {
   storage::GroupCommitter committer_;
   std::unique_ptr<GeoAgent> agent_;
   std::unique_ptr<replication::Replicator> replicator_;
+  std::unique_ptr<sharding::ShardMigrator> migrator_;
   DataSourceStats stats_;
   bool crashed_ = false;
 

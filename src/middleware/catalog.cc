@@ -46,6 +46,10 @@ void Catalog::AddCustomTable(uint32_t table, RouteFn route) {
 }
 
 NodeId Catalog::Route(const RecordKey& key) const {
+  if (!shard_map_.empty()) {
+    const NodeId owner = shard_map_.Route(key);
+    if (owner != kInvalidNode) return owner;
+  }
   auto it = routes_.find(key.table);
   GEOTP_CHECK(it != routes_.end(), "unroutable table " << key.table);
   return it->second(key);

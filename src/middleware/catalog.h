@@ -13,6 +13,7 @@
 
 #include "common/logging.h"
 #include "common/types.h"
+#include "sharding/shard_map.h"
 
 namespace geotp {
 namespace middleware {
@@ -73,6 +74,20 @@ class Catalog {
   /// stale or duplicate announcements are ignored.
   bool UpdateLeader(NodeId logical, NodeId leader, uint64_t epoch);
 
+  // ----- elastic sharding (src/sharding) ----------------------------------
+
+  /// Publishes a shard map: Route() consults it before the static
+  /// partitioning (keys its ranges do not cover fall back to the table's
+  /// registered routing function).
+  void InstallShardMap(sharding::ShardMap map) {
+    shard_map_ = std::move(map);
+  }
+  bool HasShardMap() const { return !shard_map_.empty(); }
+  const sharding::ShardMap& shard_map() const { return shard_map_; }
+  sharding::ShardMap& mutable_shard_map() { return shard_map_; }
+  /// Current shard-map epoch (0 without a map / before any migration).
+  uint64_t ShardEpoch() const { return shard_map_.epoch(); }
+
  private:
   struct ReplicaGroupInfo {
     std::vector<NodeId> replicas;
@@ -82,6 +97,7 @@ class Catalog {
 
   std::unordered_map<uint32_t, RouteFn> routes_;
   std::vector<NodeId> all_nodes_;
+  sharding::ShardMap shard_map_;
   std::unordered_map<NodeId, ReplicaGroupInfo> groups_;
   std::unordered_map<NodeId, NodeId> physical_to_logical_;
 };

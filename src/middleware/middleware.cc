@@ -120,6 +120,10 @@ MiddlewareNode::MiddlewareNode(NodeId id, uint32_t ordinal,
       rng_(0xD1CEBA5E + id),
       log_committer_(network->loop(), config_.log_group_commit) {
   log_committer_.set_on_fsync([this]() { stats_.log_flushes++; });
+  if (config_.balancer.enabled) {
+    balancer_ =
+        std::make_unique<sharding::ShardBalancer>(this, config_.balancer);
+  }
 }
 
 MiddlewareNode::~MiddlewareNode() = default;
@@ -144,6 +148,7 @@ void MiddlewareNode::Attach() {
     return targets;
   });
   monitor_->Start();
+  if (balancer_ != nullptr) balancer_->Start();
 }
 
 void MiddlewareNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
@@ -175,6 +180,15 @@ void MiddlewareNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
       return;
     case sim::MessageType::kPingResponse:
       monitor_->OnPong(static_cast<PingResponse&>(*msg));
+      return;
+    case sim::MessageType::kShardMapUpdate:
+      OnShardMapUpdate(static_cast<protocol::ShardMapUpdate&>(*msg));
+      return;
+    case sim::MessageType::kShardRedirect:
+      OnShardRedirect(static_cast<protocol::ShardRedirect&>(*msg));
+      return;
+    case sim::MessageType::kShardCutoverReady:
+      if (balancer_ != nullptr) balancer_->HandleMessage(msg.get());
       return;
     default:
       GEOTP_CHECK(false, "middleware " << id_ << ": unknown message");
@@ -781,6 +795,11 @@ void MiddlewareNode::FinishTxn(Txn& txn, bool committed) {
   }
   if (committed) {
     stats_.committed++;
+    size_t begun = 0;
+    for (const auto& [node, p] : txn.participants) {
+      if (p.begun) ++begun;
+    }
+    if (begun > 1) stats_.committed_distributed++;
     stats_.breakdown.Record(metrics::TxnPhase::kAnalysis, txn.analysis_total);
     stats_.breakdown.Record(metrics::TxnPhase::kExecution,
                             txn.ts_exec_done - txn.ts_begin);
@@ -899,6 +918,82 @@ void MiddlewareNode::HandleFailover(NodeId logical) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Elastic sharding (src/sharding)
+// ---------------------------------------------------------------------------
+
+void MiddlewareNode::OnShardMapUpdate(const protocol::ShardMapUpdate& update) {
+  catalog_.mutable_shard_map().Adopt(update.entries);
+  NoteShardEpoch(catalog_.ShardEpoch());
+}
+
+void MiddlewareNode::OnShardRedirect(const protocol::ShardRedirect& redirect) {
+  stats_.shard_redirects++;
+  catalog_.mutable_shard_map().Adopt({redirect.entry});
+  NoteShardEpoch(catalog_.ShardEpoch());
+
+  Txn* txn = FindTxn(redirect.txn_id);
+  if (txn == nullptr || txn->aborting) return;
+  const NodeId logical = catalog_.LogicalOf(redirect.from);
+  auto it = txn->participants.find(logical);
+  if (it == txn->participants.end()) return;
+  Participant& p = it->second;
+  if (!p.exec_outstanding || p.via_follower) return;
+  if (txn->phase != Phase::kExecuting ||
+      redirect.round_seq + 1 != txn->round_seq) {
+    return;  // stale bounce of an earlier round
+  }
+  if (p.begun && p.begun_round + 1 != txn->round_seq) {
+    // Earlier rounds of this branch executed at the old owner; their
+    // effects cannot follow the shard. Abort; the client's retry routes
+    // under the adopted map.
+    StartAbort(*txn, Status::Unavailable("shard moved mid-transaction"));
+    return;
+  }
+  // The bounced batch would have been the branch's first — nothing began
+  // at the old owner (the bounce happened before Begin).
+  p.begun = false;
+  p.has_vote = false;
+
+  // Re-route the bounced batch under the patched placement. The batch may
+  // split: moved keys go to the new owner, unmoved keys stay.
+  std::vector<ClientOp> ops = p.last_batch;
+  std::vector<size_t> slots = p.op_slots;
+  if (p.footprint_charged) {
+    // Release the old charge; the re-dispatch re-charges per new group.
+    footprint_->OnRelease(p.round_keys);
+    p.footprint_charged = false;
+  }
+  std::map<NodeId, std::pair<std::vector<ClientOp>, std::vector<size_t>>>
+      groups;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    auto& group = groups[catalog_.Route(ops[i].key)];
+    group.first.push_back(ops[i]);
+    group.second.push_back(i < slots.size() ? slots[i] : i);
+  }
+  // A target that already has a batch of this round in flight cannot take
+  // a second one (one outstanding batch per participant): abort-and-retry.
+  for (const auto& [target, group] : groups) {
+    if (target == logical) continue;
+    auto pit = txn->participants.find(target);
+    if (pit != txn->participants.end() && pit->second.exec_outstanding) {
+      StartAbort(*txn, Status::Unavailable("shard moved mid-round"));
+      return;
+    }
+  }
+  if (groups.count(logical) == 0) txn->participants.erase(it);
+  txn->round_outstanding += groups.size() - 1;
+  stats_.shard_reroutes++;
+  const uint64_t round_seq = txn->round_seq - 1;
+  for (auto& [target, group] : groups) {
+    Participant& q = txn->participants[target];
+    q.op_slots = std::move(group.second);
+    q.round_keys.clear();
+    for (const ClientOp& op : group.first) q.round_keys.push_back(op.key);
+    SendBranchBatch(*txn, target, std::move(group.first), round_seq);
+  }
+}
+
 void MiddlewareNode::ResolveOrphanVote(const VoteMessage& vote) {
   bool committed = false;
   for (const DecisionLogEntry& entry : log_) {
@@ -927,6 +1022,10 @@ void MiddlewareNode::Restart(
     const std::vector<datasource::DataSourceNode*>& sources) {
   crashed_ = false;
   network_->Restore(id_);
+  // The balancer's tick chain ended at the crash; without it, in-flight
+  // migrations would never be timeout-cancelled and their fenced ranges
+  // would stay unavailable forever.
+  if (balancer_ != nullptr) balancer_->Start();
   // ❶: on DM disconnect, sources abort branches that have not prepared.
   for (auto* src : sources) {
     src->OnCoordinatorFailure(id_);

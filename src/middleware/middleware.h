@@ -20,6 +20,7 @@
 #ifndef GEOTP_MIDDLEWARE_MIDDLEWARE_H_
 #define GEOTP_MIDDLEWARE_MIDDLEWARE_H_
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -34,6 +35,7 @@
 #include "metrics/stats.h"
 #include "middleware/catalog.h"
 #include "protocol/messages.h"
+#include "sharding/balancer.h"
 #include "sim/network.h"
 #include "storage/group_commit.h"
 
@@ -82,6 +84,9 @@ struct MiddlewareConfig {
   Micros failover_vote_grace = MsToMicros(500);
   core::LatencyMonitorConfig monitor;
   core::FootprintConfig footprint;
+  /// Elastic sharding: hotspot-driven rebalancing (enable on ONE DM of a
+  /// deployment; every DM handles map updates and redirects regardless).
+  sharding::BalancerConfig balancer;
 
   // ----- paper system presets ---------------------------------------------
   static MiddlewareConfig SSP();
@@ -121,6 +126,11 @@ struct MiddlewareStats {
   uint64_t prepare_batches_sent = 0;   ///< multi-prepare envelopes
   uint64_t decision_batches_sent = 0;  ///< multi-decision envelopes
   uint64_t dispatches_coalesced = 0;   ///< messages saved by batching
+  // Elastic sharding (src/sharding).
+  uint64_t shard_map_epoch = 0;     ///< highest adopted shard-map epoch
+  uint64_t shard_redirects = 0;     ///< WrongShardEpoch bounces received
+  uint64_t shard_reroutes = 0;      ///< bounced batches re-routed in place
+  uint64_t committed_distributed = 0;  ///< commits with >1 begun participant
   metrics::PhaseBreakdown breakdown;
 };
 
@@ -140,10 +150,19 @@ class MiddlewareNode {
   void Attach();
 
   NodeId id() const { return id_; }
+  bool crashed() const { return crashed_; }
   const MiddlewareConfig& config() const { return config_; }
   const MiddlewareStats& stats() const { return stats_; }
   core::LatencyMonitor& monitor() { return *monitor_; }
   core::HotspotFootprint& footprint() { return *footprint_; }
+  Catalog& catalog() { return catalog_; }
+  sim::Network* network() { return network_; }
+  /// The balancer, when this DM runs one (nullptr otherwise).
+  sharding::ShardBalancer* balancer() { return balancer_.get(); }
+  /// Records an adopted/published shard-map epoch in the stats.
+  void NoteShardEpoch(uint64_t epoch) {
+    stats_.shard_map_epoch = std::max(stats_.shard_map_epoch, epoch);
+  }
   const std::vector<DecisionLogEntry>& decision_log() const { return log_; }
   const storage::GroupCommitter& log_committer() const {
     return log_committer_;
@@ -237,6 +256,15 @@ class MiddlewareNode {
   void FallBackToLeader(Txn& txn, NodeId logical);
   void OnLeaderAnnounce(const protocol::LeaderAnnounce& announce);
   void OnNotLeader(const protocol::NotLeaderResponse& redirect);
+
+  // ----- elastic sharding (src/sharding) ----------------------------------
+  /// Adopts a published shard map (atomic within this actor: the next
+  /// planned round routes under the new epoch).
+  void OnShardMapUpdate(const protocol::ShardMapUpdate& update);
+  /// WrongShardEpoch bounce: adopts the patched range, then re-routes the
+  /// bounced batch under the new placement — or aborts the transaction
+  /// when its branch already executed earlier rounds at the old owner.
+  void OnShardRedirect(const protocol::ShardRedirect& redirect);
   /// Re-drives every in-flight transaction touching `logical` after its
   /// leadership changed: retries first-round batches and undecided
   /// decisions, aborts what cannot be replayed safely.
@@ -275,6 +303,7 @@ class MiddlewareNode {
   std::unique_ptr<core::HotspotFootprint> footprint_;
   std::unique_ptr<core::LatencyMonitor> monitor_;
   std::unique_ptr<core::GeoScheduler> scheduler_;
+  std::unique_ptr<sharding::ShardBalancer> balancer_;
   Rng rng_;
   MiddlewareStats stats_;
   std::vector<DecisionLogEntry> log_;  // durable

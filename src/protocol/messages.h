@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "sharding/shard_map.h"
 #include "sim/network.h"
 
 namespace geotp {
@@ -358,6 +359,133 @@ struct FollowerReadResponse : sim::MessageBase {
   Micros staleness = 0;
   std::vector<int64_t> values;
   size_t WireSize() const override { return 64 + values.size() * 8; }
+};
+
+// ---------------------------------------------------------------------------
+// Elastic sharding (src/sharding): live shard migration + map publication
+// ---------------------------------------------------------------------------
+
+/// Balancer -> source replica-group leader: start migrating `range` to the
+/// replica group `dest`. The cutover will publish the range at
+/// `new_version`; until then the map is unchanged and the source serves
+/// (and, once fenced, drains) the range.
+struct ShardMigrateRequest : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardMigrateRequest;
+  }
+  uint64_t migration_id = 0;
+  sharding::ShardRange range;   ///< owner field = current owner (source)
+  NodeId dest = kInvalidNode;   ///< destination logical group
+  NodeId dest_leader = kInvalidNode;  ///< balancer's view of dest's leader
+  uint64_t new_version = 0;
+  /// Balancer-side cancellation timeout; the source self-cancels (and
+  /// unfences) after twice this, so a balancer that died mid-migration
+  /// cannot wedge the range in the fenced state forever.
+  Micros timeout = 0;
+  size_t WireSize() const override { return 96; }
+};
+
+/// Balancer -> source leader: abandon a timed-out migration (e.g. the
+/// source crashed mid-copy and a promoted leader has no migration state,
+/// or the destination never acked). Unfences the range.
+struct ShardMigrateCancel : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardMigrateCancel;
+  }
+  uint64_t migration_id = 0;
+  size_t WireSize() const override { return 48; }
+};
+
+/// Bulk record transfer. Two users share this install path:
+///  * shard migration (migration_id != 0): source leader -> dest leader,
+///    carrying the committed records of the moving range;
+///  * replication snapshot bootstrap (migration_id == 0): group leader ->
+///    follower whose log was fully compacted away, carrying the leader's
+///    full applied store; base_index/base_epoch position the follower's
+///    (empty) log at the compaction boundary so shipping resumes from the
+///    retained tail.
+struct ShardSnapshotChunk : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardSnapshotChunk;
+  }
+  uint64_t migration_id = 0;
+  NodeId group = kInvalidNode;   ///< dest logical group / repl group id
+  sharding::ShardRange range;    ///< moving range (migration only)
+  uint64_t epoch = 0;            ///< leadership epoch (bootstrap only)
+  uint64_t base_index = 0;       ///< log index covered through (bootstrap)
+  uint64_t base_epoch = 0;       ///< epoch of the entry at base_index
+  std::vector<ReplWrite> records;
+  size_t WireSize() const override { return 112 + records.size() * 16; }
+};
+
+/// Dest leader -> source leader: the snapshot is durably applied (with a
+/// replicated destination, quorum-durable).
+struct ShardSnapshotAck : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardSnapshotAck;
+  }
+  uint64_t migration_id = 0;
+  size_t WireSize() const override { return 48; }
+};
+
+/// Source leader -> dest leader: writes committed on the moving range
+/// after the snapshot cut. Sequenced per migration; the destination
+/// applies batches in order (absolute values, so application is
+/// idempotent).
+struct ShardDeltaBatch : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardDeltaBatch;
+  }
+  uint64_t migration_id = 0;
+  uint64_t seq = 0;  ///< 1-based batch sequence
+  std::vector<ReplWrite> writes;
+  size_t WireSize() const override { return 64 + writes.size() * 16; }
+};
+
+struct ShardDeltaAck : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardDeltaAck;
+  }
+  uint64_t migration_id = 0;
+  uint64_t seq = 0;  ///< highest contiguously applied batch
+  size_t WireSize() const override { return 48; }
+};
+
+/// Source leader -> balancer: the range is fenced, every in-flight branch
+/// on it drained (or aborted) and every delta acked by the destination —
+/// the balancer may publish the new placement.
+struct ShardCutoverReady : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardCutoverReady;
+  }
+  uint64_t migration_id = 0;
+  sharding::ShardRange range;  ///< owner = destination, version = new
+  size_t WireSize() const override { return 96; }
+};
+
+/// Balancer -> every DM and data-source replica: authoritative shard map.
+/// Receivers adopt entries per-range by version (last-writer-wins under
+/// the single balancer writer), so the epoch switch is atomic per actor.
+struct ShardMapUpdate : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardMapUpdate;
+  }
+  std::vector<sharding::ShardRange> entries;
+  size_t WireSize() const override { return 48 + entries.size() * 32; }
+};
+
+/// Data source -> DM: "WrongShardEpoch" bounce of a batch routed under a
+/// stale map. Carries the patched range so the DM adopts it and re-routes
+/// the batch (or aborts the transaction when the branch already executed
+/// earlier rounds here).
+struct ShardRedirect : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardRedirect;
+  }
+  TxnId txn_id = kInvalidTxn;
+  uint64_t round_seq = 0;
+  sharding::ShardRange entry;  ///< owner = the range's current owner
+  size_t WireSize() const override { return 96; }
 };
 
 // ---------------------------------------------------------------------------

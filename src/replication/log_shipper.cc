@@ -88,6 +88,18 @@ void LogShipper::AwaitQuorum(uint64_t index, QuorumCallback on_quorum) {
 }
 
 void LogShipper::ShipTo(NodeId follower, Progress& progress) {
+  if (progress.next_index < log_->first_index()) {
+    // The follower needs entries that were compacted away (its log was
+    // lost entirely — compaction never outruns a follower that still has
+    // one). Ship a store snapshot positioning it at the compaction
+    // boundary; the retained tail follows as a normal append.
+    GEOTP_CHECK(snapshot_sender_ != nullptr,
+                "follower " << follower << " needs compacted entries and no "
+                            << "snapshot sender is installed");
+    stats_.snapshots_sent++;
+    snapshot_sender_(follower);
+    progress.next_index = log_->first_index();
+  }
   auto req = std::make_unique<ReplAppendRequest>();
   req->from = self_;
   req->to = follower;

@@ -64,6 +64,17 @@ class ReplicationLog {
     }
   }
 
+  /// Highest compacted-away index (0 = nothing compacted).
+  uint64_t offset() const { return offset_; }
+
+  /// Snapshot bootstrap: discards everything and positions the (empty)
+  /// log at the snapshot boundary, as if [1, offset] had been compacted.
+  void ResetTo(uint64_t offset, uint64_t offset_epoch) {
+    entries_.clear();
+    offset_ = offset;
+    offset_epoch_ = offset_epoch;
+  }
+
   /// Compaction: releases every entry with index <= `upto` (clamped).
   /// Returns how many entries were dropped.
   uint64_t TruncatePrefix(uint64_t upto) {
@@ -100,14 +111,22 @@ struct LogShipperStats {
   uint64_t acks_received = 0;
   uint64_t retransmissions = 0;
   uint64_t quorum_callbacks_fired = 0;
+  uint64_t snapshots_sent = 0;  ///< bootstrap snapshots to wiped followers
 };
 
 class LogShipper {
  public:
   using QuorumCallback = std::function<void()>;
+  /// Ships a store snapshot to a follower whose next entry was compacted
+  /// away (set by the Replicator; reuses the shard snapshot-install path).
+  using SnapshotSender = std::function<void(NodeId follower)>;
 
   LogShipper(NodeId self, sim::Network* network, ReplicationLog* log)
       : self_(self), network_(network), log_(log) {}
+
+  void set_snapshot_sender(SnapshotSender sender) {
+    snapshot_sender_ = std::move(sender);
+  }
 
   /// Activates shipping for a leadership term. `floor` is the commit
   /// watermark known when leadership was acquired — the watermark never
@@ -159,6 +178,7 @@ class LogShipper {
   NodeId self_;
   sim::Network* network_;
   ReplicationLog* log_;
+  SnapshotSender snapshot_sender_;
   bool active_ = false;
   NodeId group_ = kInvalidNode;
   uint64_t epoch_ = 0;

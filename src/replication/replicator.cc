@@ -33,6 +33,8 @@ Replicator::Replicator(datasource::DataSourceNode* node, GroupConfig group)
   GEOTP_CHECK(it != group_.replicas.end(),
               "node " << node_->id() << " not in its replica group");
   ordinal_ = static_cast<int>(it - group_.replicas.begin());
+  shipper_.set_snapshot_sender(
+      [this](NodeId follower) { SendBootstrapSnapshot(follower); });
 }
 
 sim::EventLoop* Replicator::loop() const { return node_->loop(); }
@@ -165,6 +167,16 @@ bool Replicator::HandleMessage(sim::MessageBase* msg) {
     case sim::MessageType::kFollowerReadRequest:
       OnFollowerRead(static_cast<FollowerReadRequest&>(*msg));
       return true;
+    case sim::MessageType::kShardSnapshotChunk: {
+      // migration_id == 0 marks a replication bootstrap snapshot; shard
+      // migration chunks fall through to the ShardMigrator.
+      const auto& chunk = static_cast<protocol::ShardSnapshotChunk&>(*msg);
+      if (chunk.migration_id != 0 || chunk.group != group_.logical) {
+        return false;
+      }
+      OnBootstrapSnapshot(chunk);
+      return true;
+    }
     default:
       return false;
   }
@@ -351,6 +363,81 @@ void Replicator::OnFollowerRead(const FollowerReadRequest& req) {
     stats_.follower_reads_served++;
   }
   network()->Send(std::move(resp));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot bootstrap (reuses the shard snapshot-install path)
+// ---------------------------------------------------------------------------
+
+void Replicator::SendBootstrapSnapshot(NodeId follower) {
+  auto chunk = std::make_unique<protocol::ShardSnapshotChunk>();
+  chunk->from = self();
+  chunk->to = follower;
+  chunk->migration_id = 0;  // bootstrap, not a shard migration
+  chunk->group = group_.logical;
+  chunk->epoch = election_.epoch();
+  // Position the follower's empty log at our compaction boundary: the
+  // snapshot covers every compacted entry's effects (it is our CURRENT
+  // committed state, so re-applying the retained tail is idempotent).
+  chunk->base_index = log_.first_index() - 1;
+  chunk->base_epoch = log_.EpochAt(chunk->base_index);
+  // Committed state only: live branches' in-place writes stay out — their
+  // prepare entries are pinned above the compaction point and ship with
+  // the tail.
+  for (const auto& [key, value] : node_->engine().CommittedRecords()) {
+    chunk->records.push_back(protocol::ReplWrite{key, value});
+  }
+  GEOTP_INFO("replica " << self() << ": bootstrap snapshot (base "
+                        << chunk->base_index << ", "
+                        << chunk->records.size() << " records) -> "
+                        << follower);
+  network()->Send(std::move(chunk));
+}
+
+void Replicator::OnBootstrapSnapshot(
+    const protocol::ShardSnapshotChunk& chunk) {
+  if (chunk.epoch < election_.epoch()) return;  // stale leader
+  const bool epoch_changed = chunk.epoch > election_.epoch();
+  if (epoch_changed || election_.leader() != chunk.from ||
+      election_.role() != Role::kFollower) {
+    election_.AdoptLeader(chunk.from, chunk.epoch);
+    SyncRoleState();
+  }
+  last_leader_contact_ = loop()->Now();
+  if (chunk.base_index > applied_index_) {
+    for (const protocol::ReplWrite& w : chunk.records) {
+      node_->engine().store().Apply(w.key, w.value);
+    }
+    log_.ResetTo(chunk.base_index, chunk.base_epoch);
+    consistent_prefix_ = chunk.base_index;
+    follower_watermark_ = chunk.base_index;
+    applied_index_ = chunk.base_index;
+    compact_floor_ = std::max(compact_floor_, chunk.base_index);
+    unresolved_prepares_.clear();
+    commit_entries_.clear();
+    fresh_as_of_ = loop()->Now();
+    stats_.snapshot_installs++;
+  }
+  auto ack = std::make_unique<ReplAppendAck>();
+  ack->from = self();
+  ack->to = chunk.from;
+  ack->group = group_.logical;
+  ack->epoch = election_.epoch();
+  ack->ok = true;
+  ack->ack_index = consistent_prefix_;
+  network()->Send(std::move(ack));
+}
+
+void Replicator::WipeForBootstrap() {
+  GEOTP_CHECK(node_->crashed(), "wipe a live replica");
+  log_.ResetTo(0, 0);
+  consistent_prefix_ = 0;
+  follower_watermark_ = 0;
+  applied_index_ = 0;
+  compact_floor_ = 0;
+  fresh_as_of_ = -1;
+  unresolved_prepares_.clear();
+  commit_entries_.clear();
 }
 
 // ---------------------------------------------------------------------------

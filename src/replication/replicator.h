@@ -43,6 +43,7 @@ struct ReplicatorStats {
   uint64_t follower_reads_rejected = 0;
   uint64_t not_leader_rejections = 0;
   uint64_t log_entries_truncated = 0;  ///< compacted-away prefix entries
+  uint64_t snapshot_installs = 0;  ///< bootstrap snapshots applied
 };
 
 class Replicator {
@@ -113,12 +114,24 @@ class Replicator {
   /// current leader before anything is applied again.
   void OnRestart();
 
+  /// Simulates total loss of the replicated log (disk gone). The replica
+  /// restarts empty; if the leader compacted past its death point, it is
+  /// re-seeded through the snapshot-install path. Call while crashed,
+  /// before OnRestart().
+  void WipeForBootstrap();
+
  private:
   void OnAppend(const protocol::ReplAppendRequest& req);
   void OnAppendAck(const protocol::ReplAppendAck& ack);
   void OnVoteRequest(const protocol::ReplVoteRequest& req);
   void OnVoteResponse(const protocol::ReplVoteResponse& resp);
   void OnFollowerRead(const protocol::FollowerReadRequest& req);
+  /// Leader side: ships the committed store + log position to a follower
+  /// whose next entry was compacted away (shares the shard migration's
+  /// snapshot-install message).
+  void SendBootstrapSnapshot(NodeId follower);
+  /// Follower side: installs a bootstrap snapshot (migration_id == 0).
+  void OnBootstrapSnapshot(const protocol::ShardSnapshotChunk& chunk);
 
   /// Epoch of the last log entry (0 for an empty log) — the first half of
   /// the (epoch, index) log-position pair elections compare.

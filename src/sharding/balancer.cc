@@ -1,0 +1,234 @@
+#include "sharding/balancer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "middleware/middleware.h"
+#include "protocol/messages.h"
+
+namespace geotp {
+namespace sharding {
+
+using protocol::ShardCutoverReady;
+using protocol::ShardMapUpdate;
+using protocol::ShardMigrateCancel;
+using protocol::ShardMigrateRequest;
+
+ShardBalancer::ShardBalancer(middleware::MiddlewareNode* dm,
+                             BalancerConfig config)
+    : dm_(dm), config_(std::move(config)) {}
+
+void ShardBalancer::Start() {
+  // Version allocation is monotone for the balancer's whole lifetime:
+  // resetting it per tick could mint the same version for two in-flight
+  // migrations and defeat the per-range staleness check.
+  next_version_ = std::max(next_version_, dm_->catalog().ShardEpoch());
+  // The generation guard kills any tick chain from before a crash, so a
+  // restart (which calls Start() again) never ends up with two chains.
+  ArmTick(++generation_);
+}
+
+void ShardBalancer::ArmTick(uint64_t generation) {
+  dm_->loop()->Schedule(config_.interval, [this, generation]() {
+    if (generation != generation_) return;  // superseded by a restart
+    if (dm_->crashed()) return;  // chain ends; Restart() starts a new one
+    Tick();
+    ArmTick(generation);
+  });
+}
+
+bool ShardBalancer::HandleMessage(sim::MessageBase* msg) {
+  if (msg->type() != sim::MessageType::kShardCutoverReady) return false;
+  const auto& ready = static_cast<ShardCutoverReady&>(*msg);
+  OnCutoverReady(ready.migration_id, ready.range);
+  return true;
+}
+
+void ShardBalancer::Tick() {
+  if (dm_->crashed()) return;
+  stats_.ticks++;
+  CancelExpired();
+  PlanMigrations();
+}
+
+void ShardBalancer::CancelExpired() {
+  const Micros now = dm_->loop()->Now();
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (now < it->deadline) {
+      ++it;
+      continue;
+    }
+    stats_.migrations_cancelled++;
+    // Both ends hold per-migration state: the source its outbound fence /
+    // delta queue, the destination its inbound ordering buffer.
+    for (NodeId end : {it->source, it->dest}) {
+      auto cancel = std::make_unique<ShardMigrateCancel>();
+      cancel->from = dm_->id();
+      cancel->to = dm_->catalog().LeaderOf(end);
+      cancel->migration_id = it->id;
+      dm_->network()->Send(std::move(cancel));
+    }
+    it = in_flight_.erase(it);
+  }
+}
+
+void ShardBalancer::PlanMigrations() {
+  middleware::Catalog& catalog = dm_->catalog();
+  if (!catalog.HasShardMap()) return;
+  const ShardMap& map = catalog.shard_map();
+  const std::vector<ShardRange>& ranges = map.ranges();
+  last_heat_.resize(ranges.size(), 0);
+  cooldown_until_.resize(ranges.size(), 0);
+
+  // Nearest data source by the monitor's live RTT estimates. Only sampled
+  // sources qualify (an unsampled estimate reads 0, which would look
+  // infinitely attractive).
+  const std::vector<NodeId> sources = catalog.AllDataSources();
+  NodeId best = kInvalidNode;
+  Micros best_rtt = 0;
+  for (NodeId logical : sources) {
+    const Micros rtt = dm_->monitor().RttEstimate(logical);
+    if (rtt <= 0) continue;
+    if (best == kInvalidNode || rtt < best_rtt) {
+      best = logical;
+      best_rtt = rtt;
+    }
+  }
+  if (best == kInvalidNode) return;
+
+  // Per-range heat since the last tick, from the footprint's AVL range
+  // scans (the same statistics that drive the Eq. 5/9 forecasts).
+  const Micros now = dm_->loop()->Now();
+  struct Candidate {
+    size_t idx;
+    uint64_t heat;
+    Micros gain;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    const ShardRange& range = ranges[i];
+    uint64_t total = 0;
+    const auto records = dm_->footprint().Range(
+        RecordKey{range.table, range.lo},
+        RecordKey{range.table, range.hi - 1});
+    for (const auto& [key, stats] : records) total += stats.t_cnt;
+    // The footprint is an LRU cache: evictions reset per-record t_cnt, so
+    // the cumulative sum can shrink between ticks. A shrunken sum means
+    // the range re-accumulated at least `total` accesses since eviction —
+    // use that instead of clamping the delta to zero, which would starve
+    // a hot-but-churning range forever.
+    const uint64_t heat =
+        total >= last_heat_[i] ? total - last_heat_[i] : total;
+    last_heat_[i] = total;
+    if (heat < config_.min_heat) continue;
+    if (now < cooldown_until_[i]) continue;
+    if (range.owner == best) continue;
+    bool migrating = false;
+    for (const Migration& m : in_flight_) {
+      if (m.range_idx == i) migrating = true;
+    }
+    if (migrating) continue;
+    const Micros owner_rtt = dm_->monitor().RttEstimate(range.owner);
+    if (owner_rtt <= 0) continue;
+    const Micros gain = owner_rtt - best_rtt;
+    if (gain < config_.min_rtt_gain) continue;
+    candidates.push_back(Candidate{i, heat, gain});
+  }
+  // Hottest first: each migration costs a fence window, so spend it on
+  // the ranges that remove the most WAN round trips.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.heat != b.heat) return a.heat > b.heat;
+              return a.gain > b.gain;
+            });
+
+  for (const Candidate& c : candidates) {
+    if (static_cast<int>(in_flight_.size()) >= config_.max_concurrent) break;
+    const ShardRange& range = ranges[c.idx];
+    Migration m;
+    m.id = next_migration_id_++;
+    m.range_idx = c.idx;
+    m.source = range.owner;
+    m.dest = best;
+    next_version_ = std::max(next_version_, map.epoch()) + 1;
+    m.new_version = next_version_;
+    m.deadline = now + config_.migration_timeout;
+    m.source_leader_epoch = catalog.EpochOf(range.owner);
+    m.dest_leader_epoch = catalog.EpochOf(best);
+    stats_.migrations_started++;
+    GEOTP_INFO("balancer: migrating " << range.ToString() << " -> " << best
+                                      << " (heat " << c.heat << ", gain "
+                                      << MicrosToMs(c.gain) << " ms)");
+    auto req = std::make_unique<ShardMigrateRequest>();
+    req->from = dm_->id();
+    req->to = catalog.LeaderOf(range.owner);
+    req->migration_id = m.id;
+    req->range = range;
+    req->dest = best;
+    req->dest_leader = catalog.LeaderOf(best);
+    req->new_version = m.new_version;
+    req->timeout = config_.migration_timeout;
+    dm_->network()->Send(std::move(req));
+    in_flight_.push_back(m);
+  }
+}
+
+void ShardBalancer::OnCutoverReady(uint64_t migration_id,
+                                   const ShardRange& range) {
+  auto it = std::find_if(
+      in_flight_.begin(), in_flight_.end(),
+      [migration_id](const Migration& m) { return m.id == migration_id; });
+  if (it == in_flight_.end()) return;  // cancelled; placement unchanged
+  const Migration m = *it;
+  in_flight_.erase(it);
+  middleware::Catalog& catalog = dm_->catalog();
+  // A failover at either end since planning invalidates the protocol
+  // state behind this report (the fence and the installed records are
+  // node-local and died with the deposed leader): do NOT publish — the
+  // range stays at the source, which is always safe — and let a later
+  // tick retry the migration against the new leadership.
+  if (catalog.EpochOf(m.source) != m.source_leader_epoch ||
+      catalog.EpochOf(m.dest) != m.dest_leader_epoch) {
+    stats_.migrations_cancelled++;
+    auto cancel = std::make_unique<ShardMigrateCancel>();
+    cancel->from = dm_->id();
+    cancel->to = catalog.LeaderOf(m.source);
+    cancel->migration_id = m.id;
+    dm_->network()->Send(std::move(cancel));
+    return;
+  }
+  stats_.migrations_completed++;
+  GEOTP_CHECK(range.owner == m.dest && range.version == m.new_version,
+              "cutover report does not match the planned migration");
+  catalog.mutable_shard_map().Move(m.range_idx, m.dest, m.new_version);
+  dm_->NoteShardEpoch(catalog.ShardEpoch());
+  if (m.range_idx < cooldown_until_.size()) {
+    cooldown_until_[m.range_idx] =
+        dm_->loop()->Now() + config_.range_cooldown;
+  }
+  Publish();
+}
+
+void ShardBalancer::Publish() {
+  stats_.map_publishes++;
+  middleware::Catalog& catalog = dm_->catalog();
+  std::vector<NodeId> targets = config_.peer_middlewares;
+  for (NodeId logical : catalog.AllDataSources()) {
+    targets.push_back(catalog.LeaderOf(logical));
+    for (NodeId follower : catalog.FollowersOf(logical)) {
+      targets.push_back(follower);
+    }
+  }
+  for (NodeId target : targets) {
+    if (target == dm_->id()) continue;  // adopted locally already
+    auto update = std::make_unique<ShardMapUpdate>();
+    update->from = dm_->id();
+    update->to = target;
+    update->entries = catalog.shard_map().ranges();
+    dm_->network()->Send(std::move(update));
+  }
+}
+
+}  // namespace sharding
+}  // namespace geotp

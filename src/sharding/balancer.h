@@ -1,0 +1,113 @@
+// ShardBalancer: hotspot-driven shard placement, run inside one
+// middleware (DM).
+//
+// Every `interval` it scores each shard range by the access heat the DM's
+// HotspotFootprint observed since the last tick, and compares the range
+// owner's measured RTT (LatencyMonitor) against the nearest data source.
+// A hot range parked on a far source is migrated toward the DM region
+// driving it: the balancer sends a ShardMigrateRequest to the source
+// leader, the ShardMigrator pair runs the snapshot + delta + fenced
+// cutover protocol, and on ShardCutoverReady the balancer bumps the shard
+// map epoch and publishes the new placement to every DM and data-source
+// replica. Stalled migrations (crashed source leader, unreachable
+// destination) are cancelled after `migration_timeout`; placement is
+// unchanged until a cutover actually completes, so a cancelled migration
+// can never lose data.
+#ifndef GEOTP_SHARDING_BALANCER_H_
+#define GEOTP_SHARDING_BALANCER_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "sharding/shard_map.h"
+#include "sim/network.h"
+
+namespace geotp {
+namespace middleware {
+class MiddlewareNode;
+}  // namespace middleware
+
+namespace sharding {
+
+struct BalancerConfig {
+  /// Master switch: exactly one DM of a deployment should enable it.
+  bool enabled = false;
+  /// Evaluation cadence (also drives migration-timeout checks).
+  Micros interval = MsToMicros(400);
+  /// A migration not cut over within this window is cancelled.
+  Micros migration_timeout = SecToMicros(8);
+  /// Minimum footprint accesses per interval for a range to count as hot.
+  uint64_t min_heat = 50;
+  /// Minimum RTT saved (owner RTT - best RTT) to justify a move.
+  Micros min_rtt_gain = MsToMicros(20);
+  /// Concurrent migrations cap.
+  int max_concurrent = 1;
+  /// Per-range cooldown after a completed move (anti ping-pong).
+  Micros range_cooldown = SecToMicros(4);
+  /// Other DMs to publish map updates to (data sources are discovered
+  /// from the catalog; the owning DM adopts locally).
+  std::vector<NodeId> peer_middlewares;
+};
+
+struct BalancerStats {
+  uint64_t ticks = 0;
+  uint64_t migrations_started = 0;
+  uint64_t migrations_completed = 0;
+  uint64_t migrations_cancelled = 0;
+  uint64_t map_publishes = 0;
+};
+
+class ShardBalancer {
+ public:
+  ShardBalancer(middleware::MiddlewareNode* dm, BalancerConfig config);
+
+  /// Arms the periodic evaluation timer.
+  void Start();
+
+  /// Consumes ShardCutoverReady. Returns false for unrelated messages.
+  bool HandleMessage(sim::MessageBase* msg);
+
+  const BalancerStats& stats() const { return stats_; }
+  size_t InFlight() const { return in_flight_.size(); }
+
+ private:
+  struct Migration {
+    uint64_t id = 0;
+    size_t range_idx = 0;
+    NodeId source = kInvalidNode;  ///< logical owner at start
+    NodeId dest = kInvalidNode;
+    uint64_t new_version = 0;
+    Micros deadline = 0;
+    /// Leadership epochs of both groups when the migration was planned: a
+    /// failover at either end invalidates the fence / install state, so a
+    /// cutover report from a superseded term must not be published.
+    uint64_t source_leader_epoch = 0;
+    uint64_t dest_leader_epoch = 0;
+  };
+
+  void ArmTick(uint64_t generation);
+  void Tick();
+  void CancelExpired();
+  void PlanMigrations();
+  void OnCutoverReady(uint64_t migration_id, const ShardRange& range);
+  /// Broadcasts the authoritative map to peers and every data-source
+  /// replica (the local catalog is already updated).
+  void Publish();
+
+  middleware::MiddlewareNode* dm_;
+  BalancerConfig config_;
+  /// Cumulative footprint t_cnt per range at the last tick (parallel to
+  /// the map's range vector; spans never change, only owners do).
+  std::vector<uint64_t> last_heat_;
+  std::vector<Micros> cooldown_until_;
+  std::vector<Migration> in_flight_;
+  uint64_t next_migration_id_ = 1;
+  uint64_t next_version_ = 0;
+  uint64_t generation_ = 0;  ///< invalidates pre-crash tick chains
+  BalancerStats stats_;
+};
+
+}  // namespace sharding
+}  // namespace geotp
+
+#endif  // GEOTP_SHARDING_BALANCER_H_

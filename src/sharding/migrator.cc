@@ -1,0 +1,370 @@
+#include "sharding/migrator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "datasource/data_source.h"
+
+namespace geotp {
+namespace sharding {
+
+using protocol::ReplWrite;
+using protocol::ShardCutoverReady;
+using protocol::ShardDeltaAck;
+using protocol::ShardDeltaBatch;
+using protocol::ShardMapUpdate;
+using protocol::ShardMigrateCancel;
+using protocol::ShardMigrateRequest;
+using protocol::ShardSnapshotAck;
+using protocol::ShardSnapshotChunk;
+
+bool ShardMigrator::HandleMessage(sim::MessageBase* msg) {
+  switch (msg->type()) {
+    case sim::MessageType::kShardMigrateRequest:
+      OnMigrateRequest(static_cast<ShardMigrateRequest&>(*msg));
+      return true;
+    case sim::MessageType::kShardMigrateCancel:
+      OnMigrateCancel(static_cast<ShardMigrateCancel&>(*msg));
+      return true;
+    case sim::MessageType::kShardSnapshotChunk:
+      OnSnapshotChunk(static_cast<ShardSnapshotChunk&>(*msg));
+      return true;
+    case sim::MessageType::kShardSnapshotAck:
+      OnSnapshotAck(static_cast<ShardSnapshotAck&>(*msg));
+      return true;
+    case sim::MessageType::kShardDeltaBatch:
+      OnDeltaBatch(static_cast<ShardDeltaBatch&>(*msg));
+      return true;
+    case sim::MessageType::kShardDeltaAck:
+      OnDeltaAck(static_cast<ShardDeltaAck&>(*msg));
+      return true;
+    case sim::MessageType::kShardMapUpdate:
+      OnMapUpdate(static_cast<ShardMapUpdate&>(*msg));
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing checks
+// ---------------------------------------------------------------------------
+
+ShardMigrator::RouteCheck ShardMigrator::CheckOps(
+    const std::vector<protocol::ClientOp>& ops,
+    const ShardRange** moved) const {
+  for (const protocol::ClientOp& op : ops) {
+    for (const Outbound& out : outbound_) {
+      if (out.fenced && out.range.Contains(op.key)) {
+        return RouteCheck::kFenced;
+      }
+    }
+  }
+  if (map_.empty()) return RouteCheck::kServe;
+  const NodeId self = node_->logical_id();
+  for (const protocol::ClientOp& op : ops) {
+    const ShardRange* range = map_.RangeOf(op.key);
+    if (range != nullptr && range->owner != self) {
+      if (moved != nullptr) *moved = range;
+      return RouteCheck::kMoved;
+    }
+  }
+  return RouteCheck::kServe;
+}
+
+bool ShardMigrator::OwnsKeys(const std::vector<RecordKey>& keys) const {
+  if (map_.empty()) return true;
+  const NodeId self = node_->logical_id();
+  for (const RecordKey& key : keys) {
+    const ShardRange* range = map_.RangeOf(key);
+    if (range != nullptr && range->owner != self) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Source role
+// ---------------------------------------------------------------------------
+
+void ShardMigrator::OnMigrateRequest(const ShardMigrateRequest& req) {
+  // Only the current leader of the source group runs migrations; a
+  // follower (or a deposed leader) ignores the request and the balancer's
+  // timeout cancels it.
+  replication::Replicator* repl = node_->replicator();
+  if (repl != nullptr && !repl->IsLeader()) return;
+  for (const Outbound& out : outbound_) {
+    if (out.id == req.migration_id) return;  // duplicate
+  }
+  stats_.migrations_started++;
+  Outbound out;
+  out.id = req.migration_id;
+  out.range = req.range;
+  out.dest = req.dest;
+  out.dest_leader =
+      req.dest_leader != kInvalidNode ? req.dest_leader : req.dest;
+  out.new_version = req.new_version;
+  out.balancer = req.from;
+
+  // Snapshot cut: the COMMITTED records of the range, captured atomically
+  // within this event (single-threaded actor; live branches' in-place
+  // writes are excluded via their undo). Writes committed after this
+  // instant forward as deltas.
+  auto chunk = std::make_unique<ShardSnapshotChunk>();
+  chunk->from = node_->id();
+  chunk->to = out.dest_leader;
+  chunk->migration_id = out.id;
+  chunk->group = out.dest;
+  chunk->range = out.range;
+  const ShardRange range = out.range;
+  for (const auto& [key, value] : node_->engine().CommittedRecords(
+           [&range](const RecordKey& key) { return range.Contains(key); })) {
+    chunk->records.push_back(ReplWrite{key, value});
+  }
+  stats_.snapshot_records_sent += chunk->records.size();
+  node_->network()->Send(std::move(chunk));
+  // Self-cancellation backstop: if neither the balancer's cancel nor a
+  // cutover publish arrives (the balancer may have died), unfence rather
+  // than refuse the range's traffic forever. Twice the balancer's own
+  // timeout, so the normal cancel always wins the race.
+  const Micros self_cancel =
+      req.timeout > 0 ? 2 * req.timeout : SecToMicros(30);
+  const uint64_t id = out.id;
+  node_->loop()->Schedule(self_cancel, [this, id]() {
+    protocol::ShardMigrateCancel cancel;
+    cancel.migration_id = id;
+    OnMigrateCancel(cancel);
+  });
+  outbound_.push_back(std::move(out));
+}
+
+void ShardMigrator::OnMigrateCancel(const ShardMigrateCancel& req) {
+  // Destination side: drop the ordering buffer. Records already applied
+  // stay in the store as unreachable garbage (the map never moved).
+  inbound_.erase(req.migration_id);
+  for (auto it = outbound_.begin(); it != outbound_.end(); ++it) {
+    if (it->id == req.migration_id) {
+      stats_.migrations_cancelled++;
+      outbound_.erase(it);  // unfences the range
+      return;
+    }
+  }
+}
+
+void ShardMigrator::OnSnapshotAck(const ShardSnapshotAck& ack) {
+  for (Outbound& out : outbound_) {
+    if (out.id != ack.migration_id || out.snapshot_acked) continue;
+    out.snapshot_acked = true;
+    FenceRange(out);
+    MaybeReportCutover(out);
+    return;
+  }
+}
+
+void ShardMigrator::FenceRange(Outbound& out) {
+  out.fenced = true;
+  // Abort in-flight ACTIVE branches touching the range (the client driver
+  // retries them; post-cutover they route to the destination). PREPARED
+  // branches drain: their decision resolves here and commit write sets
+  // still forward as deltas.
+  std::vector<TxnId> to_abort;
+  for (const auto& [txn, info] : node_->branches_) {
+    const Xid xid{txn, node_->logical_id()};
+    if (node_->engine().StateOf(xid) != storage::TxnState::kActive) continue;
+    for (const RecordKey& key : info.keys) {
+      if (out.range.Contains(key)) {
+        to_abort.push_back(txn);
+        break;
+      }
+    }
+  }
+  for (TxnId txn : to_abort) node_->AbortBranchForMigration(txn);
+  stats_.fence_aborts += to_abort.size();
+}
+
+void ShardMigrator::OnCommittedWrites(
+    const std::vector<std::pair<RecordKey, int64_t>>& writes) {
+  for (Outbound& out : outbound_) {
+    std::vector<ReplWrite> intersecting;
+    for (const auto& [key, value] : writes) {
+      if (out.range.Contains(key)) {
+        intersecting.push_back(ReplWrite{key, value});
+      }
+    }
+    if (intersecting.empty()) continue;
+    auto batch = std::make_unique<ShardDeltaBatch>();
+    batch->from = node_->id();
+    batch->to = out.dest_leader;
+    batch->migration_id = out.id;
+    batch->seq = out.next_seq++;
+    stats_.delta_batches_sent++;
+    stats_.delta_writes_sent += intersecting.size();
+    batch->writes = std::move(intersecting);
+    node_->network()->Send(std::move(batch));
+  }
+}
+
+void ShardMigrator::OnDeltaAck(const ShardDeltaAck& ack) {
+  for (Outbound& out : outbound_) {
+    if (out.id != ack.migration_id) continue;
+    out.acked_seq = std::max(out.acked_seq, ack.seq);
+    MaybeReportCutover(out);
+    return;
+  }
+}
+
+void ShardMigrator::OnBranchResolved() {
+  for (Outbound& out : outbound_) MaybeReportCutover(out);
+}
+
+void ShardMigrator::MaybeReportCutover(Outbound& out) {
+  if (!out.fenced || out.cutover_reported) return;
+  if (out.acked_seq + 1 != out.next_seq) return;  // deltas in flight
+  // Any live branch still touching the range (a prepared branch awaiting
+  // its decision) blocks the cutover: its commit must forward first.
+  for (const auto& [txn, info] : node_->branches_) {
+    for (const RecordKey& key : info.keys) {
+      if (out.range.Contains(key)) return;
+    }
+  }
+  // Prepared branches installed by a failover (InstallPreparedBranch)
+  // have no branches_ entry; check the engine's in-doubt set directly —
+  // their write sets must still forward as deltas when decided.
+  for (const Xid& xid : node_->engine().PreparedXids()) {
+    for (const auto& [key, value] : node_->engine().WriteSetOf(xid)) {
+      if (out.range.Contains(key)) return;
+    }
+  }
+  out.cutover_reported = true;
+  stats_.cutovers_reported++;
+  auto ready = std::make_unique<ShardCutoverReady>();
+  ready->from = node_->id();
+  ready->to = out.balancer;
+  ready->migration_id = out.id;
+  ready->range = out.range;
+  ready->range.owner = out.dest;
+  ready->range.version = out.new_version;
+  node_->network()->Send(std::move(ready));
+}
+
+// ---------------------------------------------------------------------------
+// Destination role
+// ---------------------------------------------------------------------------
+
+void ShardMigrator::ApplyRecords(const std::vector<ReplWrite>& records,
+                                 std::function<void()> ack) {
+  // The (leader's) local store always applies directly — the replicated
+  // entry stream below only reaches followers (a leader reflects its own
+  // appends through the engine, never through ApplyEntry).
+  for (const ReplWrite& w : records) {
+    node_->engine().store().Apply(w.key, w.value);
+  }
+  replication::Replicator* repl = node_->replicator();
+  if (repl != nullptr && repl->IsLeader()) {
+    // Funnel through the replica group's log so followers apply the same
+    // records via the LogShipper entry stream; the ack waits for quorum
+    // durability. The synthetic xid never collides with coordinator txn
+    // ids (middleware ordinals are small; 0xFFFF is reserved).
+    const Xid xid{MakeTxnId(0xFFFFu, (static_cast<uint64_t>(node_->id())
+                                      << 24) |
+                                         ++synthetic_seq_),
+                  node_->logical_id()};
+    repl->ReplicateCommit(xid, records, std::move(ack));
+    return;
+  }
+  ack();
+}
+
+void ShardMigrator::OnSnapshotChunk(const ShardSnapshotChunk& chunk) {
+  // migration_id == 0 chunks are replication bootstrap snapshots and are
+  // consumed by the Replicator before this handler runs.
+  if (chunk.migration_id == 0) return;
+  replication::Replicator* repl = node_->replicator();
+  if (repl != nullptr && !repl->IsLeader()) return;  // balancer will retry
+  stats_.snapshot_records_applied += chunk.records.size();
+  const NodeId source = chunk.from;
+  const uint64_t id = chunk.migration_id;
+  Inbound& in = inbound_[id];
+  in.range = chunk.range;
+  in.snapshot_applied = true;  // local apply below is synchronous
+  ApplyRecords(chunk.records, [this, source, id]() {
+    auto ack = std::make_unique<ShardSnapshotAck>();
+    ack->from = node_->id();
+    ack->to = source;
+    ack->migration_id = id;
+    node_->network()->Send(std::move(ack));
+  });
+  // Deltas that outran the snapshot (independent per-message link delays)
+  // were buffered; they apply strictly after it.
+  DrainDeltas(id, in, source);
+}
+
+void ShardMigrator::OnDeltaBatch(const ShardDeltaBatch& batch) {
+  replication::Replicator* repl = node_->replicator();
+  if (repl != nullptr && !repl->IsLeader()) return;
+  Inbound& in = inbound_[batch.migration_id];
+  if (batch.seq <= in.applied_seq) return;  // duplicate
+  in.pending[batch.seq] = batch.writes;
+  DrainDeltas(batch.migration_id, in, batch.from);
+}
+
+void ShardMigrator::DrainDeltas(uint64_t migration_id, Inbound& in,
+                                NodeId source) {
+  // Strict order: nothing before the snapshot, then sequence order (a
+  // delta applied under an older store state would be overwritten).
+  if (!in.snapshot_applied) return;
+  while (!in.pending.empty() &&
+         in.pending.begin()->first == in.applied_seq + 1) {
+    std::vector<ReplWrite> writes = std::move(in.pending.begin()->second);
+    in.pending.erase(in.pending.begin());
+    in.applied_seq++;
+    stats_.delta_batches_applied++;
+    const uint64_t seq = in.applied_seq;
+    ApplyRecords(writes, [this, source, migration_id, seq]() {
+      auto ack = std::make_unique<ShardDeltaAck>();
+      ack->from = node_->id();
+      ack->to = source;
+      ack->migration_id = migration_id;
+      ack->seq = seq;
+      node_->network()->Send(std::move(ack));
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Map adoption / lifecycle
+// ---------------------------------------------------------------------------
+
+void ShardMigrator::OnMapUpdate(const ShardMapUpdate& update) {
+  map_.Adopt(update.entries);
+  // Migrations whose range the map now places at the destination are
+  // complete: drop their state (redirects come from the map from here on).
+  const NodeId self = node_->logical_id();
+  outbound_.erase(
+      std::remove_if(outbound_.begin(), outbound_.end(),
+                     [this, self](const Outbound& out) {
+                       const ShardRange* range = map_.RangeOf(
+                           RecordKey{out.range.table, out.range.lo});
+                       return range != nullptr && range->owner != self;
+                     }),
+      outbound_.end());
+  // Destination side: once the map places a migration's range here, its
+  // delta stream is over (the source only reported cutover after every
+  // delta was acked) — the ordering buffer can go.
+  for (auto it = inbound_.begin(); it != inbound_.end();) {
+    const ShardRange* range =
+        map_.RangeOf(RecordKey{it->second.range.table, it->second.range.lo});
+    const bool complete = it->second.snapshot_applied && range != nullptr &&
+                          range->owner == self &&
+                          range->version >= it->second.range.version;
+    it = complete ? inbound_.erase(it) : std::next(it);
+  }
+}
+
+void ShardMigrator::OnCrash() {
+  outbound_.clear();
+  inbound_.clear();
+}
+
+}  // namespace sharding
+}  // namespace geotp

@@ -1,0 +1,161 @@
+// ShardMigrator: the data-source side of live shard migration.
+//
+// Each DataSourceNode owns one migrator. It plays two roles:
+//
+//  * Source (replica-group leader only): on a ShardMigrateRequest it cuts
+//    a snapshot of the committed records in the moving range and sends it
+//    to the destination leader. Writes committed after the cut are
+//    forwarded as sequenced ShardDeltaBatch messages. Once the snapshot is
+//    acked it FENCES the range: new batches touching it are refused
+//    (retryable), in-flight active branches on it are aborted (the client
+//    retries), and prepared branches drain — their commit write sets still
+//    forward as deltas. When no live branch touches the range and every
+//    delta is acked, the migrator reports ShardCutoverReady to the
+//    balancer, which publishes the new placement.
+//
+//  * Destination: applies snapshot and delta records. On a replicated
+//    destination they are funnelled through the replica group's log
+//    (Replicator::ReplicateCommit with a synthetic migration xid), so
+//    followers receive them through the existing LogShipper entry stream
+//    and acks are quorum-durable.
+//
+// Every data source also keeps an adopted copy of the shard map
+// (ShardMapUpdate). A batch whose keys the local map places elsewhere is
+// bounced with a ShardRedirect ("WrongShardEpoch") carrying the patched
+// range, so stale DMs converge without a central refresh.
+#ifndef GEOTP_SHARDING_MIGRATOR_H_
+#define GEOTP_SHARDING_MIGRATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "protocol/messages.h"
+#include "sharding/shard_map.h"
+#include "sim/network.h"
+
+namespace geotp {
+namespace datasource {
+class DataSourceNode;
+}  // namespace datasource
+
+namespace sharding {
+
+struct ShardMigratorStats {
+  uint64_t migrations_started = 0;    ///< source role
+  uint64_t migrations_cancelled = 0;
+  uint64_t cutovers_reported = 0;
+  uint64_t snapshot_records_sent = 0;
+  uint64_t delta_batches_sent = 0;
+  uint64_t delta_writes_sent = 0;
+  uint64_t fence_aborts = 0;  ///< active branches aborted at fence
+  // (fenced rejections / redirects are counted in DataSourceStats, where
+  // the refusal responses are actually sent.)
+  uint64_t snapshot_records_applied = 0;  ///< destination role
+  uint64_t delta_batches_applied = 0;
+};
+
+class ShardMigrator {
+ public:
+  explicit ShardMigrator(datasource::DataSourceNode* node) : node_(node) {}
+
+  /// Consumes sharding traffic. Returns false for unrelated messages.
+  bool HandleMessage(sim::MessageBase* msg);
+
+  /// Routing verdict for an incoming execute batch.
+  enum class RouteCheck {
+    kServe,   ///< all keys live here
+    kFenced,  ///< a key is mid-migration (fenced): refuse, client retries
+    kMoved,   ///< a key moved away: bounce with a ShardRedirect
+  };
+  /// The local map is authoritative for what this node serves: any key it
+  /// places elsewhere is bounced, whatever epoch the coordinator routed
+  /// under (a per-request GLOBAL epoch cannot prove the coordinator knows
+  /// THIS range's latest placement). A coordinator that is actually ahead
+  /// re-routes to the same owner and converges once the in-flight map
+  /// update lands here. `moved` receives the range to redirect to when
+  /// the result is kMoved.
+  RouteCheck CheckOps(const std::vector<protocol::ClientOp>& ops,
+                      const ShardRange** moved) const;
+
+  /// Follower-read guard: false if the map places any key elsewhere (the
+  /// DM then falls back to the leader path, which redirects properly).
+  bool OwnsKeys(const std::vector<RecordKey>& keys) const;
+
+  /// Commit hook: forwards the writes intersecting any active outbound
+  /// migration as deltas. Call with the write set captured just before the
+  /// engine commit.
+  void OnCommittedWrites(
+      const std::vector<std::pair<RecordKey, int64_t>>& writes);
+  /// True if OnCommittedWrites needs the write set at all (avoids building
+  /// it on the common no-migration path).
+  bool WantsCommittedWrites() const { return !outbound_.empty(); }
+
+  /// Branch-resolution hook (commit/rollback processed): re-checks whether
+  /// a fenced migration finished draining.
+  void OnBranchResolved();
+
+  /// Crash: all migration state is volatile (the balancer times the
+  /// migration out and cancels it).
+  void OnCrash();
+
+  const ShardMap& map() const { return map_; }
+  const ShardMigratorStats& stats() const { return stats_; }
+
+ private:
+  struct Outbound {
+    uint64_t id = 0;
+    ShardRange range;            ///< owner = this group (pre-cutover)
+    NodeId dest = kInvalidNode;  ///< destination logical group
+    NodeId dest_leader = kInvalidNode;
+    uint64_t new_version = 0;
+    bool snapshot_acked = false;
+    bool fenced = false;
+    bool cutover_reported = false;
+    NodeId balancer = kInvalidNode;  ///< where ShardCutoverReady goes
+    uint64_t next_seq = 1;           ///< next delta batch to send
+    uint64_t acked_seq = 0;          ///< highest delta batch acked
+  };
+  struct Inbound {
+    ShardRange range;  ///< for pruning once the map places it here
+    /// Deltas must never apply before the snapshot: an independent link
+    /// delay per message can deliver delta seq 1 first, and applying it
+    /// early would let the older snapshot overwrite a committed write.
+    bool snapshot_applied = false;
+    uint64_t applied_seq = 0;  ///< highest contiguously applied delta
+    std::map<uint64_t, std::vector<protocol::ReplWrite>> pending;
+  };
+
+  void OnMigrateRequest(const protocol::ShardMigrateRequest& req);
+  void OnMigrateCancel(const protocol::ShardMigrateCancel& req);
+  void OnSnapshotChunk(const protocol::ShardSnapshotChunk& chunk);
+  void OnSnapshotAck(const protocol::ShardSnapshotAck& ack);
+  void OnDeltaBatch(const protocol::ShardDeltaBatch& batch);
+  void OnDeltaAck(const protocol::ShardDeltaAck& ack);
+  void OnMapUpdate(const protocol::ShardMapUpdate& update);
+
+  /// Fences the range of `out`: aborts active branches touching it.
+  void FenceRange(Outbound& out);
+  /// Drain check: fenced + no live branch on the range + deltas acked ->
+  /// report cutover readiness once.
+  void MaybeReportCutover(Outbound& out);
+  /// Applies records at the destination, through the replica group's log
+  /// when replicated; runs `ack` once durable.
+  void ApplyRecords(const std::vector<protocol::ReplWrite>& records,
+                    std::function<void()> ack);
+  /// Applies (and acks) every buffered delta that is next in sequence.
+  void DrainDeltas(uint64_t migration_id, Inbound& in, NodeId source);
+
+  datasource::DataSourceNode* node_;
+  ShardMap map_;  ///< adopted placement (empty until the first update)
+  std::vector<Outbound> outbound_;
+  std::map<uint64_t, Inbound> inbound_;  ///< by migration id
+  uint64_t synthetic_seq_ = 0;  ///< synthetic txn ids for record applies
+  ShardMigratorStats stats_;
+};
+
+}  // namespace sharding
+}  // namespace geotp
+
+#endif  // GEOTP_SHARDING_MIGRATOR_H_

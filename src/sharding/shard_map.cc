@@ -1,0 +1,114 @@
+#include "sharding/shard_map.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace geotp {
+namespace sharding {
+
+std::string ShardRange::ToString() const {
+  std::ostringstream out;
+  out << "t" << table << "[" << lo << "," << hi << ")@" << owner << "/v"
+      << version;
+  return out.str();
+}
+
+ShardMap ShardMap::FromRangePartition(uint32_t table, uint64_t keys_per_node,
+                                      const std::vector<NodeId>& owners,
+                                      uint64_t chunks_per_owner) {
+  GEOTP_CHECK(!owners.empty() && keys_per_node > 0 && chunks_per_owner > 0,
+              "bad shard layout for table " << table);
+  ShardMap map;
+  for (size_t i = 0; i < owners.size(); ++i) {
+    const uint64_t base = i * keys_per_node;
+    for (uint64_t c = 0; c < chunks_per_owner; ++c) {
+      ShardRange range;
+      range.table = table;
+      range.lo = base + c * keys_per_node / chunks_per_owner;
+      range.hi = base + (c + 1) * keys_per_node / chunks_per_owner;
+      // The catalog clamps keys beyond the last boundary to the last node;
+      // the final chunk mirrors that by extending to the key-space end.
+      if (i + 1 == owners.size() && c + 1 == chunks_per_owner) {
+        range.hi = UINT64_MAX;
+      }
+      range.owner = owners[i];
+      range.version = 0;
+      if (range.lo < range.hi) map.ranges_.push_back(range);
+    }
+  }
+  return map;
+}
+
+size_t ShardMap::Find(const RecordKey& key) const {
+  // Binary search for the last range with (table, lo) <= (key.table, key).
+  size_t lo = 0, hi = ranges_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    const ShardRange& r = ranges_[mid];
+    if (r.table < key.table || (r.table == key.table && r.lo <= key.key)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return ranges_.size();
+  const ShardRange& candidate = ranges_[lo - 1];
+  return candidate.Contains(key) ? lo - 1 : ranges_.size();
+}
+
+NodeId ShardMap::Route(const RecordKey& key) const {
+  const size_t idx = Find(key);
+  return idx == ranges_.size() ? kInvalidNode : ranges_[idx].owner;
+}
+
+const ShardRange* ShardMap::RangeOf(const RecordKey& key) const {
+  const size_t idx = Find(key);
+  return idx == ranges_.size() ? nullptr : &ranges_[idx];
+}
+
+bool ShardMap::Move(size_t idx, NodeId new_owner, uint64_t version) {
+  GEOTP_CHECK(idx < ranges_.size(), "shard index out of range");
+  if (version <= epoch_ && version <= ranges_[idx].version) return false;
+  ranges_[idx].owner = new_owner;
+  ranges_[idx].version = version;
+  epoch_ = std::max(epoch_, version);
+  return true;
+}
+
+void ShardMap::InsertSorted(const ShardRange& entry) {
+  auto pos = std::upper_bound(
+      ranges_.begin(), ranges_.end(), entry,
+      [](const ShardRange& a, const ShardRange& b) {
+        if (a.table != b.table) return a.table < b.table;
+        return a.lo < b.lo;
+      });
+  ranges_.insert(pos, entry);
+}
+
+bool ShardMap::Adopt(const std::vector<ShardRange>& entries) {
+  bool changed = false;
+  for (const ShardRange& entry : entries) {
+    bool found = false;
+    for (ShardRange& local : ranges_) {
+      if (!local.SameSpan(entry)) continue;
+      found = true;
+      if (entry.version > local.version) {
+        local.owner = entry.owner;
+        local.version = entry.version;
+        changed = true;
+      }
+      break;
+    }
+    if (!found) {
+      InsertSorted(entry);
+      changed = true;
+    }
+    epoch_ = std::max(epoch_, entry.version);
+  }
+  return changed;
+}
+
+}  // namespace sharding
+}  // namespace geotp

@@ -48,6 +48,16 @@ enum class MessageType : uint16_t {
   kNotLeaderResponse,
   kFollowerReadRequest,
   kFollowerReadResponse,
+  // Elastic sharding (src/sharding).
+  kShardMigrateRequest,
+  kShardMigrateCancel,
+  kShardSnapshotChunk,
+  kShardSnapshotAck,
+  kShardDeltaBatch,
+  kShardDeltaAck,
+  kShardCutoverReady,
+  kShardMapUpdate,
+  kShardRedirect,
   // Latency monitoring.
   kPingRequest,
   kPingResponse,

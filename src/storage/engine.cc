@@ -148,6 +148,31 @@ std::vector<std::pair<RecordKey, int64_t>> TransactionEngine::WriteSetOf(
   return writes;
 }
 
+std::vector<std::pair<RecordKey, int64_t>>
+TransactionEngine::CommittedRecords(
+    const std::function<bool(const RecordKey&)>& filter) const {
+  // At most one live branch can hold the exclusive lock on a key, so its
+  // OLDEST undo entry (vector order) carries the pre-branch committed
+  // value.
+  std::unordered_map<RecordKey, int64_t, RecordKeyHash> uncommitted;
+  for (const auto& [xid, data] : txns_) {
+    std::unordered_map<RecordKey, int64_t, RecordKeyHash> first_undo;
+    for (const UndoEntry& undo : data.undo) {
+      if (filter && !filter(undo.key)) continue;
+      first_undo.emplace(undo.key, undo.old_value);  // keeps the oldest
+    }
+    uncommitted.insert(first_undo.begin(), first_undo.end());
+  }
+  std::vector<std::pair<RecordKey, int64_t>> records;
+  for (const auto& [key, record] : store_.records()) {
+    if (filter && !filter(key)) continue;
+    auto it = uncommitted.find(key);
+    records.emplace_back(key,
+                         it != uncommitted.end() ? it->second : record.value);
+  }
+  return records;
+}
+
 Status TransactionEngine::InstallPreparedBranch(
     const Xid& xid, const std::vector<std::pair<RecordKey, int64_t>>& writes,
     Micros now) {

@@ -108,6 +108,15 @@ class TransactionEngine {
   /// still present). Used to ship writes to replication followers.
   std::vector<std::pair<RecordKey, int64_t>> WriteSetOf(const Xid& xid) const;
 
+  /// Committed values of the resident records accepted by `filter` (all
+  /// of them when empty). Writes of live (ACTIVE / PREPARED) branches are
+  /// applied in place under locks, so the raw store is dirty; this view
+  /// rolls them back through their undo entries. Snapshot transfer (shard
+  /// migration — range-filtered — and follower bootstrap) reads this so
+  /// uncommitted values never leave the node.
+  std::vector<std::pair<RecordKey, int64_t>> CommittedRecords(
+      const std::function<bool(const RecordKey&)>& filter = {}) const;
+
   /// Failover path: recreates a prepared branch from a replicated write
   /// set — takes exclusive locks, applies the writes with undo, and moves
   /// straight to PREPARED so a later Commit/Rollback behaves normally.

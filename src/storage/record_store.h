@@ -39,6 +39,14 @@ class RecordStore {
 
   size_t size() const { return records_.size(); }
 
+  /// All resident records, for snapshot transfer (shard migration and
+  /// replication follower bootstrap). Keys never written are absent and
+  /// read as 0 on every node, so a snapshot of residents is complete.
+  const std::unordered_map<RecordKey, Record, RecordKeyHash>& records()
+      const {
+    return records_;
+  }
+
   /// Rough resident-bytes estimate (memory proxy, Fig. 6b).
   size_t ApproxBytes() const;
 

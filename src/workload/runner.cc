@@ -110,6 +110,13 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
   middleware::Catalog catalog;
   generator->RegisterTables(&catalog);
+  if (config.sharding && config.workload == WorkloadKind::kYcsb) {
+    catalog.InstallShardMap(sharding::ShardMap::FromRangePartition(
+        config.ycsb.table_id, config.ycsb.records_per_node,
+        topo.data_sources, config.shard_chunks_per_source));
+    dm_config.balancer = config.balancer;
+    dm_config.balancer.enabled = true;
+  }
 
   middleware::MiddlewareNode dm(topo.middleware, /*ordinal=*/0, &network,
                                 std::move(catalog), dm_config);

@@ -70,6 +70,13 @@ struct ExperimentConfig {
   /// experiment (Fig. 11b) to schedule latency re-configuration events.
   std::function<void(sim::EventLoop*, sim::Network*)> pre_run;
 
+  /// Elastic sharding: overlay the workload's range-partitioned table with
+  /// chunked shards and run the hotspot-driven balancer at the DM (YCSB
+  /// only — TPC-C partitions by warehouse high bits).
+  bool sharding = false;
+  uint64_t shard_chunks_per_source = 8;
+  sharding::BalancerConfig balancer;  ///< enabled flag is set by the runner
+
   uint64_t seed = 42;
 };
 

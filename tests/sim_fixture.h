@@ -11,6 +11,7 @@
 #include "middleware/middleware.h"
 #include "protocol/messages.h"
 #include "replication/replication_config.h"
+#include "sharding/shard_map.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
 
@@ -19,7 +20,8 @@ namespace testing_support {
 
 /// Node ids: 0 = client, 1 = middleware, 2..2+n-1 = data sources (replica
 /// group leaders when replication_factor > 1), then (rf-1) followers per
-/// source appended in group order.
+/// source appended in group order, then additional middlewares (when
+/// num_middlewares > 1) appended last.
 class MiniCluster {
  public:
   struct Options {
@@ -35,6 +37,14 @@ class MiniCluster {
     replication::ReplicationConfig repl;
     /// WAL group-commit policy applied to every data source.
     storage::GroupCommitConfig group_commit;
+    /// Fig. 15 deployment: additional middlewares (same config, same
+    /// catalog, registered with every replica group).
+    int num_middlewares = 1;
+    /// Elastic sharding: overlay the table with chunked shards. The
+    /// balancer runs on the FIRST middleware iff options.dm.balancer is
+    /// enabled (peer middlewares are wired automatically).
+    bool sharding = false;
+    uint64_t chunks_per_source = 4;
   };
 
   MiniCluster() : MiniCluster(Options()) {}
@@ -43,7 +53,8 @@ class MiniCluster {
     const int n = options.num_data_sources;
     const int rf = options.replication_factor;
     const int followers_per_group = rf - 1;
-    const int total_nodes = 2 + n * rf;
+    const int extra_dms = options.num_middlewares - 1;
+    const int total_nodes = 2 + n * rf + extra_dms;
     auto rtt_of = [&options](int i) {
       return i < static_cast<int>(options.rtts_ms.size())
                  ? options.rtts_ms[static_cast<size_t>(i)]
@@ -83,6 +94,23 @@ class MiniCluster {
         }
       }
     }
+    // Additional middlewares share the first DM's region (client-local).
+    std::vector<NodeId> dm_ids = {1};
+    for (int j = 0; j < extra_dms; ++j) {
+      const NodeId dm_id = 2 + n * rf + j;
+      dm_ids.push_back(dm_id);
+      matrix.SetSymmetric(0, dm_id, sim::LinkSpec::FromRttMs(0.5));
+      matrix.SetSymmetric(1, dm_id, sim::LinkSpec::FromRttMs(0.5));
+      for (int i = 0; i < n; ++i) {
+        matrix.SetSymmetric(dm_id, 2 + i,
+                            sim::LinkSpec::FromRttMs(rtt_of(i)));
+        for (int k = 0; k < followers_per_group; ++k) {
+          matrix.SetSymmetric(dm_id, follower_id(i, k),
+                              sim::LinkSpec::FromRttMs(
+                                  rtt_of(i) + options.follower_rtt_ms));
+        }
+      }
+    }
     network_ = std::make_unique<sim::Network>(&loop_, matrix);
 
     middleware::Catalog catalog;
@@ -90,6 +118,11 @@ class MiniCluster {
     for (int i = 0; i < n; ++i) ds_ids.push_back(2 + i);
     catalog.AddRangePartitionedTable(options.table, options.keys_per_node,
                                      ds_ids);
+    if (options.sharding) {
+      catalog.InstallShardMap(sharding::ShardMap::FromRangePartition(
+          options.table, options.keys_per_node, ds_ids,
+          options.chunks_per_source));
+    }
 
     for (int i = 0; i < n; ++i) {
       std::vector<NodeId> replicas = {2 + i};
@@ -109,7 +142,7 @@ class MiniCluster {
           replication::GroupConfig group;
           group.logical = 2 + i;
           group.replicas = replicas;
-          group.middlewares = {1};
+          group.middlewares = dm_ids;
           group.config = options.repl;
           node->EnableReplication(group);
         }
@@ -121,9 +154,20 @@ class MiniCluster {
         }
       }
     }
-    dm_ = std::make_unique<middleware::MiddlewareNode>(
-        1, /*ordinal=*/0, network_.get(), std::move(catalog), options.dm);
-    dm_->Attach();
+    for (size_t j = 0; j < dm_ids.size(); ++j) {
+      middleware::MiddlewareConfig dm_config = options.dm;
+      if (j > 0) {
+        dm_config.balancer.enabled = false;  // one balancer per deployment
+      } else if (dm_config.balancer.enabled) {
+        dm_config.balancer.peer_middlewares.assign(dm_ids.begin() + 1,
+                                                   dm_ids.end());
+      }
+      auto dm = std::make_unique<middleware::MiddlewareNode>(
+          dm_ids[j], /*ordinal=*/static_cast<uint32_t>(j), network_.get(),
+          catalog, dm_config);
+      dm->Attach();
+      dms_.push_back(std::move(dm));
+    }
 
     network_->RegisterNode(0, [this](std::unique_ptr<sim::MessageBase> msg) {
       OnClientMessage(std::move(msg));
@@ -132,7 +176,11 @@ class MiniCluster {
 
   sim::EventLoop& loop() { return loop_; }
   sim::Network& network() { return *network_; }
-  middleware::MiddlewareNode& dm() { return *dm_; }
+  middleware::MiddlewareNode& dm() { return *dms_.front(); }
+  /// Middleware `j` (0 = the primary at node id 1).
+  middleware::MiddlewareNode& dm(int j) {
+    return *dms_[static_cast<size_t>(j)];
+  }
   datasource::DataSourceNode& source(int i) {
     return *sources_[static_cast<size_t>(i)];
   }
@@ -177,6 +225,7 @@ class MiniCluster {
 
   struct ClientTxn {
     uint64_t tag;
+    NodeId coordinator = 1;
     TxnId txn_id = kInvalidTxn;
     std::vector<protocol::ClientRoundResponse> round_responses;
     bool has_result = false;
@@ -184,14 +233,16 @@ class MiniCluster {
     Micros result_at = 0;
   };
 
-  /// Sends one round; returns the client-side handle.
+  /// Sends one round (to `coordinator`, default the primary DM); returns
+  /// the client-side handle.
   ClientTxn* SendRound(uint64_t tag, std::vector<protocol::ClientOp> ops,
-                       bool last_round) {
+                       bool last_round, NodeId coordinator = 1) {
     ClientTxn& txn = txns_[tag];
     txn.tag = tag;
+    txn.coordinator = coordinator;
     auto req = std::make_unique<protocol::ClientRoundRequest>();
     req->from = 0;
-    req->to = 1;
+    req->to = coordinator;
     req->client_tag = tag;
     req->txn_id = txn.txn_id;
     req->ops = std::move(ops);
@@ -203,7 +254,7 @@ class MiniCluster {
   void SendCommit(uint64_t tag) {
     auto req = std::make_unique<protocol::ClientFinishRequest>();
     req->from = 0;
-    req->to = 1;
+    req->to = txns_[tag].coordinator;
     req->client_tag = tag;
     req->txn_id = txns_[tag].txn_id;
     req->commit = true;
@@ -212,6 +263,13 @@ class MiniCluster {
 
   ClientTxn& txn(uint64_t tag) { return txns_[tag]; }
 
+  /// ShardCutoverReady messages addressed to the client node — the
+  /// migration edge-case tests drive the balancer's protocol by hand from
+  /// node 0 and observe readiness here.
+  const std::vector<protocol::ShardCutoverReady>& cutovers() const {
+    return cutovers_;
+  }
+
   /// Advances virtual time by `ms` milliseconds. The DM's latency monitor
   /// pings forever, so the loop never drains on its own — tests drive it
   /// with bounded horizons.
@@ -219,8 +277,9 @@ class MiniCluster {
 
   /// Convenience: runs a full single-round transaction to completion.
   /// Returns the final status.
-  Status RunTxn(uint64_t tag, std::vector<protocol::ClientOp> ops) {
-    SendRound(tag, std::move(ops), /*last_round=*/true);
+  Status RunTxn(uint64_t tag, std::vector<protocol::ClientOp> ops,
+                NodeId coordinator = 1) {
+    SendRound(tag, std::move(ops), /*last_round=*/true, coordinator);
     // Drive until the round response, then commit, then the result.
     RunFor(3000);
     ClientTxn& t = txns_[tag];
@@ -257,6 +316,9 @@ class MiniCluster {
       txn.has_result = true;
       txn.result = result->status;
       txn.result_at = loop_.Now();
+    } else if (auto* cutover =
+                   dynamic_cast<protocol::ShardCutoverReady*>(msg.get())) {
+      cutovers_.push_back(*cutover);
     }
   }
 
@@ -265,8 +327,9 @@ class MiniCluster {
   std::unique_ptr<sim::Network> network_;
   std::vector<std::unique_ptr<datasource::DataSourceNode>> sources_;
   std::vector<std::unique_ptr<datasource::DataSourceNode>> followers_;
-  std::unique_ptr<middleware::MiddlewareNode> dm_;
+  std::vector<std::unique_ptr<middleware::MiddlewareNode>> dms_;
   std::map<uint64_t, ClientTxn> txns_;
+  std::vector<protocol::ShardCutoverReady> cutovers_;
 };
 
 }  // namespace testing_support

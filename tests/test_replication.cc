@@ -411,5 +411,64 @@ TEST(ReplicationTest, LatencyMonitorRetargetsProbesAfterFailover) {
               static_cast<double>(leader_rtt) * 0.2 + 100.0);
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot bootstrap (shared with the shard migration install path)
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationTest, WipedFollowerBootstrapsFromStoreSnapshot) {
+  MiniCluster cluster(ReplicatedOptions());
+
+  // Commit a first batch and let compaction settle: every replica acked,
+  // so the leader's retained log starts past these entries.
+  for (uint64_t t = 1; t <= 6; ++t) {
+    ASSERT_TRUE(
+        cluster.RunTxn(t, {MiniCluster::Write(cluster.KeyOn(0, t), 10),
+                           MiniCluster::Write(cluster.KeyOn(1, t), 20)})
+            .ok());
+  }
+  cluster.RunFor(2000);
+  auto* leader_repl = cluster.source(0).replicator();
+  ASSERT_GT(leader_repl->log().first_index(), 1u);
+
+  // A follower loses its disk entirely: its log cannot be repaired by
+  // re-shipping (the needed prefix was compacted away) — only a snapshot
+  // can re-seed it.
+  auto& wiped = cluster.follower(0, 0);
+  wiped.Crash();
+  wiped.replicator()->WipeForBootstrap();
+
+  // More committed traffic while the follower is gone.
+  for (uint64_t t = 10; t <= 14; ++t) {
+    ASSERT_TRUE(
+        cluster.RunTxn(t, {MiniCluster::Write(cluster.KeyOn(0, t), 33)})
+            .ok());
+  }
+
+  wiped.Restart();
+  cluster.RunFor(3000);  // heartbeat -> gap nack -> snapshot -> tail
+
+  EXPECT_GE(wiped.replicator()->stats().snapshot_installs, 1u);
+  EXPECT_GE(cluster.source(0).replicator()->shipper_stats().snapshots_sent,
+            1u);
+  // The bootstrapped follower has caught up to the leader's applied state
+  // — both the compacted-away prefix and the retained tail.
+  EXPECT_GE(wiped.replicator()->applied_index(),
+            leader_repl->commit_watermark());
+  for (uint64_t t = 1; t <= 6; ++t) {
+    auto record = wiped.engine().store().Get(cluster.KeyOn(0, t));
+    ASSERT_TRUE(record.has_value()) << "key offset " << t;
+    EXPECT_EQ(record->value, 10) << "key offset " << t;
+  }
+  for (uint64_t t = 10; t <= 14; ++t) {
+    auto record = wiped.engine().store().Get(cluster.KeyOn(0, t));
+    ASSERT_TRUE(record.has_value()) << "key offset " << t;
+    EXPECT_EQ(record->value, 33) << "key offset " << t;
+  }
+  // And it serves as a quorum member again.
+  ASSERT_TRUE(
+      cluster.RunTxn(100, {MiniCluster::Write(cluster.KeyOn(0, 50), 7)})
+          .ok());
+}
+
 }  // namespace
 }  // namespace geotp
