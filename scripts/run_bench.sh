@@ -9,7 +9,8 @@
 # line) additionally snapshot to bench/out/BENCH_<name>.json — the files
 # committed to the repo as the perf record:
 #   scripts/run_bench.sh bench_group_commit   # fsync amortization
-#   scripts/run_bench.sh bench_rebalance      # elastic sharding vs static
+#   scripts/run_bench.sh bench_rebalance      # elastic sharding vs static,
+#                                             # + skew-within-chunk split
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

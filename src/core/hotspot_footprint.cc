@@ -336,6 +336,25 @@ std::vector<std::pair<RecordKey, RecordStats>> HotspotFootprint::Range(
   return out;
 }
 
+HotspotFootprint::HeatHistogram HotspotFootprint::Histogram(
+    const RecordKey& lo, const RecordKey& hi, size_t buckets) const {
+  HeatHistogram hist;
+  if (buckets == 0) return hist;
+  const auto records = Range(lo, hi);
+  if (records.empty()) return hist;
+  hist.extent_lo = records.front().first.key;
+  hist.extent_hi = records.back().first.key;
+  hist.bucket_width = (hist.extent_hi - hist.extent_lo) / buckets + 1;
+  hist.buckets.assign(buckets, 0);
+  for (const auto& [key, stats] : records) {
+    const size_t b = std::min<uint64_t>(
+        (key.key - hist.extent_lo) / hist.bucket_width, buckets - 1);
+    hist.buckets[b] += stats.t_cnt;
+    hist.total += stats.t_cnt;
+  }
+  return hist;
+}
+
 size_t HotspotFootprint::ApproxBytes() const {
   return size_ * (sizeof(Node) + 16);
 }

@@ -88,6 +88,22 @@ class HotspotFootprint {
   std::vector<std::pair<RecordKey, RecordStats>> Range(
       const RecordKey& lo, const RecordKey& hi) const;
 
+  /// Access-heat histogram over [lo, hi]: t_cnt totals in `buckets`
+  /// equal-width buckets spanning the OBSERVED key extent (not the
+  /// nominal range — a table's last shard chunk is open-ended). The
+  /// ShardBalancer reads this to detect skew-within-chunk and split the
+  /// hot sub-range out.
+  struct HeatHistogram {
+    uint64_t extent_lo = 0;  ///< smallest tracked key in range
+    uint64_t extent_hi = 0;  ///< largest tracked key in range
+    uint64_t bucket_width = 1;
+    uint64_t total = 0;      ///< sum of all buckets
+    std::vector<uint64_t> buckets;
+    bool empty() const { return buckets.empty(); }
+  };
+  HeatHistogram Histogram(const RecordKey& lo, const RecordKey& hi,
+                          size_t buckets) const;
+
   size_t size() const { return size_; }
   uint64_t evictions() const { return evictions_; }
 

@@ -34,6 +34,7 @@ void LatencyMonitor::SendPings() {
     targets.reserve(targets_.size());
     for (NodeId node : targets_) targets.push_back(PingTarget{node, node});
   }
+  const uint64_t shard_epoch = epoch_provider_ ? epoch_provider_() : 0;
   for (const PingTarget& target : targets) {
     alias_of_[target.node] = target.alias;
     auto ping = std::make_unique<protocol::PingRequest>();
@@ -41,6 +42,7 @@ void LatencyMonitor::SendPings() {
     ping->to = target.node;
     ping->seq = ++seq_;
     ping->sent_at = network_->loop()->Now();
+    ping->shard_epoch = shard_epoch;
     network_->Send(std::move(ping));
     ++pings_sent_;
   }
@@ -52,11 +54,23 @@ void LatencyMonitor::OnPong(const protocol::PingResponse& pong) {
   const Micros sample = network_->loop()->Now() - pong.sent_at;
   last_pong_at_[pong.from] = network_->loop()->Now();
   RecordSample(pong.from, sample);
+  RecordLoad(pong.from, pong.inflight);
   auto alias = alias_of_.find(pong.from);
   if (alias != alias_of_.end() && alias->second != pong.from &&
       alias->second != kInvalidNode) {
     RecordSample(alias->second, sample);
+    RecordLoad(alias->second, pong.inflight);
   }
+}
+
+void LatencyMonitor::RecordLoad(NodeId node, uint64_t inflight) {
+  const double alpha = config_.ewma_alpha;
+  auto it = load_estimates_.find(node);
+  if (it == load_estimates_.end()) {
+    load_estimates_[node] = static_cast<double>(inflight);
+    return;
+  }
+  it->second = alpha * it->second + (1.0 - alpha) * static_cast<double>(inflight);
 }
 
 void LatencyMonitor::RecordSample(NodeId node, Micros sample) {
@@ -74,6 +88,11 @@ void LatencyMonitor::RecordSample(NodeId node, Micros sample) {
 Micros LatencyMonitor::RttEstimate(NodeId node) const {
   auto it = estimates_.find(node);
   return it == estimates_.end() ? 0 : it->second;
+}
+
+double LatencyMonitor::LoadEstimate(NodeId node) const {
+  auto it = load_estimates_.find(node);
+  return it == load_estimates_.end() ? 0.0 : it->second;
 }
 
 Micros LatencyMonitor::SampleAge(NodeId node) const {

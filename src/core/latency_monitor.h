@@ -39,6 +39,7 @@ struct PingTarget {
 class LatencyMonitor {
  public:
   using TargetProvider = std::function<std::vector<PingTarget>()>;
+  using EpochProvider = std::function<uint64_t()>;
 
   LatencyMonitor(NodeId self, sim::Network* network,
                  std::vector<NodeId> targets,
@@ -52,6 +53,12 @@ class LatencyMonitor {
     provider_ = std::move(provider);
   }
 
+  /// Shard-map anti-entropy: stamps every ping with the owner's current
+  /// shard-map epoch so data sources can detect (and repair) a behind DM.
+  void SetShardEpochProvider(EpochProvider provider) {
+    epoch_provider_ = std::move(provider);
+  }
+
   /// Begins the periodic ping schedule.
   void Start();
   void Stop() { running_ = false; }
@@ -62,6 +69,11 @@ class LatencyMonitor {
 
   /// Current RTT estimate to `node`. Falls back to 0 before any sample.
   Micros RttEstimate(NodeId node) const;
+
+  /// EWMA of the capacity signal (branches in flight) the node piggybacks
+  /// on its pongs. 0 before any sample. Recorded under the same alias as
+  /// RTT samples, so balancer lookups by logical source id work.
+  double LoadEstimate(NodeId node) const;
 
   /// Virtual time since `node` last answered a ping (max if it never
   /// did). A crashed node's estimate freezes; callers doing
@@ -78,13 +90,16 @@ class LatencyMonitor {
  private:
   void SendPings();
   void RecordSample(NodeId node, Micros sample);
+  void RecordLoad(NodeId node, uint64_t inflight);
 
   NodeId self_;
   sim::Network* network_;
   std::vector<NodeId> targets_;
   TargetProvider provider_;
+  EpochProvider epoch_provider_;
   LatencyMonitorConfig config_;
   std::unordered_map<NodeId, Micros> estimates_;
+  std::unordered_map<NodeId, double> load_estimates_;
   std::unordered_map<NodeId, bool> seeded_;
   std::unordered_map<NodeId, Micros> last_pong_at_;
   /// Alias recorded for each pinged physical node in the latest round.

@@ -98,6 +98,17 @@ void DataSourceNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
   if (replicator_ != nullptr && replicator_->HandleMessage(msg.get())) {
     return;
   }
+  // Promotion barrier: a freshly promoted leader whose inherited log
+  // entries have not all applied yet must not serve transactional work —
+  // an exec admitted now would read values the deferred applies are about
+  // to overwrite (lost update). Park and replay once the barrier clears
+  // (one follower round trip); replication traffic above still flows, as
+  // it is what clears the barrier.
+  if (replicator_ != nullptr && !replicator_->ReadyToServe() &&
+      ParkedDuringPromotion(msg->type())) {
+    parked_.push_back(std::move(msg));
+    return;
+  }
   if (migrator_->HandleMessage(msg.get())) return;
   switch (msg->type()) {
     case sim::MessageType::kBranchExecuteRequest: {
@@ -142,6 +153,41 @@ void DataSourceNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
       return;
     default:
       GEOTP_CHECK(false, "data source " << id_ << ": unknown message");
+  }
+}
+
+bool DataSourceNode::ParkedDuringPromotion(sim::MessageType type) {
+  switch (type) {
+    case sim::MessageType::kBranchExecuteRequest:
+    case sim::MessageType::kPrepareRequest:
+    case sim::MessageType::kPrepareBatch:
+    case sim::MessageType::kDecisionRequest:
+    case sim::MessageType::kDecisionBatch:
+    case sim::MessageType::kPeerAbortRequest:
+    // A snapshot cut during the barrier would miss the inherited writes.
+    case sim::MessageType::kShardMigrateRequest:
+    // Destination-side ingest raw-applies to the store; admitted during
+    // the barrier it would race the deferred inherited-entry applies just
+    // like an exec would. (Bootstrap snapshots — migration_id 0 — are
+    // consumed by the Replicator before parking is consulted.)
+    case sim::MessageType::kShardSnapshotChunk:
+    case sim::MessageType::kShardDeltaBatch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void DataSourceNode::OnReplicatorReady() {
+  if (parked_.empty()) return;
+  if (crashed_) {
+    parked_.clear();
+    return;
+  }
+  std::vector<std::unique_ptr<sim::MessageBase>> replay;
+  replay.swap(parked_);
+  for (auto& msg : replay) {
+    HandleMessage(std::move(msg));
   }
 }
 
@@ -487,6 +533,18 @@ void DataSourceNode::OnPing(const PingRequest& req) {
   pong->to = req.from;
   pong->seq = req.seq;
   pong->sent_at = req.sent_at;
+  // Capacity signal: live branches (active + prepared, including parked
+  // lock waiters) — the balancer's load term.
+  pong->inflight = engine_.ActiveCount();
+  stats_.peak_inflight = std::max(stats_.peak_inflight, pong->inflight);
+  // Shard-map anti-entropy: report our epoch, and hand the whole map to a
+  // DM whose ping proves it missed a publish.
+  const sharding::ShardMap& map = migrator_->map();
+  pong->shard_epoch = map.epoch();
+  if (!map.empty() && req.shard_epoch < map.epoch()) {
+    pong->map_entries = map.ranges();
+    stats_.shard_map_serves++;
+  }
   network_->Send(std::move(pong));
 }
 
@@ -516,6 +574,7 @@ void DataSourceNode::Crash() {
   // phase (paper §V-A common setting ❷).
   engine_.Crash(loop()->Now());
   branches_.clear();
+  parked_.clear();  // undelivered work dies with the node
   migrator_->OnCrash();
   if (replicator_ != nullptr) replicator_->OnCrash();
 }

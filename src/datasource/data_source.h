@@ -48,6 +48,11 @@ struct DataSourceConfig {
   /// concurrent branches share one flush (enabled by default; disable for
   /// the unbatched per-transaction fsync baseline).
   storage::GroupCommitConfig group_commit;
+  /// Shard migration: per-record ingest cost at the destination (bulk
+  /// apply of snapshot/delta records). Makes oversized migrations take
+  /// real time — the reason the balancer splits a chunk instead of
+  /// shipping all of it.
+  Micros migration_apply_cost = 2;
 
   static DataSourceConfig MySql() {
     DataSourceConfig config;
@@ -76,6 +81,9 @@ struct DataSourceStats {
   // Elastic sharding (src/sharding).
   uint64_t shard_fenced_rejections = 0;  ///< batches refused mid-migration
   uint64_t shard_redirects_sent = 0;     ///< stale-epoch bounces
+  // Capacity signal / shard-map anti-entropy (piggybacked on pings).
+  uint64_t peak_inflight = 0;       ///< max branches in flight ever reported
+  uint64_t shard_map_serves = 0;    ///< pongs that carried the map to a behind DM
 };
 
 class DataSourceNode {
@@ -124,6 +132,10 @@ class DataSourceNode {
   /// survive as in-doubt until the DM recovers.
   void OnCoordinatorFailure(NodeId middleware);
 
+  /// Replicator hook: the promotion barrier cleared (or leadership was
+  /// retired) — replay the client-facing messages parked behind it.
+  void OnReplicatorReady();
+
  private:
   friend class GeoAgent;
   friend class sharding::ShardMigrator;
@@ -168,6 +180,10 @@ class DataSourceNode {
   void AbortBranchForMigration(TxnId txn);
 
   void HandleMessage(std::unique_ptr<sim::MessageBase> msg);
+  /// Promotion barrier (see Replicator::ReadyToServe): true for message
+  /// types that read or mutate transactional state and therefore must not
+  /// run while a freshly promoted leader's store is behind its log.
+  static bool ParkedDuringPromotion(sim::MessageType type);
   void OnExecute(const protocol::BranchExecuteRequest& req);
   void RunNextOp(const std::shared_ptr<ExecState>& state);
   void FinishExecSuccess(const std::shared_ptr<ExecState>& state);
@@ -192,6 +208,9 @@ class DataSourceNode {
   bool crashed_ = false;
 
   std::unordered_map<TxnId, BranchInfo> branches_;
+  /// Client-facing messages held while the replicator's promotion barrier
+  /// is up; replayed in arrival order via OnReplicatorReady().
+  std::vector<std::unique_ptr<sim::MessageBase>> parked_;
 };
 
 }  // namespace datasource

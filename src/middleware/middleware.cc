@@ -147,6 +147,7 @@ void MiddlewareNode::Attach() {
     }
     return targets;
   });
+  monitor_->SetShardEpochProvider([this]() { return catalog_.ShardEpoch(); });
   monitor_->Start();
   if (balancer_ != nullptr) balancer_->Start();
 }
@@ -179,7 +180,7 @@ void MiddlewareNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
       OnNotLeader(static_cast<NotLeaderResponse&>(*msg));
       return;
     case sim::MessageType::kPingResponse:
-      monitor_->OnPong(static_cast<PingResponse&>(*msg));
+      OnPingResponse(static_cast<PingResponse&>(*msg));
       return;
     case sim::MessageType::kShardMapUpdate:
       OnShardMapUpdate(static_cast<protocol::ShardMapUpdate&>(*msg));
@@ -853,7 +854,36 @@ void MiddlewareNode::HandleFailover(NodeId logical) {
     Participant& p = it->second;
     switch (txn.phase) {
       case Phase::kExecuting: {
-        if (!p.exec_outstanding) break;  // idle between rounds
+        if (!p.exec_outstanding) {
+          // Idle after its round completed. A final-round branch has a
+          // decentralized prepare in flight at the source; if that died
+          // un-replicated with the old leader, no vote will ever come —
+          // promoted leaders only re-vote quorum-staged prepares. Give
+          // the vote the same grace as the kWaitCommitVotes case (it may
+          // still be in flight, or resurface via a re-vote), then abort.
+          // Without this, a crash in the prepare-fsync window wedges the
+          // transaction forever once the client's COMMIT arrives.
+          if (txn.last_round && p.begun && !p.has_vote &&
+              config_.commit_protocol == CommitProtocol::kDecentralized) {
+            const TxnId waiting = txn_id;
+            loop()->Schedule(
+                config_.failover_vote_grace, [this, waiting, logical]() {
+                  Txn* t = FindTxn(waiting);
+                  if (t == nullptr || t->aborting) return;
+                  if (t->phase != Phase::kExecuting &&
+                      t->phase != Phase::kWaitCommitVotes) {
+                    return;
+                  }
+                  auto pit = t->participants.find(logical);
+                  if (pit == t->participants.end() || pit->second.has_vote) {
+                    return;
+                  }
+                  StartAbort(*t, Status::Unavailable(
+                                     "prepare lost in failover"));
+                });
+          }
+          break;
+        }
         if (p.via_follower) break;       // follower-read timeout handles it
         if (p.begun && p.begun_round + 1 == txn.round_seq) {
           // The branch began in the round now in flight: its state died
@@ -925,6 +955,37 @@ void MiddlewareNode::HandleFailover(NodeId logical) {
 void MiddlewareNode::OnShardMapUpdate(const protocol::ShardMapUpdate& update) {
   catalog_.mutable_shard_map().Adopt(update.entries);
   NoteShardEpoch(catalog_.ShardEpoch());
+}
+
+void MiddlewareNode::OnPingResponse(const protocol::PingResponse& pong) {
+  monitor_->OnPong(pong);
+  // Anti-entropy, both directions. A source that saw our stale epoch sent
+  // its map along: adopt it (bounds DM staleness by one ping interval
+  // instead of one redirect). A source whose own epoch trails the catalog
+  // missed a publish (partitioned, restarted): push it the current map.
+  if (!pong.map_entries.empty() &&
+      catalog_.mutable_shard_map().Adopt(pong.map_entries)) {
+    stats_.shard_map_pulls++;
+    NoteShardEpoch(catalog_.ShardEpoch());
+  }
+  if (catalog_.HasShardMap() && pong.shard_epoch < catalog_.ShardEpoch()) {
+    // One push per round trip, not per ping: pings fire every 10 ms while
+    // a WAN repair takes an RTT to reflect in the pong's epoch, so an
+    // unspaced push would send dozens of identical full maps per repair.
+    const Micros spacing =
+        std::max<Micros>(monitor_->RttEstimate(pong.from),
+                         config_.monitor.ping_interval);
+    Micros& last = shard_push_at_[pong.from];
+    if (last == 0 || loop()->Now() - last >= spacing) {
+      last = loop()->Now();
+      stats_.shard_map_pushes++;
+      auto update = std::make_unique<protocol::ShardMapUpdate>();
+      update->from = id_;
+      update->to = pong.from;
+      update->entries = catalog_.shard_map().ranges();
+      network_->Send(std::move(update));
+    }
+  }
 }
 
 void MiddlewareNode::OnShardRedirect(const protocol::ShardRedirect& redirect) {

@@ -130,6 +130,8 @@ struct MiddlewareStats {
   uint64_t shard_map_epoch = 0;     ///< highest adopted shard-map epoch
   uint64_t shard_redirects = 0;     ///< WrongShardEpoch bounces received
   uint64_t shard_reroutes = 0;      ///< bounced batches re-routed in place
+  uint64_t shard_map_pulls = 0;     ///< maps adopted from ping anti-entropy
+  uint64_t shard_map_pushes = 0;    ///< maps pushed to behind data sources
   uint64_t committed_distributed = 0;  ///< commits with >1 begun participant
   metrics::PhaseBreakdown breakdown;
 };
@@ -261,6 +263,10 @@ class MiddlewareNode {
   /// Adopts a published shard map (atomic within this actor: the next
   /// planned round routes under the new epoch).
   void OnShardMapUpdate(const protocol::ShardMapUpdate& update);
+  /// Ping-piggybacked anti-entropy: adopts a map a data source handed back
+  /// (this DM was behind) and pushes the map to a responder whose epoch
+  /// trails the catalog's (the source was behind).
+  void OnPingResponse(const protocol::PingResponse& pong);
   /// WrongShardEpoch bounce: adopts the patched range, then re-routes the
   /// bounced batch under the new placement — or aborts the transaction
   /// when its branch already executed earlier rounds at the old owner.
@@ -319,6 +325,9 @@ class MiddlewareNode {
   std::map<NodeId, std::vector<Xid>> pending_prepares_;
   std::map<NodeId, std::vector<protocol::DecisionItem>> pending_decisions_;
   bool dispatch_flush_scheduled_ = false;
+  /// Last shard-map anti-entropy push per behind node (pushes are spaced
+  /// by about one RTT; see OnPingResponse).
+  std::map<NodeId, Micros> shard_push_at_;
 };
 
 }  // namespace middleware

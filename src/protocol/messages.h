@@ -498,7 +498,12 @@ struct PingRequest : sim::MessageBase {
   }
   uint64_t seq = 0;
   Micros sent_at = 0;
-  size_t WireSize() const override { return 32; }
+  /// Shard-map anti-entropy: the sender's (DM's) shard-map epoch. A data
+  /// source holding a newer map piggybacks it on the pong, so a DM that
+  /// missed a publish converges within one ping interval instead of
+  /// waiting to bounce off a redirect.
+  uint64_t shard_epoch = 0;
+  size_t WireSize() const override { return 40; }
 };
 
 struct PingResponse : sim::MessageBase {
@@ -507,7 +512,18 @@ struct PingResponse : sim::MessageBase {
   }
   uint64_t seq = 0;
   Micros sent_at = 0;
-  size_t WireSize() const override { return 32; }
+  /// Capacity signal: branches in flight at the responding engine (live
+  /// transactions + parked lock waiters). The balancer's placement scorer
+  /// subtracts a load penalty derived from this from the RTT gain, so hot
+  /// chunks cannot all pile onto the one nearest node.
+  uint64_t inflight = 0;
+  /// Responder's shard-map epoch (anti-entropy: a DM seeing a lower value
+  /// than its own pushes the current map to the responder).
+  uint64_t shard_epoch = 0;
+  /// Piggybacked map when the ping's shard_epoch was behind this node's
+  /// map (empty otherwise). The DM adopts the entries.
+  std::vector<sharding::ShardRange> map_entries;
+  size_t WireSize() const override { return 48 + map_entries.size() * 32; }
 };
 
 }  // namespace protocol

@@ -59,7 +59,12 @@ void Replicator::RetireLeadership() {
   follower_watermark_ =
       std::max(follower_watermark_, shipper_.commit_watermark());
   applied_index_ = std::max(applied_index_, shipper_.commit_watermark());
-  shipper_.Deactivate();
+  shipper_.Deactivate();  // drops any pending promotion-barrier callbacks
+  promotion_applies_pending_ = 0;
+  // Work parked behind the barrier must not wait forever: replayed now,
+  // it bounces off the not-a-leader redirect path (or is dropped by a
+  // crash) instead of wedging.
+  node_->OnReplicatorReady();
 }
 
 void Replicator::Start() {
@@ -508,22 +513,49 @@ void Replicator::BecomeLeader() {
   //    leader, quorum unknown): apply each locally once it reaches quorum
   //    under our term. The coordinating middleware re-sends decisions after
   //    the announce, which resolves idempotently against these entries.
+  //    Until ALL of them have applied, the store is behind the log and
+  //    this leader must not serve new branches: an exec admitted in the
+  //    gap would read the pre-failover value under a lock the deferred
+  //    raw apply then silently overwrites (lost update). The barrier
+  //    (ReadyToServe) holds prepare installation, the announce, and the
+  //    data source's parked client traffic until the last apply lands —
+  //    at most one follower round trip, and if quorum is unreachable the
+  //    group could not commit anything anyway.
+  std::vector<uint64_t> inherited;
   for (uint64_t index = follower_watermark_ + 1; index <= log_.last_index();
        ++index) {
     const ReplEntryType type = log_.At(index).type;
     if (type != ReplEntryType::kCommit && type != ReplEntryType::kAbort) {
       continue;
     }
+    inherited.push_back(index);
+  }
+  promotion_applies_pending_ = inherited.size();
+  for (uint64_t index : inherited) {
     shipper_.AwaitQuorum(index, [this, index]() {
       ApplyEntry(log_.At(index));
       applied_index_ = std::max(applied_index_, index);
+      GEOTP_CHECK(promotion_applies_pending_ > 0,
+                  "promotion barrier underflow");
+      if (--promotion_applies_pending_ == 0) FinishPromotion();
     });
   }
-  // 4. Staged prepares become in-doubt XA branches; re-vote them so the
-  //    coordinator (or its presumed-abort path) resolves them.
+  ArmHeartbeatTimer();
+  // With no inherited entries the barrier is already clear. (When there
+  // are some, the LAST AwaitQuorum callback runs FinishPromotion — even
+  // if it fired synchronously inside the loop above.)
+  if (inherited.empty()) FinishPromotion();
+}
+
+void Replicator::FinishPromotion() {
+  if (!IsLeader()) return;  // deposed while the barrier was pending
+  // Staged prepares become in-doubt XA branches; re-vote them so the
+  // coordinator (or its presumed-abort path) resolves them. Installed
+  // only now: the install applies absolute write sets in place, which
+  // must layer on top of every inherited committed entry.
   InstallStagedPrepares();
   AnnounceLeadership();
-  ArmHeartbeatTimer();
+  node_->OnReplicatorReady();
 }
 
 void Replicator::InstallStagedPrepares() {

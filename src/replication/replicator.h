@@ -62,6 +62,18 @@ class Replicator {
   uint64_t epoch() const { return election_.epoch(); }
   NodeId leader_hint() const { return election_.leader(); }
 
+  /// Promotion barrier. A freshly promoted leader may have inherited
+  /// commit/abort entries past its watermark (appended by the deposed
+  /// leader, quorum unknown); they apply only once re-acked under the new
+  /// term. Until then the store is behind the log, and serving a new
+  /// branch would let it read — and its raw entry-apply later clobber —
+  /// pre-failover values under a live lock (a lost-update the shard chaos
+  /// harness caught). The data source parks client-facing work while this
+  /// is false; it clears within one follower round trip.
+  bool ReadyToServe() const {
+    return !IsLeader() || promotion_applies_pending_ == 0;
+  }
+
   const ReplicationLog& log() const { return log_; }
   uint64_t applied_index() const { return applied_index_; }
   uint64_t commit_watermark() const {
@@ -147,6 +159,10 @@ class Replicator {
   void StartElection();
   void ArmHeartbeatTimer();
   void BecomeLeader();
+  /// Runs once every inherited past-watermark entry has applied (or
+  /// immediately when there were none): installs staged prepares,
+  /// announces leadership, and lets the data source drain parked work.
+  void FinishPromotion();
   /// Recreates quorum-staged prepared branches as in-doubt XA branches in
   /// the engine and re-votes them to their coordinators.
   void InstallStagedPrepares();
@@ -197,6 +213,8 @@ class Replicator {
 
   sim::EventId election_timer_ = sim::kInvalidEvent;
   sim::EventId heartbeat_timer_ = sim::kInvalidEvent;
+  /// Inherited entries not yet re-quorum'd + applied (promotion barrier).
+  uint64_t promotion_applies_pending_ = 0;
   ReplicatorStats stats_;
 };
 

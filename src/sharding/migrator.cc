@@ -251,28 +251,47 @@ void ShardMigrator::MaybeReportCutover(Outbound& out) {
 // Destination role
 // ---------------------------------------------------------------------------
 
-void ShardMigrator::ApplyRecords(const std::vector<ReplWrite>& records,
-                                 std::function<void()> ack) {
-  // The (leader's) local store always applies directly — the replicated
-  // entry stream below only reaches followers (a leader reflects its own
-  // appends through the engine, never through ApplyEntry).
-  for (const ReplWrite& w : records) {
-    node_->engine().store().Apply(w.key, w.value);
-  }
-  replication::Replicator* repl = node_->replicator();
-  if (repl != nullptr && repl->IsLeader()) {
-    // Funnel through the replica group's log so followers apply the same
-    // records via the LogShipper entry stream; the ack waits for quorum
-    // durability. The synthetic xid never collides with coordinator txn
-    // ids (middleware ordinals are small; 0xFFFF is reserved).
-    const Xid xid{MakeTxnId(0xFFFFu, (static_cast<uint64_t>(node_->id())
-                                      << 24) |
-                                         ++synthetic_seq_),
-                  node_->logical_id()};
-    repl->ReplicateCommit(xid, records, std::move(ack));
-    return;
-  }
-  ack();
+void ShardMigrator::ApplyRecords(std::vector<ReplWrite> records,
+                                 std::function<bool()> still_valid,
+                                 std::function<void()> done) {
+  // Bulk ingest takes real engine time (per-record cost); the records
+  // become visible — and durable, and acked — only when it completes.
+  // This is what makes an oversized migration slow, and why the balancer
+  // splits a hot sub-range out of a big chunk instead of shipping all of
+  // it: the ingest window scales with the number of records moved.
+  const Micros cost =
+      static_cast<Micros>(records.size()) *
+      node_->config().migration_apply_cost;
+  node_->loop()->Schedule(
+      cost, [this, records = std::move(records),
+             still_valid = std::move(still_valid),
+             done = std::move(done)]() mutable {
+        if (node_->crashed()) return;
+        if (!still_valid()) return;  // cancelled during the ingest delay
+        // The (leader's) local store always applies directly — the
+        // replicated entry stream below only reaches followers (a leader
+        // reflects its own appends through the engine, never through
+        // ApplyEntry).
+        for (const ReplWrite& w : records) {
+          node_->engine().store().Apply(w.key, w.value);
+        }
+        replication::Replicator* repl = node_->replicator();
+        if (repl != nullptr && repl->IsLeader()) {
+          // Funnel through the replica group's log so followers apply the
+          // same records via the LogShipper entry stream; the ack waits
+          // for quorum durability. The synthetic xid never collides with
+          // coordinator txn ids (middleware ordinals are small; 0xFFFF is
+          // reserved).
+          const Xid xid{
+              MakeTxnId(0xFFFFu,
+                        (static_cast<uint64_t>(node_->id()) << 24) |
+                            ++synthetic_seq_),
+              node_->logical_id()};
+          repl->ReplicateCommit(xid, std::move(records), std::move(done));
+          return;
+        }
+        done();
+      });
 }
 
 void ShardMigrator::OnSnapshotChunk(const ShardSnapshotChunk& chunk) {
@@ -281,22 +300,35 @@ void ShardMigrator::OnSnapshotChunk(const ShardSnapshotChunk& chunk) {
   if (chunk.migration_id == 0) return;
   replication::Replicator* repl = node_->replicator();
   if (repl != nullptr && !repl->IsLeader()) return;  // balancer will retry
-  stats_.snapshot_records_applied += chunk.records.size();
   const NodeId source = chunk.from;
   const uint64_t id = chunk.migration_id;
   Inbound& in = inbound_[id];
+  if (in.applying || in.snapshot_applied) return;  // duplicate chunk
   in.range = chunk.range;
-  in.snapshot_applied = true;  // local apply below is synchronous
-  ApplyRecords(chunk.records, [this, source, id]() {
+  in.applying = true;
+  const size_t record_count = chunk.records.size();
+  const auto still_inbound = [this, id]() {
+    auto it = inbound_.find(id);
+    return it != inbound_.end() && it->second.applying;
+  };
+  ApplyRecords(chunk.records, still_inbound, [this, source, id,
+                                              record_count]() {
+    auto it = inbound_.find(id);
+    if (it == inbound_.end()) return;  // cancelled during replication
+    // Counted only here: a cancel or crash during the ingest delay means
+    // the records never reached the store.
+    stats_.snapshot_records_applied += record_count;
+    it->second.applying = false;
+    it->second.snapshot_applied = true;
     auto ack = std::make_unique<ShardSnapshotAck>();
     ack->from = node_->id();
     ack->to = source;
     ack->migration_id = id;
     node_->network()->Send(std::move(ack));
+    // Deltas that outran the snapshot (independent per-message link
+    // delays) were buffered; they apply strictly after it.
+    DrainDeltas(id, source);
   });
-  // Deltas that outran the snapshot (independent per-message link delays)
-  // were buffered; they apply strictly after it.
-  DrainDeltas(id, in, source);
 }
 
 void ShardMigrator::OnDeltaBatch(const ShardDeltaBatch& batch) {
@@ -305,30 +337,46 @@ void ShardMigrator::OnDeltaBatch(const ShardDeltaBatch& batch) {
   Inbound& in = inbound_[batch.migration_id];
   if (batch.seq <= in.applied_seq) return;  // duplicate
   in.pending[batch.seq] = batch.writes;
-  DrainDeltas(batch.migration_id, in, batch.from);
+  DrainDeltas(batch.migration_id, batch.from);
 }
 
-void ShardMigrator::DrainDeltas(uint64_t migration_id, Inbound& in,
-                                NodeId source) {
+void ShardMigrator::DrainDeltas(uint64_t migration_id, NodeId source) {
   // Strict order: nothing before the snapshot, then sequence order (a
-  // delta applied under an older store state would be overwritten).
-  if (!in.snapshot_applied) return;
-  while (!in.pending.empty() &&
-         in.pending.begin()->first == in.applied_seq + 1) {
-    std::vector<ReplWrite> writes = std::move(in.pending.begin()->second);
-    in.pending.erase(in.pending.begin());
-    in.applied_seq++;
-    stats_.delta_batches_applied++;
-    const uint64_t seq = in.applied_seq;
-    ApplyRecords(writes, [this, source, migration_id, seq]() {
-      auto ack = std::make_unique<ShardDeltaAck>();
-      ack->from = node_->id();
-      ack->to = source;
-      ack->migration_id = migration_id;
-      ack->seq = seq;
-      node_->network()->Send(std::move(ack));
-    });
+  // delta applied under an older store state would be overwritten), one
+  // ingest in flight at a time (application takes event-loop time).
+  auto it = inbound_.find(migration_id);
+  if (it == inbound_.end()) return;
+  Inbound& in = it->second;
+  if (!in.snapshot_applied || in.applying) return;
+  while (!in.pending.empty() && in.pending.begin()->first <= in.applied_seq) {
+    in.pending.erase(in.pending.begin());  // stale duplicate
   }
+  if (in.pending.empty() || in.pending.begin()->first != in.applied_seq + 1) {
+    return;
+  }
+  std::vector<ReplWrite> writes = std::move(in.pending.begin()->second);
+  in.pending.erase(in.pending.begin());
+  in.applying = true;
+  const uint64_t seq = in.applied_seq + 1;
+  const auto still_inbound = [this, migration_id]() {
+    auto it = inbound_.find(migration_id);
+    return it != inbound_.end() && it->second.applying;
+  };
+  ApplyRecords(std::move(writes), still_inbound,
+               [this, source, migration_id, seq]() {
+    auto jt = inbound_.find(migration_id);
+    if (jt == inbound_.end()) return;  // cancelled during replication
+    jt->second.applying = false;
+    jt->second.applied_seq = seq;
+    stats_.delta_batches_applied++;
+    auto ack = std::make_unique<ShardDeltaAck>();
+    ack->from = node_->id();
+    ack->to = source;
+    ack->migration_id = migration_id;
+    ack->seq = seq;
+    node_->network()->Send(std::move(ack));
+    DrainDeltas(migration_id, source);
+  });
 }
 
 // ---------------------------------------------------------------------------

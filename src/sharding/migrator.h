@@ -123,6 +123,10 @@ class ShardMigrator {
     /// delay per message can deliver delta seq 1 first, and applying it
     /// early would let the older snapshot overwrite a committed write.
     bool snapshot_applied = false;
+    /// An ingest (snapshot or delta) is mid-apply: record application now
+    /// charges `migration_apply_cost` per record on the event loop, so
+    /// later batches must queue behind the one in flight.
+    bool applying = false;
     uint64_t applied_seq = 0;  ///< highest contiguously applied delta
     std::map<uint64_t, std::vector<protocol::ReplWrite>> pending;
   };
@@ -140,12 +144,18 @@ class ShardMigrator {
   /// Drain check: fenced + no live branch on the range + deltas acked ->
   /// report cutover readiness once.
   void MaybeReportCutover(Outbound& out);
-  /// Applies records at the destination, through the replica group's log
-  /// when replicated; runs `ack` once durable.
-  void ApplyRecords(const std::vector<protocol::ReplWrite>& records,
-                    std::function<void()> ack);
-  /// Applies (and acks) every buffered delta that is next in sequence.
-  void DrainDeltas(uint64_t migration_id, Inbound& in, NodeId source);
+  /// Applies records at the destination after charging the per-record
+  /// ingest cost, through the replica group's log when replicated; runs
+  /// `done` once durable. `still_valid` is re-checked when the ingest
+  /// delay elapses, BEFORE anything touches the store: a migration
+  /// cancelled mid-ingest must not apply its stale records (a later
+  /// migration of the same range may have landed newer values by then).
+  void ApplyRecords(std::vector<protocol::ReplWrite> records,
+                    std::function<bool()> still_valid,
+                    std::function<void()> done);
+  /// Applies (and acks) the next buffered delta in sequence, one ingest at
+  /// a time (record application takes event-loop time).
+  void DrainDeltas(uint64_t migration_id, NodeId source);
 
   datasource::DataSourceNode* node_;
   ShardMap map_;  ///< adopted placement (empty until the first update)

@@ -77,6 +77,42 @@ bool ShardMap::Move(size_t idx, NodeId new_owner, uint64_t version) {
   return true;
 }
 
+bool ShardMap::Split(size_t idx, uint64_t at, uint64_t version) {
+  if (idx >= ranges_.size()) return false;
+  ShardRange& range = ranges_[idx];
+  if (at <= range.lo || at >= range.hi) return false;
+  if (version <= epoch_) return false;
+  ShardRange right = range;
+  right.lo = at;
+  right.version = version;
+  range.hi = at;
+  range.version = version;
+  epoch_ = version;
+  ranges_.insert(ranges_.begin() + static_cast<ptrdiff_t>(idx) + 1, right);
+  return true;
+}
+
+bool ShardMap::SplitAt(uint32_t table, uint64_t at, uint64_t version) {
+  const size_t idx = Find(RecordKey{table, at});
+  return idx < ranges_.size() && Split(idx, at, version);
+}
+
+bool ShardMap::Merge(size_t idx, uint64_t version) {
+  if (idx + 1 >= ranges_.size()) return false;
+  ShardRange& left = ranges_[idx];
+  const ShardRange& right = ranges_[idx + 1];
+  if (left.table != right.table || left.hi != right.lo ||
+      left.owner != right.owner) {
+    return false;
+  }
+  if (version <= epoch_) return false;
+  left.hi = right.hi;
+  left.version = version;
+  epoch_ = version;
+  ranges_.erase(ranges_.begin() + static_cast<ptrdiff_t>(idx) + 1);
+  return true;
+}
+
 void ShardMap::InsertSorted(const ShardRange& entry) {
   auto pos = std::upper_bound(
       ranges_.begin(), ranges_.end(), entry,
@@ -87,27 +123,103 @@ void ShardMap::InsertSorted(const ShardRange& entry) {
   ranges_.insert(pos, entry);
 }
 
+bool ShardMap::AdoptOne(const ShardRange& entry) {
+  // The incoming entry claims the sub-spans of [entry.lo, entry.hi) where
+  // every local range covering them is strictly older; newer local ranges
+  // block it on their piece. Rebuild the window accordingly: older locals
+  // lose their overlapped part (their out-of-window parts survive with
+  // their own version), then the unblocked gaps fill with entry-pieces.
+  bool changed = false;
+  std::vector<ShardRange> rebuilt;  // replacement for the window's locals
+  std::vector<std::pair<uint64_t, uint64_t>> blocked;  // newer local spans
+  size_t first = ranges_.size();
+  size_t i = 0;
+  for (; i < ranges_.size(); ++i) {
+    const ShardRange& local = ranges_[i];
+    if (local.table < entry.table ||
+        (local.table == entry.table && local.hi <= entry.lo)) {
+      continue;
+    }
+    if (local.table > entry.table || local.lo >= entry.hi) break;
+    if (first == ranges_.size()) first = i;
+    if (local.version >= entry.version) {
+      rebuilt.push_back(local);
+      blocked.emplace_back(std::max(local.lo, entry.lo),
+                           std::min(local.hi, entry.hi));
+      continue;
+    }
+    // Older local: keep only the parts outside the window.
+    if (local.lo < entry.lo) {
+      ShardRange left = local;
+      left.hi = entry.lo;
+      rebuilt.push_back(left);
+    }
+    if (local.hi > entry.hi) {
+      ShardRange right = local;
+      right.lo = entry.hi;
+      rebuilt.push_back(right);
+    }
+    changed = true;
+  }
+  // Entry-pieces: the window minus the blocked (newer) sub-spans.
+  uint64_t cursor = entry.lo;
+  for (const auto& [blo, bhi] : blocked) {
+    if (cursor < blo) {
+      ShardRange piece = entry;
+      piece.lo = cursor;
+      piece.hi = blo;
+      rebuilt.push_back(piece);
+      changed = true;
+    }
+    cursor = std::max(cursor, bhi);
+  }
+  if (cursor < entry.hi) {
+    ShardRange piece = entry;
+    piece.lo = cursor;
+    piece.hi = entry.hi;
+    rebuilt.push_back(piece);
+    changed = true;
+  }
+  if (changed) {
+    std::sort(rebuilt.begin(), rebuilt.end(),
+              [](const ShardRange& a, const ShardRange& b) {
+                if (a.table != b.table) return a.table < b.table;
+                return a.lo < b.lo;
+              });
+    if (first == ranges_.size()) first = i;
+    ranges_.erase(ranges_.begin() + static_cast<ptrdiff_t>(first),
+                  ranges_.begin() + static_cast<ptrdiff_t>(i));
+    ranges_.insert(ranges_.begin() + static_cast<ptrdiff_t>(first),
+                   rebuilt.begin(), rebuilt.end());
+  }
+  epoch_ = std::max(epoch_, entry.version);
+  return changed;
+}
+
 bool ShardMap::Adopt(const std::vector<ShardRange>& entries) {
   bool changed = false;
   for (const ShardRange& entry : entries) {
-    bool found = false;
-    for (ShardRange& local : ranges_) {
-      if (!local.SameSpan(entry)) continue;
-      found = true;
-      if (entry.version > local.version) {
-        local.owner = entry.owner;
-        local.version = entry.version;
-        changed = true;
-      }
-      break;
-    }
-    if (!found) {
-      InsertSorted(entry);
-      changed = true;
-    }
-    epoch_ = std::max(epoch_, entry.version);
+    if (entry.lo >= entry.hi) continue;  // malformed span
+    changed |= AdoptOne(entry);
   }
   return changed;
+}
+
+bool ShardMap::IsPartition(uint32_t table) const {
+  uint64_t cursor = 0;
+  bool seen = false;
+  for (const ShardRange& range : ranges_) {
+    if (range.table != table) continue;
+    if (!seen) {
+      if (range.lo != 0) return false;
+      seen = true;
+    } else if (range.lo != cursor) {
+      return false;  // gap or overlap
+    }
+    if (range.hi <= range.lo) return false;
+    cursor = range.hi;
+  }
+  return seen && cursor == UINT64_MAX;
 }
 
 }  // namespace sharding

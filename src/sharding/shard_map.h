@@ -8,11 +8,15 @@
 // catalog's range-partitioned tables with finer-grained chunks whose
 // placement the ShardBalancer changes at runtime.
 //
-// Versioning: every range carries the map epoch at which its placement
-// last changed; the map's epoch is the max over its ranges. The balancer
-// is the single writer, so per-range last-writer-wins adoption keeps every
-// replica of the map (DMs and data sources) convergent even when updates
-// and redirects arrive out of order or partially.
+// Versioning: every range carries the map epoch at which its placement or
+// boundaries last changed; the map's epoch is the max over its ranges. The
+// balancer is the single writer, so per-span last-writer-wins adoption
+// keeps every replica of the map (DMs and data sources) convergent even
+// when updates and redirects arrive out of order or partially. Because
+// Split/Merge change spans at runtime, adoption is overlap-aware: an
+// incoming entry claims exactly the sub-spans where it is strictly newer
+// than whatever covers them locally, so a replica holding pre-split
+// boundaries and one holding post-split boundaries still converge.
 #ifndef GEOTP_SHARDING_SHARD_MAP_H_
 #define GEOTP_SHARDING_SHARD_MAP_H_
 
@@ -71,16 +75,38 @@ class ShardMap {
   /// versions). Returns false on a stale version.
   bool Move(size_t idx, NodeId new_owner, uint64_t version);
 
-  /// Last-writer-wins adoption of `entries` (identified by span): an entry
-  /// replaces the local range iff its version is strictly newer. Unknown
-  /// spans are inserted (a DM may first learn the map from an update).
-  /// Returns true if anything changed.
+  /// Splits range `idx` at key `at` (strictly inside its span) into
+  /// [lo, at) and [at, hi), both keeping the owner and stamped with
+  /// `version` (must exceed the current map epoch). Returns false when the
+  /// split point or version is invalid.
+  bool Split(size_t idx, uint64_t at, uint64_t version);
+
+  /// Splits the range covering (`table`, `at`) at `at`. Same rules.
+  bool SplitAt(uint32_t table, uint64_t at, uint64_t version);
+
+  /// Merges range `idx` with its successor: both must be span-adjacent in
+  /// the same table and owned by the same node. The merged [lo_i, hi_i+1)
+  /// range is stamped with `version` (must exceed the current map epoch).
+  bool Merge(size_t idx, uint64_t version);
+
+  /// Last-writer-wins adoption of `entries`. Each entry claims exactly the
+  /// sub-spans of [lo, hi) where every local range covering them is
+  /// strictly older (uncovered sub-spans are claimed unconditionally — a
+  /// DM may first learn the map from an update); local ranges that are
+  /// newer keep their piece, older ones are trimmed or replaced. Returns
+  /// true if anything changed.
   bool Adopt(const std::vector<ShardRange>& entries);
+
+  /// True if the ranges of `table` exactly partition [0, UINT64_MAX) —
+  /// sorted, no gap, no overlap, starting at 0 and ending open-ended.
+  /// The invariant every Split/Merge/Move/Adopt must preserve.
+  bool IsPartition(uint32_t table) const;
 
  private:
   /// Index of the range covering `key`, or npos.
   size_t Find(const RecordKey& key) const;
   void InsertSorted(const ShardRange& entry);
+  bool AdoptOne(const ShardRange& entry);
 
   std::vector<ShardRange> ranges_;  ///< sorted by (table, lo)
   uint64_t epoch_ = 0;

@@ -118,6 +118,16 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     dm_config.balancer.enabled = true;
   }
 
+  if (config.preload && config.workload == WorkloadKind::kYcsb) {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const uint64_t base = i * config.ycsb.records_per_node;
+      for (uint64_t k = 0; k < config.ycsb.records_per_node; ++k) {
+        sources[i]->engine().store().Apply(
+            RecordKey{config.ycsb.table_id, base + k}, 0);
+      }
+    }
+  }
+
   middleware::MiddlewareNode dm(topo.middleware, /*ordinal=*/0, &network,
                                 std::move(catalog), dm_config);
   dm.Attach();

@@ -77,6 +77,12 @@ struct ExperimentConfig {
   uint64_t shard_chunks_per_source = 8;
   sharding::BalancerConfig balancer;  ///< enabled flag is set by the runner
 
+  /// Pre-populate every data source's store with its partition's records
+  /// (YCSB only). Makes shard-migration snapshot size reflect the real
+  /// resident data — a whole-chunk move then costs its full ingest time —
+  /// instead of just the keys the run happened to write.
+  bool preload = false;
+
   uint64_t seed = 42;
 };
 

@@ -4,6 +4,8 @@
 //   * the global balance sum is conserved (atomicity across failures),
 //   * no branch remains prepared/in-doubt after recovery (AC5),
 //   * no locks leak.
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "sim_fixture.h"
@@ -13,6 +15,15 @@ namespace {
 
 using middleware::MiddlewareConfig;
 using testing_support::MiniCluster;
+
+/// One-line repro command for the currently running (parameterized) test,
+/// appended to every failing assertion of the chaos harnesses.
+std::string ReproLine(uint64_t seed) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return std::string("seed ") + std::to_string(seed) +
+         " — repro: ./test_chaos --gtest_filter=" + info->test_suite_name() +
+         "." + info->name();
+}
 
 class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -251,6 +262,237 @@ TEST_P(BatchedChaosTest, BatchingPlusFailoverConservesBalances) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchedChaosTest,
                          ::testing::Values(7, 19, 42));
+
+// ---------------------------------------------------------------------------
+// Shard chaos: a deterministic seeded fuzzer interleaving splits, merges,
+// balancer migrations, and replica-leader crashes over live skewed
+// (mirrored-zipf-style) transfer traffic through two DMs. Invariants:
+//   * the shard map stays an exact partition of the key space at every
+//     event step (no gaps, no overlaps),
+//   * after the dust settles every DM's and data source's shard map
+//     converges to the balancer's (anti-entropy included),
+//   * no committed write is lost: the global balance sum over the
+//     authoritative owners is conserved,
+//   * no branch stays prepared/active on any current leader.
+// A failing seed prints a one-line repro command.
+// ---------------------------------------------------------------------------
+
+class ShardChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardChaosTest, SplitMergeMigrateCrashConvergesAndConservesBalances) {
+  const uint64_t seed = GetParam();
+  const std::string repro = ReproLine(seed);
+
+  MiniCluster::Options options;
+  options.num_data_sources = 2;
+  options.rtts_ms = {10.0, 100.0};
+  options.replication_factor = 3;
+  options.num_middlewares = 2;
+  options.sharding = true;
+  options.chunks_per_source = 4;
+  options.dm = MiddlewareConfig::GeoTP();
+  options.dm.balancer.enabled = true;
+  options.dm.balancer.interval = MsToMicros(150);
+  options.dm.balancer.min_heat = 3;
+  options.dm.balancer.min_rtt_gain = MsToMicros(40);
+  options.dm.balancer.migration_timeout = SecToMicros(3);
+  options.dm.balancer.range_cooldown = SecToMicros(2);
+  options.dm.balancer.max_concurrent = 2;
+  options.dm.balancer.split_min_keys = 4;
+  options.dm.balancer.merge_cold_ticks = 8;
+  MiniCluster cluster(options);
+  Rng rng(0x5EED0000 + seed);
+
+  constexpr int kAccounts = 24;  // per source
+  constexpr int kTxns = 50;
+  const NodeId dm2 = 2 + options.num_data_sources * options.replication_factor;
+  sharding::ShardBalancer* balancer = cluster.dm().balancer();
+  ASSERT_NE(balancer, nullptr) << repro;
+
+  // Zipf-style skew: most traffic hits the low offsets of the FAR source
+  // (the placement the balancer wants to change), with a uniform tail.
+  auto skewed_offset = [&rng]() {
+    const double u = rng.NextDouble();
+    return static_cast<uint64_t>(static_cast<double>(kAccounts) *
+                                 (u * u * u));
+  };
+
+  uint64_t tag = 1;
+  std::vector<bool> commit_sent(kTxns + 1, false);
+  // Client-side ledger of submitted transfers: committed ones define the
+  // expected value of every key at the end.
+  struct Leg {
+    RecordKey a;
+    RecordKey b;
+    int64_t amount = 0;
+  };
+  std::map<uint64_t, Leg> ledger;
+  int leader_crashes = 0, force_splits = 0, force_merges = 0;
+  for (int i = 0; i < kTxns; ++i) {
+    // Transfer between two keys; the skewed leg usually lives on the far
+    // source, the other leg anywhere — so splits, migrations, and fences
+    // all see cross-shard transactions.
+    const uint64_t off_a = skewed_offset();
+    const int node_b = static_cast<int>(rng.NextU64(2));
+    uint64_t off_b = rng.NextU64(kAccounts);
+    if (node_b == 1 && off_a == off_b) off_b = (off_b + 1) % kAccounts;
+    const int64_t amount = static_cast<int64_t>(rng.NextU64(50)) + 1;
+    const NodeId coordinator = rng.NextBool(0.3) ? dm2 : NodeId{1};
+    cluster.SendRound(tag, {
+        MiniCluster::Write(cluster.KeyOn(1, off_a), -amount, true),
+        MiniCluster::Write(cluster.KeyOn(node_b, off_b), amount, true),
+    }, true, coordinator);
+    ledger[tag] = Leg{cluster.KeyOn(1, off_a), cluster.KeyOn(node_b, off_b),
+                      amount};
+    ++tag;
+    cluster.RunFor(rng.NextU64(60));
+
+    // Clients usually commit promptly (so prepared branches drain and
+    // migrations can cut over); a few stragglers stay parked across
+    // crashes and fences until the settle phase.
+    for (uint64_t t = 1; t < tag; ++t) {
+      auto& txn = cluster.txn(t);
+      if (!commit_sent[t] && !txn.has_result && !txn.round_responses.empty() &&
+          rng.NextBool(0.85)) {
+        cluster.SendCommit(t);
+        commit_sent[t] = true;
+      }
+    }
+
+    if (rng.NextBool(0.06)) {
+      const int group = static_cast<int>(rng.NextU64(2));
+      auto* leader = cluster.leader_of(group);
+      if (leader != nullptr) {
+        leader->Crash();
+        cluster.RunFor(300 + rng.NextU64(300));
+        leader->Restart();
+        ++leader_crashes;
+      }
+    }
+    if (rng.NextBool(0.08)) {
+      const uint64_t at = rng.NextU64(2 * options.keys_per_node);
+      if (balancer->ForceSplit(options.table, at)) ++force_splits;
+    }
+    if (rng.NextBool(0.06)) {
+      const uint64_t at = rng.NextU64(2 * options.keys_per_node);
+      if (balancer->ForceMerge(options.table, at)) ++force_merges;
+    }
+
+    // Structural invariant, every event step: the authoritative map is an
+    // exact partition — no key ever routes nowhere or twice.
+    ASSERT_TRUE(cluster.dm().catalog().shard_map().IsPartition(options.table))
+        << repro << " (step " << i << ")";
+  }
+
+  // Settle: commit whatever produced responses, keep driving until the
+  // in-flight work (including migrations and elections) drains.
+  for (int pass = 0; pass < 4; ++pass) {
+    cluster.RunFor(8000);
+    for (uint64_t t = 1; t < tag; ++t) {
+      auto& txn = cluster.txn(t);
+      if (!commit_sent[t] && !txn.has_result && !txn.round_responses.empty()) {
+        cluster.SendCommit(t);
+        commit_sent[t] = true;
+      }
+    }
+  }
+  // Convergence horizon: ping-piggybacked anti-entropy repairs any actor
+  // that missed a publish within a few ping round trips, with NO traffic.
+  cluster.RunFor(8000);
+
+  // --- Invariant: every actor's shard map converged to the balancer's ---
+  const sharding::ShardMap& authority = cluster.dm().catalog().shard_map();
+  ASSERT_TRUE(authority.IsPartition(options.table)) << repro;
+  EXPECT_EQ(cluster.dm(1).catalog().ShardEpoch(), authority.epoch()) << repro;
+  auto expect_same_map = [&](const sharding::ShardMap& map,
+                             const std::string& who) {
+    if (map.empty() && authority.epoch() == 0) return;  // nothing published
+    ASSERT_EQ(map.size(), authority.size()) << repro << " at " << who;
+    for (size_t r = 0; r < authority.size(); ++r) {
+      const sharding::ShardRange& a = authority.ranges()[r];
+      const sharding::ShardRange& b = map.ranges()[r];
+      EXPECT_TRUE(a.SameSpan(b) && a.owner == b.owner &&
+                  a.version == b.version)
+          << repro << " at " << who << ": " << a.ToString() << " vs "
+          << b.ToString();
+    }
+  };
+  expect_same_map(cluster.dm(1).catalog().shard_map(), "dm2");
+  for (auto* src : cluster.source_ptrs()) {
+    ASSERT_FALSE(src->crashed()) << repro;
+    expect_same_map(src->migrator().map(),
+                    "source " + std::to_string(src->id()));
+  }
+
+  // --- Invariant: no committed write lost, none resurrected. Per key,
+  // the value at its authoritative owner must equal the client-side
+  // ledger of committed transfers — stronger than sum conservation (which
+  // compensating errors could fake), and it names the torn key on
+  // failure. Every transaction must also have settled to a result.
+  std::map<uint64_t, int64_t> expected;
+  for (uint64_t t = 1; t < tag; ++t) {
+    auto& txn = cluster.txn(t);
+    ASSERT_TRUE(txn.has_result) << repro << " (txn " << t << " unresolved)";
+    if (!txn.result.ok()) continue;
+    expected[ledger[t].a.key] -= ledger[t].amount;
+    expected[ledger[t].b.key] += ledger[t].amount;
+  }
+  int64_t sum = 0;
+  for (int node = 0; node < 2; ++node) {
+    for (uint64_t off = 0; off < kAccounts; ++off) {
+      const RecordKey key = cluster.KeyOn(node, off);
+      const NodeId owner = cluster.dm().catalog().Route(key);
+      ASSERT_TRUE(owner == 2 || owner == 3) << repro;
+      auto* leader = cluster.leader_of(static_cast<int>(owner) - 2);
+      ASSERT_NE(leader, nullptr) << repro << " (group " << owner << ")";
+      auto rec = leader->engine().store().Get(key);
+      const int64_t got = rec ? rec->value : 0;
+      EXPECT_EQ(got, expected[key.key])
+          << repro << " (key " << key.key << " at owner " << owner << ")";
+      sum += got;
+    }
+  }
+  EXPECT_EQ(sum, 0) << repro << " (" << leader_crashes << " leader crashes, "
+                    << force_splits << " splits, " << force_merges
+                    << " merges, "
+                    << balancer->stats().migrations_completed
+                    << " migrations completed)";
+
+  // --- Invariant: nothing left prepared/active on any current leader ---
+  for (int group = 0; group < 2; ++group) {
+    auto* leader = cluster.leader_of(group);
+    ASSERT_NE(leader, nullptr) << repro;
+    EXPECT_TRUE(leader->engine().PreparedXids().empty())
+        << repro << " (group " << group << ")";
+    EXPECT_EQ(leader->engine().ActiveCount(), 0u)
+        << repro << " (group " << group << ")";
+  }
+
+  // One-line schedule summary per seed (lands in the CI log artifact; on
+  // a red seed the repro command follows).
+  std::fprintf(stderr,
+               "[shard-chaos] seed %llu: %d leader crashes, %d forced splits, "
+               "%d forced merges, %llu balancer splits, %llu merges, "
+               "%llu migrations completed, %llu cancelled, epoch %llu\n",
+               static_cast<unsigned long long>(seed), leader_crashes,
+               force_splits, force_merges,
+               static_cast<unsigned long long>(balancer->stats().splits),
+               static_cast<unsigned long long>(balancer->stats().merges),
+               static_cast<unsigned long long>(
+                   balancer->stats().migrations_completed),
+               static_cast<unsigned long long>(
+                   balancer->stats().migrations_cancelled),
+               static_cast<unsigned long long>(authority.epoch()));
+  if (::testing::Test::HasFailure()) {
+    std::fprintf(stderr, "[shard-chaos] FAILED %s\n", repro.c_str());
+  }
+}
+
+// 20 fixed seeds — the set CI runs under ASan+UBSan.
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardChaosTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16, 17, 18, 19,
+                                           20));
 
 }  // namespace
 }  // namespace geotp

@@ -1,0 +1,185 @@
+// ShardMap property test: >= 1000 random split/merge/move sequences must
+// keep the key space an exact partition (no gaps, no overlaps), keep
+// range versions monotone under the map epoch, and keep lookups
+// consistent across replicas that adopt the published states in arbitrary
+// order (with duplicates and stale re-deliveries) and across a Catalog
+// round-trip.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "middleware/catalog.h"
+#include "sharding/shard_map.h"
+
+namespace geotp {
+namespace {
+
+using middleware::Catalog;
+using sharding::ShardMap;
+using sharding::ShardRange;
+
+constexpr uint32_t kTable = 1;
+constexpr uint64_t kKeysPerNode = 1000;
+
+// Sample keys probed for lookup consistency: partition boundaries, a few
+// interior points, and far beyond the nominal space (last-chunk clamp).
+std::vector<uint64_t> ProbeKeys(const std::vector<NodeId>& owners) {
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < owners.size(); ++i) {
+    const uint64_t base = i * kKeysPerNode;
+    for (uint64_t off : {0ULL, 1ULL, 250ULL, 499ULL, 500ULL, 999ULL}) {
+      keys.push_back(base + off);
+    }
+  }
+  keys.push_back(owners.size() * kKeysPerNode + 12345);
+  keys.push_back(UINT64_MAX - 1);
+  return keys;
+}
+
+void ExpectInvariants(const ShardMap& map, const char* what, int round) {
+  ASSERT_TRUE(map.IsPartition(kTable))
+      << what << " broke the partition in round " << round;
+  for (const ShardRange& range : map.ranges()) {
+    EXPECT_LE(range.version, map.epoch())
+        << what << " minted a range above the map epoch in round " << round;
+  }
+}
+
+TEST(ShardMapProperty, RandomSplitMergeMoveSequencesConverge) {
+  constexpr int kSequences = 1000;
+  constexpr int kOpsPerSequence = 16;
+  Rng rng(0xC0FFEE);
+
+  for (int round = 0; round < kSequences; ++round) {
+    const int num_owners = 2 + static_cast<int>(rng.NextU64(3));
+    std::vector<NodeId> owners;
+    for (int i = 0; i < num_owners; ++i) owners.push_back(2 + i);
+    const uint64_t chunks = 1 + rng.NextU64(4);
+    ShardMap primary =
+        ShardMap::FromRangePartition(kTable, kKeysPerNode, owners, chunks);
+    ASSERT_TRUE(primary.IsPartition(kTable));
+
+    // Published states: full snapshots after each successful op, plus
+    // single-entry "redirect" patches. Replicas may see any interleaving.
+    std::vector<std::vector<ShardRange>> published = {primary.ranges()};
+    uint64_t next_version = primary.epoch();
+    uint64_t last_epoch = primary.epoch();
+
+    for (int op = 0; op < kOpsPerSequence; ++op) {
+      const uint64_t version = std::max(next_version, primary.epoch()) + 1;
+      const int kind = static_cast<int>(rng.NextU64(3));
+      bool changed = false;
+      switch (kind) {
+        case 0: {  // split a random range at a random interior point
+          const size_t idx = rng.NextU64(primary.size());
+          const ShardRange range = primary.ranges()[idx];
+          const uint64_t span =
+              range.hi - range.lo;  // hi may be UINT64_MAX; span is fine
+          if (span >= 2) {
+            const uint64_t at = range.lo + 1 + rng.NextU64(span - 1);
+            changed = primary.Split(idx, at, version);
+          }
+          break;
+        }
+        case 1: {  // merge a random adjacent same-owner pair
+          const size_t start = rng.NextU64(primary.size());
+          for (size_t k = 0; k + 1 < primary.size(); ++k) {
+            const size_t idx = (start + k) % (primary.size() - 1);
+            if (primary.Merge(idx, version)) {
+              changed = true;
+              break;
+            }
+          }
+          break;
+        }
+        default: {  // move a random range to a random owner
+          const size_t idx = rng.NextU64(primary.size());
+          const NodeId dest = owners[rng.NextU64(owners.size())];
+          changed = primary.Move(idx, dest, version);
+          break;
+        }
+      }
+      if (changed) {
+        next_version = version;
+        published.push_back(primary.ranges());
+        // Single-entry patch, as a ShardRedirect would carry.
+        const size_t idx = rng.NextU64(primary.size());
+        published.push_back({primary.ranges()[idx]});
+      }
+      ASSERT_NO_FATAL_FAILURE(ExpectInvariants(primary, "op", round));
+      EXPECT_GE(primary.epoch(), last_epoch)
+          << "epoch went backwards in round " << round;
+      last_epoch = primary.epoch();
+    }
+
+    // Every key routes somewhere (partition + owners stay valid).
+    const std::vector<uint64_t> probes = ProbeKeys(owners);
+    for (uint64_t key : probes) {
+      const NodeId owner = primary.Route(RecordKey{kTable, key});
+      EXPECT_NE(owner, kInvalidNode) << "key " << key << " round " << round;
+      EXPECT_NE(std::find(owners.begin(), owners.end(), owner), owners.end())
+          << "key " << key << " round " << round;
+    }
+
+    // Replica 1 adopts every published state in shuffled order, with a
+    // duplicated batch thrown in; replica 2 starts EMPTY (a DM that never
+    // saw the deployment layout) and adopts the same shuffle. Both must
+    // converge to the primary's exact ranges.
+    std::vector<std::vector<ShardRange>> shuffled = published;
+    shuffled.push_back(published[rng.NextU64(published.size())]);
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.NextU64(i)]);
+    }
+    ShardMap replica =
+        ShardMap::FromRangePartition(kTable, kKeysPerNode, owners, chunks);
+    ShardMap empty_replica;
+    for (const auto& state : shuffled) {
+      replica.Adopt(state);
+      empty_replica.Adopt(state);
+      ASSERT_NO_FATAL_FAILURE(ExpectInvariants(replica, "adopt", round));
+    }
+    // The full final state last: convergence must not depend on the
+    // shuffle having delivered it (LWW: stale states cannot undo it).
+    replica.Adopt(primary.ranges());
+    empty_replica.Adopt(primary.ranges());
+    for (const auto& state : shuffled) {
+      replica.Adopt(state);  // stale re-delivery after convergence
+    }
+
+    ASSERT_EQ(replica.size(), primary.size()) << "round " << round;
+    for (size_t i = 0; i < primary.size(); ++i) {
+      const ShardRange& a = primary.ranges()[i];
+      const ShardRange& b = replica.ranges()[i];
+      EXPECT_TRUE(a.SameSpan(b) && a.owner == b.owner &&
+                  a.version == b.version)
+          << "round " << round << ": " << a.ToString() << " vs "
+          << b.ToString();
+    }
+    for (uint64_t key : probes) {
+      const RecordKey probe{kTable, key};
+      EXPECT_EQ(replica.Route(probe), primary.Route(probe))
+          << "key " << key << " round " << round;
+      EXPECT_EQ(empty_replica.Route(probe), primary.Route(probe))
+          << "key " << key << " round " << round;
+    }
+
+    // Catalog round-trip: routing through an installed map matches the
+    // map itself, and uncovered tables still fall back to static routing.
+    Catalog catalog;
+    catalog.AddRangePartitionedTable(kTable, kKeysPerNode, owners);
+    catalog.AddRangePartitionedTable(kTable + 1, kKeysPerNode, owners);
+    catalog.InstallShardMap(primary);
+    EXPECT_EQ(catalog.ShardEpoch(), primary.epoch()) << "round " << round;
+    for (uint64_t key : probes) {
+      EXPECT_EQ(catalog.Route(RecordKey{kTable, key}),
+                primary.Route(RecordKey{kTable, key}))
+          << "key " << key << " round " << round;
+    }
+    EXPECT_EQ(catalog.Route(RecordKey{kTable + 1, 42}), owners[0]);
+  }
+}
+
+}  // namespace
+}  // namespace geotp
