@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks, run by the CI docs job.
+
+1. Every relative link in every tracked markdown file resolves to a file
+   or directory that exists (anchors and external URLs are ignored).
+2. Every src/*/ directory has a README.md.
+3. ARCHITECTURE.md references every one of those per-directory READMEs,
+   so the subsystem map cannot silently go stale.
+
+Exits non-zero with a per-problem report.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {"build", ".git", ".claude", "bench/out"}
+
+# [text](target) — excluding images' inner text handling (same syntax) and
+# reference-style links, which the repo does not use.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def tracked_markdown():
+    for root, dirs, files in os.walk(REPO):
+        rel_root = os.path.relpath(root, REPO)
+        dirs[:] = [
+            d
+            for d in dirs
+            if d not in SKIP_DIRS
+            and os.path.join(rel_root, d).replace("\\", "/").lstrip("./")
+            not in SKIP_DIRS
+        ]
+        for name in files:
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def check_links(problems):
+    for path in tracked_markdown():
+        rel = os.path.relpath(path, REPO)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        # Links inside fenced code blocks are examples, not references.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target)
+            )
+            if not os.path.exists(resolved):
+                problems.append(f"{rel}: broken link -> {match.group(1)}")
+
+
+def check_src_readmes(problems):
+    src = os.path.join(REPO, "src")
+    with open(os.path.join(REPO, "ARCHITECTURE.md"), encoding="utf-8") as f:
+        architecture = f.read()
+    for entry in sorted(os.listdir(src)):
+        dir_path = os.path.join(src, entry)
+        if not os.path.isdir(dir_path):
+            continue
+        readme = os.path.join(dir_path, "README.md")
+        if not os.path.exists(readme):
+            problems.append(f"src/{entry}/ has no README.md")
+            continue
+        needle = f"src/{entry}/README.md"
+        if needle not in architecture:
+            problems.append(f"ARCHITECTURE.md does not reference {needle}")
+
+
+def main():
+    problems = []
+    check_links(problems)
+    check_src_readmes(problems)
+    if problems:
+        print(f"docs check: {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print("docs check: all markdown links resolve, "
+          "all src/*/ READMEs present and referenced")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -178,6 +178,12 @@ bool DataSourceNode::ParkedDuringPromotion(sim::MessageType type) {
   }
 }
 
+void DataSourceNode::OnInheritedMigrations(
+    const std::vector<replication::Replicator::InheritedMigration>&
+        migrations) {
+  migrator_->OnInheritedMigrations(migrations);
+}
+
 void DataSourceNode::OnReplicatorReady() {
   if (parked_.empty()) return;
   if (crashed_) {

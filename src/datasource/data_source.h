@@ -49,10 +49,22 @@ struct DataSourceConfig {
   /// the unbatched per-transaction fsync baseline).
   storage::GroupCommitConfig group_commit;
   /// Shard migration: per-record ingest cost at the destination (bulk
-  /// apply of snapshot/delta records). Makes oversized migrations take
-  /// real time — the reason the balancer splits a chunk instead of
-  /// shipping all of it.
+  /// apply of snapshot/delta records, charged per chunk). Makes oversized
+  /// migrations take real time — the reason the balancer splits a chunk
+  /// instead of shipping all of it.
   Micros migration_apply_cost = 2;
+  /// Streaming migration: max committed records per ShardSnapshotChunk.
+  /// Bounds both the wire message and the per-chunk ingest charge.
+  uint64_t migration_chunk_records = 512;
+  /// Streaming migration: receiver-side chunk window. The destination
+  /// grants at most this many un-applied chunks of credit, so a slow
+  /// (or stalled) destination backpressures the source: the source's
+  /// unacked-chunk buffer — its only stream memory — never exceeds it.
+  uint64_t migration_stream_window = 4;
+  /// Streaming migration: source-side retransmit check. Chunks (or acks)
+  /// lost by the network are re-sent when no stream progress happened for
+  /// this long; duplicates are re-acked at the receiver's position.
+  Micros migration_resend_timeout = MsToMicros(600);
 
   static DataSourceConfig MySql() {
     DataSourceConfig config;
@@ -135,6 +147,14 @@ class DataSourceNode {
   /// Replicator hook: the promotion barrier cleared (or leadership was
   /// retired) — replay the client-facing messages parked behind it.
   void OnReplicatorReady();
+
+  /// Replicator hook, promotion path: migration control records inherited
+  /// from the deposed leader (Begin without End in the group log). Runs
+  /// before the leadership announce so a cut-over range is re-fenced
+  /// before any DM can route new work here.
+  void OnInheritedMigrations(
+      const std::vector<replication::Replicator::InheritedMigration>&
+          migrations);
 
  private:
   friend class GeoAgent;

@@ -189,6 +189,7 @@ void MiddlewareNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
       OnShardRedirect(static_cast<protocol::ShardRedirect&>(*msg));
       return;
     case sim::MessageType::kShardCutoverReady:
+    case sim::MessageType::kShardMigrateAborted:
       if (balancer_ != nullptr) balancer_->HandleMessage(msg.get());
       return;
     default:

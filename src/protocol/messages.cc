@@ -27,6 +27,12 @@ const char* ReplEntryTypeName(ReplEntryType type) {
       return "COMMIT";
     case ReplEntryType::kAbort:
       return "ABORT";
+    case ReplEntryType::kMigrationBegin:
+      return "MIGRATION_BEGIN";
+    case ReplEntryType::kMigrationCutover:
+      return "MIGRATION_CUTOVER";
+    case ReplEntryType::kMigrationEnd:
+      return "MIGRATION_END";
   }
   return "?";
 }

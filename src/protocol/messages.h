@@ -9,6 +9,7 @@
 #define GEOTP_PROTOCOL_MESSAGES_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -219,10 +220,40 @@ struct PeerAbortRequest : sim::MessageBase {
 
 /// What a replicated log entry records. Prepare entries stage a branch's
 /// write set for failover; commit entries carry the write set that followers
-/// apply; abort entries discard a staged prepare.
-enum class ReplEntryType : uint8_t { kPrepare, kCommit, kAbort };
+/// apply; abort entries discard a staged prepare. Migration entries journal
+/// shard-migration control state (no store effect): Begin opens an outbound
+/// migration at the source group, Cutover seals it (the range is fenced and
+/// fully transferred), End resolves it (published, cancelled, or aborted).
+/// A promoted leader inherits every Begin without an End and deterministically
+/// resumes (Cutover present) or aborts (Begin only) the migration — the
+/// control state is epoch-fenced exactly like staged prepares.
+enum class ReplEntryType : uint8_t {
+  kPrepare,
+  kCommit,
+  kAbort,
+  kMigrationBegin,
+  kMigrationCutover,
+  kMigrationEnd,
+};
 
 const char* ReplEntryTypeName(ReplEntryType type);
+
+/// Control payload of the kMigration* entry types: everything a promoted
+/// source leader needs to re-fence / re-report / abort the migration
+/// without any volatile state from the deposed leader.
+struct MigrationRecord {
+  uint64_t migration_id = 0;
+  sharding::ShardRange range;          ///< owner = source (pre-cutover)
+  NodeId dest = kInvalidNode;          ///< destination logical group
+  NodeId dest_leader = kInvalidNode;   ///< dest leader at planning time
+  uint64_t new_version = 0;            ///< map version the cutover publishes
+  NodeId balancer = kInvalidNode;      ///< where cutover/abort reports go
+  Micros timeout = 0;                  ///< balancer cancellation window
+  /// Cutover records: the delta sequence to resume from. Every delta was
+  /// acked when the cutover was journaled, so a promoted leader continues
+  /// numbering here for drain commits of installed prepared branches.
+  uint64_t delta_next_seq = 1;
+};
 
 /// One write of a replicated branch, as an absolute value (deltas are
 /// resolved at the leader, so application on followers is idempotent).
@@ -242,6 +273,20 @@ struct ReplEntry {
   NodeId coordinator = kInvalidNode;
   std::vector<ReplWrite> writes;
   Micros at = 0;  ///< leader virtual time at append
+  /// Migration control payload — set on kMigration* entries only, shared
+  /// (immutable) so the rare control records don't inflate every commit
+  /// entry in the replicated log.
+  std::shared_ptr<const MigrationRecord> migration;
+  /// Destination-side chunk-ack journaling: a commit entry that installs a
+  /// migration ingest (snapshot chunk or delta batch) is tagged with the
+  /// migration id and the stream position it covers, so the group log
+  /// records exactly which ack each quorum backed. Today the tags are
+  /// provenance only — nothing reads them back; destination-side stream
+  /// resume after a failover (rather than the balancer's timeout-cancel)
+  /// would start here. 0 = not a migration ingest.
+  uint64_t ingest_migration_id = 0;
+  uint64_t ingest_chunk_seq = 0;  ///< snapshot chunk seq (0 for deltas)
+  uint64_t ingest_delta_seq = 0;  ///< delta batch seq (0 for chunks)
 };
 
 /// Leader -> follower log shipping. Empty `entries` is a heartbeat; both
@@ -398,7 +443,11 @@ struct ShardMigrateCancel : sim::MessageBase {
 
 /// Bulk record transfer. Two users share this install path:
 ///  * shard migration (migration_id != 0): source leader -> dest leader,
-///    carrying the committed records of the moving range;
+///    carrying one bounded, sequenced chunk of the moving range's committed
+///    records. The stream is windowed by receiver-driven credit (see
+///    ShardSnapshotAck): the source may have at most `acked + credit`
+///    chunks outstanding, so a slow destination backpressures the source
+///    instead of flooding the event loop. `last` marks the final chunk.
 ///  * replication snapshot bootstrap (migration_id == 0): group leader ->
 ///    follower whose log was fully compacted away, carrying the leader's
 ///    full applied store; base_index/base_epoch position the follower's
@@ -411,6 +460,8 @@ struct ShardSnapshotChunk : sim::MessageBase {
   uint64_t migration_id = 0;
   NodeId group = kInvalidNode;   ///< dest logical group / repl group id
   sharding::ShardRange range;    ///< moving range (migration only)
+  uint64_t seq = 0;              ///< 1-based chunk sequence (migration only)
+  bool last = false;             ///< final chunk of the stream
   uint64_t epoch = 0;            ///< leadership epoch (bootstrap only)
   uint64_t base_index = 0;       ///< log index covered through (bootstrap)
   uint64_t base_epoch = 0;       ///< epoch of the entry at base_index
@@ -418,13 +469,18 @@ struct ShardSnapshotChunk : sim::MessageBase {
   size_t WireSize() const override { return 112 + records.size() * 16; }
 };
 
-/// Dest leader -> source leader: the snapshot is durably applied (with a
-/// replicated destination, quorum-durable).
+/// Dest leader -> source leader: chunk `seq` (and everything before it) is
+/// durably applied (with a replicated destination, quorum-durable). Carries
+/// the receiver's flow-control grant: the source may send chunks up to
+/// seq + credit. Duplicate chunks re-ack with the current position so a
+/// lost ack cannot wedge the stream.
 struct ShardSnapshotAck : sim::MessageBase {
   sim::MessageType type() const override {
     return sim::MessageType::kShardSnapshotAck;
   }
   uint64_t migration_id = 0;
+  uint64_t seq = 0;     ///< highest contiguously applied chunk
+  uint64_t credit = 1;  ///< additional chunks the receiver will buffer
   size_t WireSize() const override { return 48; }
 };
 
@@ -460,7 +516,27 @@ struct ShardCutoverReady : sim::MessageBase {
   }
   uint64_t migration_id = 0;
   sharding::ShardRange range;  ///< owner = destination, version = new
+  /// True when the source group journaled a MigrationCutover record through
+  /// its replicated log (quorum-durable) before this report went out. The
+  /// fence then survives a source failover — a promoted leader re-fences
+  /// from the log and re-reports — so the balancer may publish even if the
+  /// source group's leadership changed since planning. False only for
+  /// unreplicated sources, where the stale-epoch compare still gates the
+  /// publish.
+  bool logged = false;
   size_t WireSize() const override { return 96; }
+};
+
+/// Source leader -> balancer: a promoted source leader inherited a
+/// MigrationBegin record with no Cutover — the stream state died with the
+/// deposed leader, so it aborted the migration from the log (journaling a
+/// MigrationEnd). The balancer cancels instead of waiting for the timeout.
+struct ShardMigrateAborted : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardMigrateAborted;
+  }
+  uint64_t migration_id = 0;
+  size_t WireSize() const override { return 48; }
 };
 
 /// Balancer -> every DM and data-source replica: authoritative shard map.

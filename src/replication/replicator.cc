@@ -116,7 +116,15 @@ void Replicator::ReplicatePrepare(const Xid& xid,
 void Replicator::ReplicateCommit(const Xid& xid,
                                  std::vector<protocol::ReplWrite> writes,
                                  QuorumCallback on_quorum) {
-  GEOTP_CHECK(IsLeader(), "ReplicateCommit on non-leader");
+  ReplicateIngest(xid, std::move(writes), 0, 0, 0, std::move(on_quorum));
+}
+
+void Replicator::ReplicateIngest(const Xid& xid,
+                                 std::vector<protocol::ReplWrite> writes,
+                                 uint64_t migration_id, uint64_t chunk_seq,
+                                 uint64_t delta_seq,
+                                 QuorumCallback on_quorum) {
+  GEOTP_CHECK(IsLeader(), "ReplicateIngest on non-leader");
   auto it = commit_entries_.find(xid.txn_id);
   if (it != commit_entries_.end()) {
     shipper_.AwaitQuorum(it->second, std::move(on_quorum));
@@ -128,9 +136,52 @@ void Replicator::ReplicateCommit(const Xid& xid,
   entry.xid = xid;
   entry.writes = std::move(writes);
   entry.at = loop()->Now();
+  entry.ingest_migration_id = migration_id;
+  entry.ingest_chunk_seq = chunk_seq;
+  entry.ingest_delta_seq = delta_seq;
   const uint64_t index =
       shipper_.AppendAndShip(std::move(entry), std::move(on_quorum));
   commit_entries_[xid.txn_id] = index;
+}
+
+void Replicator::ReplicateMigrationRecord(
+    protocol::ReplEntryType type, const protocol::MigrationRecord& record,
+    QuorumCallback on_quorum) {
+  GEOTP_CHECK(IsLeader(), "ReplicateMigrationRecord on non-leader");
+  GEOTP_CHECK(type == ReplEntryType::kMigrationBegin ||
+                  type == ReplEntryType::kMigrationCutover ||
+                  type == ReplEntryType::kMigrationEnd,
+              "not a migration record type");
+  stats_.migration_records_appended++;
+  ReplEntry entry;
+  entry.type = type;
+  entry.xid = Xid{kInvalidTxn, group_.logical};
+  entry.migration = std::make_shared<protocol::MigrationRecord>(record);
+  entry.at = loop()->Now();
+  const uint64_t index =
+      shipper_.AppendAndShip(std::move(entry), std::move(on_quorum));
+  // Mirror AppendTracked's bookkeeping for the leader's own append (the
+  // shipper appends to the log directly).
+  TrackMigrationRecord(type, record.migration_id, index);
+}
+
+void Replicator::TrackMigrationRecord(protocol::ReplEntryType type,
+                                      uint64_t migration_id, uint64_t index) {
+  switch (type) {
+    case ReplEntryType::kMigrationBegin:
+      unresolved_migrations_[migration_id] = MigrationTrack{index, 0};
+      break;
+    case ReplEntryType::kMigrationCutover: {
+      auto it = unresolved_migrations_.find(migration_id);
+      if (it != unresolved_migrations_.end()) it->second.cutover_index = index;
+      break;
+    }
+    case ReplEntryType::kMigrationEnd:
+      unresolved_migrations_.erase(migration_id);
+      break;
+    default:
+      break;
+  }
 }
 
 void Replicator::ReplicateAbortIfPrepared(TxnId txn) {
@@ -268,6 +319,13 @@ void Replicator::AppendTracked(const ReplEntry& entry) {
     case ReplEntryType::kAbort:
       unresolved_prepares_.erase(entry.xid.txn_id);
       break;
+    case ReplEntryType::kMigrationBegin:
+    case ReplEntryType::kMigrationCutover:
+    case ReplEntryType::kMigrationEnd:
+      GEOTP_CHECK(entry.migration != nullptr,
+                  "migration entry without a record");
+      TrackMigrationRecord(entry.type, entry.migration->migration_id, index);
+      break;
   }
 }
 
@@ -290,6 +348,11 @@ void Replicator::MaybeTruncateLog() {
   for (const auto& [txn, index] : unresolved_prepares_) {
     safe = std::min(safe, index - 1);
   }
+  // Unresolved migration records are pinned like prepares: a promotion
+  // must still read them to resume or abort the migration.
+  for (const auto& [id, track] : unresolved_migrations_) {
+    safe = std::min(safe, track.begin_index - 1);
+  }
   stats_.log_entries_truncated += log_.TruncatePrefix(safe);
 }
 
@@ -301,6 +364,15 @@ void Replicator::TruncateFrom(uint64_t from) {
   }
   for (auto it = commit_entries_.begin(); it != commit_entries_.end();) {
     it = it->second >= from ? commit_entries_.erase(it) : std::next(it);
+  }
+  for (auto it = unresolved_migrations_.begin();
+       it != unresolved_migrations_.end();) {
+    if (it->second.begin_index >= from) {
+      it = unresolved_migrations_.erase(it);
+      continue;
+    }
+    if (it->second.cutover_index >= from) it->second.cutover_index = 0;
+    ++it;
   }
   consistent_prefix_ = std::min(consistent_prefix_, from - 1);
 }
@@ -420,6 +492,7 @@ void Replicator::OnBootstrapSnapshot(
     compact_floor_ = std::max(compact_floor_, chunk.base_index);
     unresolved_prepares_.clear();
     commit_entries_.clear();
+    unresolved_migrations_.clear();
     fresh_as_of_ = loop()->Now();
     stats_.snapshot_installs++;
   }
@@ -443,6 +516,7 @@ void Replicator::WipeForBootstrap() {
   fresh_as_of_ = -1;
   unresolved_prepares_.clear();
   commit_entries_.clear();
+  unresolved_migrations_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -554,6 +628,26 @@ void Replicator::FinishPromotion() {
   // only now: the install applies absolute write sets in place, which
   // must layer on top of every inherited committed entry.
   InstallStagedPrepares();
+  // Inherited migration control records: the deposed leader's stream and
+  // fence state were volatile, but the Begin/Cutover records survive in
+  // the log. Hand them to the migrator BEFORE announcing, so a cut-over
+  // range is re-fenced before any DM can route new work here.
+  if (!unresolved_migrations_.empty()) {
+    std::vector<InheritedMigration> inherited;
+    for (const auto& [id, track] : unresolved_migrations_) {
+      InheritedMigration m;
+      // The Cutover record carries the final (owner = dest) range.
+      const uint64_t record_index =
+          track.cutover_index != 0 ? track.cutover_index : track.begin_index;
+      const auto& record = log_.At(record_index).migration;
+      GEOTP_CHECK(record != nullptr, "migration entry without a record");
+      m.record = *record;
+      m.cutover_logged = track.cutover_index != 0;
+      inherited.push_back(m);
+      stats_.migration_handoffs++;
+    }
+    node_->OnInheritedMigrations(inherited);
+  }
   AnnounceLeadership();
   node_->OnReplicatorReady();
 }
@@ -650,6 +744,12 @@ void Replicator::ApplyEntry(const ReplEntry& entry) {
           state == storage::TxnState::kActive) {
         (void)engine.Rollback(entry.xid, loop()->Now());
       }
+      break;
+    case ReplEntryType::kMigrationBegin:
+    case ReplEntryType::kMigrationCutover:
+    case ReplEntryType::kMigrationEnd:
+      // Control metadata only: no store effect. Tracking happens at append
+      // time; promotion reads unresolved_migrations_.
       break;
   }
 }

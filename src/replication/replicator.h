@@ -44,6 +44,8 @@ struct ReplicatorStats {
   uint64_t not_leader_rejections = 0;
   uint64_t log_entries_truncated = 0;  ///< compacted-away prefix entries
   uint64_t snapshot_installs = 0;  ///< bootstrap snapshots applied
+  uint64_t migration_records_appended = 0;  ///< Begin/Cutover/End journaled
+  uint64_t migration_handoffs = 0;  ///< unresolved migrations at promotion
 };
 
 class Replicator {
@@ -101,6 +103,37 @@ class Replicator {
   void ReplicateCommit(const Xid& xid,
                        std::vector<protocol::ReplWrite> writes,
                        QuorumCallback on_quorum);
+
+  /// Destination-side migration ingest: a commit entry tagged with the
+  /// stream position it covers (chunk or delta seq), so the chunk ack the
+  /// migrator sends on quorum is journaled in the group log.
+  void ReplicateIngest(const Xid& xid,
+                       std::vector<protocol::ReplWrite> writes,
+                       uint64_t migration_id, uint64_t chunk_seq,
+                       uint64_t delta_seq, QuorumCallback on_quorum);
+
+  /// Source-side migration control records (Begin / Cutover / End).
+  /// Epoch-fenced like prepares: unresolved records (Begin without End)
+  /// pin log compaction and are handed to the ShardMigrator on promotion,
+  /// so a failover mid-migration resumes or aborts deterministically from
+  /// the log. `on_quorum` fires once the record is quorum-durable.
+  void ReplicateMigrationRecord(protocol::ReplEntryType type,
+                                const protocol::MigrationRecord& record,
+                                QuorumCallback on_quorum);
+
+  /// One inherited, unresolved migration at promotion time.
+  struct InheritedMigration {
+    protocol::MigrationRecord record;
+    bool cutover_logged = false;
+  };
+
+  /// True while a MigrationBegin for `migration_id` has no MigrationEnd.
+  /// The migrator consults this when resolving a migration, so an End is
+  /// journaled even when the cancel raced the Begin's quorum round trip
+  /// (an unresolved record pins log compaction forever otherwise).
+  bool HasUnresolvedMigration(uint64_t migration_id) const {
+    return unresolved_migrations_.count(migration_id) > 0;
+  }
 
   /// Appends an abort entry iff an unresolved prepare entry exists for the
   /// transaction (followers must unstage it). Fire-and-forget.
@@ -173,6 +206,9 @@ class Replicator {
   void ApplyEntry(const protocol::ReplEntry& entry);
   /// Appends one entry and maintains the prepare/commit tracking maps.
   void AppendTracked(const protocol::ReplEntry& entry);
+  /// Maintains unresolved_migrations_ for one migration record.
+  void TrackMigrationRecord(protocol::ReplEntryType type,
+                            uint64_t migration_id, uint64_t index);
   /// Removes log entries >= `from` plus their tracking state.
   void TruncateFrom(uint64_t from);
   /// Compacts the log prefix every group member has applied (bounded by
@@ -208,6 +244,14 @@ class Replicator {
   /// Prepare entries without a later commit/abort entry (txn -> index).
   /// On promotion these become in-doubt engine branches.
   std::unordered_map<TxnId, uint64_t> unresolved_prepares_;
+  /// Migration control records without a MigrationEnd (id -> state). On
+  /// promotion these are handed to the ShardMigrator to resume (Cutover
+  /// logged) or abort (Begin only).
+  struct MigrationTrack {
+    uint64_t begin_index = 0;
+    uint64_t cutover_index = 0;  ///< 0 until a Cutover record lands
+  };
+  std::unordered_map<uint64_t, MigrationTrack> unresolved_migrations_;
   /// Commit entry per transaction (for idempotent decision retries).
   std::unordered_map<TxnId, uint64_t> commit_entries_;
 

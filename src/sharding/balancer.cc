@@ -40,10 +40,18 @@ void ShardBalancer::ArmTick(uint64_t generation) {
 }
 
 bool ShardBalancer::HandleMessage(sim::MessageBase* msg) {
-  if (msg->type() != sim::MessageType::kShardCutoverReady) return false;
-  const auto& ready = static_cast<ShardCutoverReady&>(*msg);
-  OnCutoverReady(ready.migration_id, ready.range);
-  return true;
+  switch (msg->type()) {
+    case sim::MessageType::kShardCutoverReady:
+      OnCutoverReady(static_cast<ShardCutoverReady&>(*msg));
+      return true;
+    case sim::MessageType::kShardMigrateAborted: {
+      const auto& aborted = static_cast<protocol::ShardMigrateAborted&>(*msg);
+      OnMigrateAborted(aborted.migration_id);
+      return true;
+    }
+    default:
+      return false;
+  }
 }
 
 void ShardBalancer::Tick() {
@@ -463,8 +471,9 @@ bool ShardBalancer::ForceMerge(uint32_t table, uint64_t key) {
   return false;
 }
 
-void ShardBalancer::OnCutoverReady(uint64_t migration_id,
-                                   const ShardRange& range) {
+void ShardBalancer::OnCutoverReady(const protocol::ShardCutoverReady& ready) {
+  const uint64_t migration_id = ready.migration_id;
+  const ShardRange& range = ready.range;
   auto it = std::find_if(
       in_flight_.begin(), in_flight_.end(),
       [migration_id](const Migration& m) { return m.id == migration_id; });
@@ -472,20 +481,37 @@ void ShardBalancer::OnCutoverReady(uint64_t migration_id,
   const Migration m = *it;
   in_flight_.erase(it);
   middleware::Catalog& catalog = dm_->catalog();
-  // A failover at either end since planning invalidates the protocol
-  // state behind this report (the fence and the installed records are
-  // node-local and died with the deposed leader): do NOT publish — the
-  // range stays at the source, which is always safe — and let a later
-  // tick retry the migration against the new leadership.
-  if (catalog.EpochOf(m.source) != m.source_leader_epoch ||
-      catalog.EpochOf(m.dest) != m.dest_leader_epoch) {
-    stats_.migrations_cancelled++;
-    auto cancel = std::make_unique<ShardMigrateCancel>();
-    cancel->from = dm_->id();
-    cancel->to = catalog.LeaderOf(m.source);
-    cancel->migration_id = m.id;
-    dm_->network()->Send(std::move(cancel));
-    return;
+  const bool epoch_moved =
+      catalog.EpochOf(m.source) != m.source_leader_epoch ||
+      catalog.EpochOf(m.dest) != m.dest_leader_epoch;
+  if (epoch_moved) {
+    if (!ready.logged) {
+      // Fallback path (unreplicated source): a failover at either end
+      // since planning invalidates the protocol state behind this report
+      // (the fence and the installed records were node-local and died
+      // with the deposed leader): do NOT publish — the range stays at the
+      // source, which is always safe — and let a later tick retry the
+      // migration against the new leadership. This compare is inherently
+      // racy (a LeaderAnnounce still in flight at publish time defeats
+      // it), which is exactly why replicated groups journal the cutover
+      // instead.
+      stats_.migrations_cancelled++;
+      auto cancel = std::make_unique<ShardMigrateCancel>();
+      cancel->from = dm_->id();
+      cancel->to = catalog.LeaderOf(m.source);
+      cancel->migration_id = m.id;
+      dm_->network()->Send(std::move(cancel));
+      return;
+    }
+    // The source group journaled the cutover through its replicated log:
+    // the transfer is quorum-durable at the destination, and any promoted
+    // source leader re-fences the range from the record before serving.
+    // Publishing is safe regardless of what the (possibly still in
+    // flight) LeaderAnnounce did to our epoch view.
+    stats_.logged_epoch_overrides++;
+    GEOTP_INFO("balancer: publishing migration " << m.id
+               << " across a leader-epoch change (cutover is journaled in "
+               << "the source group's log)");
   }
   stats_.migrations_completed++;
   GEOTP_CHECK(range.owner == m.dest && range.version == m.new_version &&
@@ -496,6 +522,25 @@ void ShardBalancer::OnCutoverReady(uint64_t migration_id,
   range_state_[KeyOf(range)].cooldown_until =
       dm_->loop()->Now() + config_.range_cooldown;
   Publish();
+}
+
+void ShardBalancer::OnMigrateAborted(uint64_t migration_id) {
+  auto it = std::find_if(
+      in_flight_.begin(), in_flight_.end(),
+      [migration_id](const Migration& m) { return m.id == migration_id; });
+  if (it == in_flight_.end()) return;  // already cancelled / completed
+  const Migration m = *it;
+  in_flight_.erase(it);
+  stats_.migrations_cancelled++;
+  stats_.aborted_by_source++;
+  // The source already resolved its side from the log; flush the
+  // destination's ordering buffer (idempotent if the source's own cancel
+  // got there first).
+  auto cancel = std::make_unique<ShardMigrateCancel>();
+  cancel->from = dm_->id();
+  cancel->to = dm_->catalog().LeaderOf(m.dest);
+  cancel->migration_id = m.id;
+  dm_->network()->Send(std::move(cancel));
 }
 
 void ShardBalancer::Publish() {

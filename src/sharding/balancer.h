@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "protocol/messages.h"
 #include "sharding/shard_map.h"
 #include "sim/network.h"
 
@@ -115,6 +116,14 @@ struct BalancerStats {
   /// two-objective score did not for any destination (placement bounded
   /// by load).
   uint64_t capacity_deferrals = 0;
+  /// Cutovers published although the source/dest leader epoch moved since
+  /// planning — safe because the migration state is log-replicated (the
+  /// promoted leader re-fenced from the journaled cutover record).
+  uint64_t logged_epoch_overrides = 0;
+  /// Migrations a promoted source leader aborted from its log
+  /// (ShardMigrateAborted), cancelled here without waiting for the
+  /// timeout.
+  uint64_t aborted_by_source = 0;
 };
 
 class ShardBalancer {
@@ -124,7 +133,8 @@ class ShardBalancer {
   /// Arms the periodic evaluation timer.
   void Start();
 
-  /// Consumes ShardCutoverReady. Returns false for unrelated messages.
+  /// Consumes ShardCutoverReady / ShardMigrateAborted. Returns false for
+  /// unrelated messages.
   bool HandleMessage(sim::MessageBase* msg);
 
   /// Chaos/test hook: splits the range covering (`table`, `at`) at `at`,
@@ -214,7 +224,10 @@ class ShardBalancer {
   /// Shared post-merge bookkeeping: retires the merged spans' state and
   /// seeds the combined range at `idx`.
   void FinishMerge(size_t idx, const SpanKey& left, const SpanKey& right);
-  void OnCutoverReady(uint64_t migration_id, const ShardRange& range);
+  void OnCutoverReady(const protocol::ShardCutoverReady& ready);
+  /// A promoted source leader aborted the migration from its log: cancel
+  /// it here immediately (the timeout would get there eventually).
+  void OnMigrateAborted(uint64_t migration_id);
   /// Next strictly-increasing map version (single-writer invariant).
   uint64_t MintVersion();
   /// True if `range` overlaps an in-flight migration's span.

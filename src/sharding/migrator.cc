@@ -9,11 +9,14 @@
 namespace geotp {
 namespace sharding {
 
+using protocol::MigrationRecord;
+using protocol::ReplEntryType;
 using protocol::ReplWrite;
 using protocol::ShardCutoverReady;
 using protocol::ShardDeltaAck;
 using protocol::ShardDeltaBatch;
 using protocol::ShardMapUpdate;
+using protocol::ShardMigrateAborted;
 using protocol::ShardMigrateCancel;
 using protocol::ShardMigrateRequest;
 using protocol::ShardSnapshotAck;
@@ -84,8 +87,21 @@ bool ShardMigrator::OwnsKeys(const std::vector<RecordKey>& keys) const {
 }
 
 // ---------------------------------------------------------------------------
-// Source role
+// Source role: chunked streaming under receiver-driven credit
 // ---------------------------------------------------------------------------
+
+ShardMigrator::Outbound* ShardMigrator::FindOutbound(uint64_t migration_id) {
+  for (Outbound& out : outbound_) {
+    if (out.id == migration_id) return &out;
+  }
+  return nullptr;
+}
+
+uint64_t ShardMigrator::UnackedChunks() const {
+  uint64_t unacked = 0;
+  for (const Outbound& out : outbound_) unacked += out.unacked.size();
+  return unacked;
+}
 
 void ShardMigrator::OnMigrateRequest(const ShardMigrateRequest& req) {
   // Only the current leader of the source group runs migrations; a
@@ -93,9 +109,7 @@ void ShardMigrator::OnMigrateRequest(const ShardMigrateRequest& req) {
   // timeout cancels it.
   replication::Replicator* repl = node_->replicator();
   if (repl != nullptr && !repl->IsLeader()) return;
-  for (const Outbound& out : outbound_) {
-    if (out.id == req.migration_id) return;  // duplicate
-  }
+  if (FindOutbound(req.migration_id) != nullptr) return;  // duplicate
   stats_.migrations_started++;
   Outbound out;
   out.id = req.migration_id;
@@ -105,24 +119,8 @@ void ShardMigrator::OnMigrateRequest(const ShardMigrateRequest& req) {
       req.dest_leader != kInvalidNode ? req.dest_leader : req.dest;
   out.new_version = req.new_version;
   out.balancer = req.from;
-
-  // Snapshot cut: the COMMITTED records of the range, captured atomically
-  // within this event (single-threaded actor; live branches' in-place
-  // writes are excluded via their undo). Writes committed after this
-  // instant forward as deltas.
-  auto chunk = std::make_unique<ShardSnapshotChunk>();
-  chunk->from = node_->id();
-  chunk->to = out.dest_leader;
-  chunk->migration_id = out.id;
-  chunk->group = out.dest;
-  chunk->range = out.range;
-  const ShardRange range = out.range;
-  for (const auto& [key, value] : node_->engine().CommittedRecords(
-           [&range](const RecordKey& key) { return range.Contains(key); })) {
-    chunk->records.push_back(ReplWrite{key, value});
-  }
-  stats_.snapshot_records_sent += chunk->records.size();
-  node_->network()->Send(std::move(chunk));
+  out.timeout = req.timeout;
+  out.scan_cursor = req.range.lo;
   // Self-cancellation backstop: if neither the balancer's cancel nor a
   // cutover publish arrives (the balancer may have died), unfence rather
   // than refuse the range's traffic forever. Twice the balancer's own
@@ -136,28 +134,177 @@ void ShardMigrator::OnMigrateRequest(const ShardMigrateRequest& req) {
     OnMigrateCancel(cancel);
   });
   outbound_.push_back(std::move(out));
-}
-
-void ShardMigrator::OnMigrateCancel(const ShardMigrateCancel& req) {
-  // Destination side: drop the ordering buffer. Records already applied
-  // stay in the store as unreachable garbage (the map never moved).
-  inbound_.erase(req.migration_id);
-  for (auto it = outbound_.begin(); it != outbound_.end(); ++it) {
-    if (it->id == req.migration_id) {
-      stats_.migrations_cancelled++;
-      outbound_.erase(it);  // unfences the range
-      return;
-    }
+  if (repl != nullptr) {
+    // Journal the Begin record before any chunk leaves the node: a
+    // failover mid-stream then finds the migration in the log and aborts
+    // it deterministically instead of leaving the destination with an
+    // orphaned half-stream only a timeout can clean up.
+    JournalMigrationRecord(ReplEntryType::kMigrationBegin, outbound_.back(),
+                           [this, id]() {
+                             Outbound* begun = FindOutbound(id);
+                             if (begun == nullptr) return;  // cancelled
+                             begun->begin_logged = true;
+                             PumpChunks(id);
+                           });
+  } else {
+    PumpChunks(id);
   }
 }
 
-void ShardMigrator::OnSnapshotAck(const ShardSnapshotAck& ack) {
-  for (Outbound& out : outbound_) {
-    if (out.id != ack.migration_id || out.snapshot_acked) continue;
-    out.snapshot_acked = true;
-    FenceRange(out);
-    MaybeReportCutover(out);
+void ShardMigrator::PumpChunks(uint64_t migration_id) {
+  Outbound* out = FindOutbound(migration_id);
+  if (out == nullptr || out->stream_complete || out->scan_exhausted ||
+      out->next_chunk_seq > out->acked_chunk_seq + out->credit) {
     return;
+  }
+  const uint64_t chunk_cap =
+      std::max<uint64_t>(1, node_->config().migration_chunk_records);
+  // One committed-records scan + sort per pump, sliced into as many
+  // chunks as the credit window allows (re-scanning per chunk would make
+  // the stream quadratic in resident records). Values are read at send
+  // time: they already include post-cut commits, which also forward as
+  // deltas — absolute values make the duplicate application idempotent,
+  // and the destination's delta-written skip keeps the newer delta value
+  // when the orders race.
+  const ShardRange range = out->range;
+  const uint64_t cursor = out->scan_cursor;
+  std::vector<ReplWrite> remainder;
+  for (const auto& [key, value] : node_->engine().CommittedRecords(
+           [&range, cursor](const RecordKey& key) {
+             return range.Contains(key) && key.key >= cursor;
+           })) {
+    remainder.push_back(ReplWrite{key, value});
+  }
+  const auto by_key = [](const ReplWrite& a, const ReplWrite& b) {
+    return a.key < b.key;
+  };
+  // Only the window's worth of smallest keys needs to be ordered; the
+  // +1 extra element becomes the next pump's cursor. Selecting before
+  // sorting keeps a pump O(remaining + window log window) instead of
+  // fully sorting the remainder just to slice its head off.
+  const size_t total = remainder.size();
+  const uint64_t budget_chunks =
+      out->acked_chunk_seq + out->credit - out->next_chunk_seq + 1;
+  const size_t need = static_cast<size_t>(budget_chunks * chunk_cap + 1);
+  if (total > need) {
+    std::nth_element(remainder.begin(),
+                     remainder.begin() + static_cast<ptrdiff_t>(need) - 1,
+                     remainder.end(), by_key);
+    remainder.resize(need);
+  }
+  std::sort(remainder.begin(), remainder.end(), by_key);
+  size_t offset = 0;
+  while (!out->scan_exhausted &&
+         out->next_chunk_seq <= out->acked_chunk_seq + out->credit) {
+    const size_t left = total - offset;
+    const bool last = left <= chunk_cap;
+    std::vector<ReplWrite> records(
+        remainder.begin() + static_cast<ptrdiff_t>(offset),
+        remainder.begin() +
+            static_cast<ptrdiff_t>(offset + (last ? left : chunk_cap)));
+    if (last) {
+      out->scan_exhausted = true;
+      out->last_chunk_seq = out->next_chunk_seq;
+    } else {
+      offset += chunk_cap;
+      out->scan_cursor = remainder[offset].key.key;
+    }
+    const uint64_t seq = out->next_chunk_seq++;
+    stats_.snapshot_chunks_sent++;
+    stats_.snapshot_records_sent += records.size();
+    SendChunk(*out, seq, records, last);
+    out->unacked[seq] = std::move(records);
+    stats_.peak_unacked_chunks = std::max<uint64_t>(
+        stats_.peak_unacked_chunks, out->unacked.size());
+  }
+  out->last_progress_at = node_->loop()->Now();
+  ArmResendTimer(migration_id);
+}
+
+void ShardMigrator::SendChunk(const Outbound& out, uint64_t seq,
+                              const std::vector<ReplWrite>& records,
+                              bool last) {
+  auto chunk = std::make_unique<ShardSnapshotChunk>();
+  chunk->from = node_->id();
+  chunk->to = out.dest_leader;
+  chunk->migration_id = out.id;
+  chunk->group = out.dest;
+  chunk->range = out.range;
+  chunk->seq = seq;
+  chunk->last = last;
+  chunk->records = records;
+  node_->network()->Send(std::move(chunk));
+}
+
+void ShardMigrator::ArmResendTimer(uint64_t migration_id) {
+  Outbound* out = FindOutbound(migration_id);
+  if (out == nullptr || out->resend_armed) return;
+  out->resend_armed = true;
+  const Micros check = node_->config().migration_resend_timeout;
+  node_->loop()->Schedule(check, [this, migration_id]() {
+    Outbound* late = FindOutbound(migration_id);
+    if (late == nullptr || node_->crashed()) return;
+    late->resend_armed = false;
+    if (late->stream_complete || late->unacked.empty()) return;
+    if (node_->loop()->Now() - late->last_progress_at >=
+        node_->config().migration_resend_timeout) {
+      // No progress in a full window: chunks (or their acks) were lost.
+      // Re-send everything outstanding; duplicates re-ack at the
+      // receiver's position, so a lost ack also recovers here.
+      for (const auto& [seq, records] : late->unacked) {
+        stats_.chunk_retransmits++;
+        SendChunk(*late, seq,
+                  records, seq == late->last_chunk_seq);
+      }
+      late->last_progress_at = node_->loop()->Now();
+    }
+    ArmResendTimer(migration_id);
+  });
+}
+
+void ShardMigrator::OnSnapshotAck(const ShardSnapshotAck& ack) {
+  Outbound* out = FindOutbound(ack.migration_id);
+  if (out == nullptr || out->stream_complete) return;
+  // Take the grant only from acks at (or past) the current position: a
+  // reordered older ack can carry a larger grant than the receiver's
+  // buffer now has room for, and over-sending just gets chunks dropped
+  // at the credit-overrun check — a resend-timeout stall for nothing.
+  if (ack.seq >= out->acked_chunk_seq) {
+    out->credit = std::max<uint64_t>(1, ack.credit);
+  }
+  if (ack.seq > out->acked_chunk_seq) {
+    out->acked_chunk_seq = ack.seq;
+    out->unacked.erase(out->unacked.begin(),
+                       out->unacked.upper_bound(ack.seq));
+    out->last_progress_at = node_->loop()->Now();
+  }
+  if (out->last_chunk_seq != 0 &&
+      out->acked_chunk_seq >= out->last_chunk_seq) {
+    out->stream_complete = true;
+    out->unacked.clear();
+    stats_.streams_completed++;
+    FenceRange(*out);
+    MaybeReportCutover(*out);
+    return;
+  }
+  PumpChunks(ack.migration_id);
+}
+
+void ShardMigrator::OnMigrateCancel(const ShardMigrateCancel& req) {
+  // Destination side: drop the ordering buffer and tombstone the id so a
+  // straggler (or retransmitted, or cancel-outrun) chunk cannot recreate
+  // it — its stale records could overwrite a later migration of the same
+  // range. Records already applied stay in the store as unreachable
+  // garbage (the map never moved).
+  inbound_.erase(req.migration_id);
+  retired_inbound_.insert(req.migration_id);
+  for (auto it = outbound_.begin(); it != outbound_.end(); ++it) {
+    if (it->id == req.migration_id) {
+      stats_.migrations_cancelled++;
+      JournalEnd(*it);
+      outbound_.erase(it);  // unfences the range
+      return;
+    }
   }
 }
 
@@ -205,12 +352,10 @@ void ShardMigrator::OnCommittedWrites(
 }
 
 void ShardMigrator::OnDeltaAck(const ShardDeltaAck& ack) {
-  for (Outbound& out : outbound_) {
-    if (out.id != ack.migration_id) continue;
-    out.acked_seq = std::max(out.acked_seq, ack.seq);
-    MaybeReportCutover(out);
-    return;
-  }
+  Outbound* out = FindOutbound(ack.migration_id);
+  if (out == nullptr) return;
+  out->acked_seq = std::max(out->acked_seq, ack.seq);
+  MaybeReportCutover(*out);
 }
 
 void ShardMigrator::OnBranchResolved() {
@@ -218,7 +363,7 @@ void ShardMigrator::OnBranchResolved() {
 }
 
 void ShardMigrator::MaybeReportCutover(Outbound& out) {
-  if (!out.fenced || out.cutover_reported) return;
+  if (!out.fenced || !out.stream_complete || out.cutover_reported) return;
   if (out.acked_seq + 1 != out.next_seq) return;  // deltas in flight
   // Any live branch still touching the range (a prepared branch awaiting
   // its decision) blocks the cutover: its commit must forward first.
@@ -235,6 +380,33 @@ void ShardMigrator::MaybeReportCutover(Outbound& out) {
       if (out.range.Contains(key)) return;
     }
   }
+  replication::Replicator* repl = node_->replicator();
+  if (repl != nullptr && out.begin_logged) {
+    if (out.cutover_logged) {
+      SendCutoverReady(out, /*logged=*/true);
+      return;
+    }
+    if (out.cutover_pending) return;  // record already replicating
+    // Seal the migration in the group log BEFORE reporting: the fence now
+    // survives a source failover (a promoted leader re-fences from the
+    // record and re-reports), so the balancer's publish cannot race a
+    // leadership change into a lost write.
+    out.cutover_pending = true;
+    const uint64_t id = out.id;
+    JournalMigrationRecord(ReplEntryType::kMigrationCutover, out,
+                           [this, id]() {
+                             Outbound* sealed = FindOutbound(id);
+                             if (sealed == nullptr) return;  // cancelled
+                             sealed->cutover_pending = false;
+                             sealed->cutover_logged = true;
+                             MaybeReportCutover(*sealed);
+                           });
+    return;
+  }
+  SendCutoverReady(out, /*logged=*/false);
+}
+
+void ShardMigrator::SendCutoverReady(Outbound& out, bool logged) {
   out.cutover_reported = true;
   stats_.cutovers_reported++;
   auto ready = std::make_unique<ShardCutoverReady>();
@@ -244,27 +416,144 @@ void ShardMigrator::MaybeReportCutover(Outbound& out) {
   ready->range = out.range;
   ready->range.owner = out.dest;
   ready->range.version = out.new_version;
+  ready->logged = logged;
   node_->network()->Send(std::move(ready));
 }
 
 // ---------------------------------------------------------------------------
-// Destination role
+// Replicated migration state (source side)
+// ---------------------------------------------------------------------------
+
+void ShardMigrator::JournalMigrationRecord(ReplEntryType type,
+                                           const Outbound& out,
+                                           std::function<void()> on_quorum) {
+  replication::Replicator* repl = node_->replicator();
+  if (repl == nullptr || !repl->IsLeader()) return;
+  MigrationRecord record;
+  record.migration_id = out.id;
+  record.range = out.range;
+  if (type == ReplEntryType::kMigrationCutover) {
+    record.range.owner = out.dest;
+    record.range.version = out.new_version;
+    // All deltas were acked (MaybeReportCutover precondition), so this is
+    // the exact resume point: a promoted leader continues the delta
+    // sequence here for drain commits of installed prepared branches.
+    record.delta_next_seq = out.next_seq;
+  }
+  record.dest = out.dest;
+  record.dest_leader = out.dest_leader;
+  record.new_version = out.new_version;
+  record.balancer = out.balancer;
+  record.timeout = out.timeout;
+  repl->ReplicateMigrationRecord(type, record, std::move(on_quorum));
+}
+
+void ShardMigrator::JournalEnd(const Outbound& out) {
+  // Keyed on the replicator's tracking, NOT on begin_logged: a cancel can
+  // land inside the Begin record's quorum round trip, and the Begin was
+  // already appended (and is pinning compaction) the moment it entered
+  // the log. Leaders append the End; a deposed leader skips it and the
+  // promoted leader resolves the record at promotion instead.
+  replication::Replicator* repl = node_->replicator();
+  if (repl == nullptr || !repl->HasUnresolvedMigration(out.id)) return;
+  JournalMigrationRecord(ReplEntryType::kMigrationEnd, out, nullptr);
+}
+
+void ShardMigrator::OnInheritedMigrations(
+    const std::vector<replication::Replicator::InheritedMigration>&
+        migrations) {
+  replication::Replicator* repl = node_->replicator();
+  for (const auto& inherited : migrations) {
+    const MigrationRecord& record = inherited.record;
+    if (FindOutbound(record.migration_id) != nullptr) continue;
+    if (!inherited.cutover_logged) {
+      // Begin only: the stream and fence state died with the deposed
+      // leader. Abort deterministically — journal the End, flush the
+      // destination's half-applied buffer, tell the balancer so it
+      // cancels now instead of at the timeout. The range keeps serving
+      // here; placement never changed.
+      stats_.migration_aborts_from_log++;
+      GEOTP_INFO("migrator " << node_->id() << ": aborting inherited "
+                             << "migration " << record.migration_id
+                             << " from the log (no cutover record)");
+      if (repl != nullptr && repl->IsLeader()) {
+        MigrationRecord end = record;
+        repl->ReplicateMigrationRecord(ReplEntryType::kMigrationEnd, end,
+                                       nullptr);
+      }
+      auto cancel = std::make_unique<ShardMigrateCancel>();
+      cancel->from = node_->id();
+      cancel->to = record.dest_leader;
+      cancel->migration_id = record.migration_id;
+      node_->network()->Send(std::move(cancel));
+      auto aborted = std::make_unique<ShardMigrateAborted>();
+      aborted->from = node_->id();
+      aborted->to = record.balancer;
+      aborted->migration_id = record.migration_id;
+      node_->network()->Send(std::move(aborted));
+      continue;
+    }
+    // Cutover logged: the migration is sealed — every chunk and delta is
+    // quorum-durable at the destination. Re-fence the range (BEFORE the
+    // leadership announce, so no DM can route new work onto it) and
+    // re-report readiness; the balancer publishes even though our epoch
+    // moved, because the journaled record — not the deposed leader's
+    // volatile fence — is what guarantees the transfer.
+    stats_.migration_resumes++;
+    GEOTP_INFO("migrator " << node_->id() << ": resuming migration "
+                           << record.migration_id
+                           << " from the journaled cutover record");
+    Outbound out;
+    out.id = record.migration_id;
+    out.range = record.range;  // owner = dest per the cutover record;
+                               // fencing tests span only
+    out.dest = record.dest;
+    out.dest_leader = record.dest_leader;
+    out.new_version = record.new_version;
+    out.balancer = record.balancer;
+    out.timeout = record.timeout;
+    out.scan_exhausted = true;
+    out.stream_complete = true;
+    out.begin_logged = true;
+    out.cutover_logged = true;
+    out.resumed = true;
+    out.next_seq = std::max<uint64_t>(1, record.delta_next_seq);
+    out.acked_seq = out.next_seq - 1;
+    const Micros self_cancel =
+        record.timeout > 0 ? 2 * record.timeout : SecToMicros(30);
+    const uint64_t id = out.id;
+    node_->loop()->Schedule(self_cancel, [this, id]() {
+      protocol::ShardMigrateCancel cancel;
+      cancel.migration_id = id;
+      OnMigrateCancel(cancel);
+    });
+    outbound_.push_back(std::move(out));
+    FenceRange(outbound_.back());
+    MaybeReportCutover(outbound_.back());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Destination role: ordered ingest, credit grants, delta interleave
 // ---------------------------------------------------------------------------
 
 void ShardMigrator::ApplyRecords(std::vector<ReplWrite> records,
+                                 uint64_t migration_id, uint64_t chunk_seq,
+                                 uint64_t delta_seq,
                                  std::function<bool()> still_valid,
                                  std::function<void()> done) {
-  // Bulk ingest takes real engine time (per-record cost); the records
-  // become visible — and durable, and acked — only when it completes.
-  // This is what makes an oversized migration slow, and why the balancer
-  // splits a hot sub-range out of a big chunk instead of shipping all of
-  // it: the ingest window scales with the number of records moved.
+  // Bulk ingest takes real engine time, charged per chunk (per-record
+  // cost x chunk size); the records become visible — and durable, and
+  // acked — only when it completes. This is what makes an oversized
+  // migration's transfer time scale with its resident data, and why the
+  // balancer splits a hot sub-range out of a big chunk instead of
+  // shipping all of it.
   const Micros cost =
       static_cast<Micros>(records.size()) *
       node_->config().migration_apply_cost;
   node_->loop()->Schedule(
-      cost, [this, records = std::move(records),
-             still_valid = std::move(still_valid),
+      cost, [this, records = std::move(records), migration_id, chunk_seq,
+             delta_seq, still_valid = std::move(still_valid),
              done = std::move(done)]() mutable {
         if (node_->crashed()) return;
         if (!still_valid()) return;  // cancelled during the ingest delay
@@ -279,19 +568,39 @@ void ShardMigrator::ApplyRecords(std::vector<ReplWrite> records,
         if (repl != nullptr && repl->IsLeader()) {
           // Funnel through the replica group's log so followers apply the
           // same records via the LogShipper entry stream; the ack waits
-          // for quorum durability. The synthetic xid never collides with
-          // coordinator txn ids (middleware ordinals are small; 0xFFFF is
-          // reserved).
+          // for quorum durability. The entry is tagged with the stream
+          // position it covers, journaling the chunk ack itself. The
+          // synthetic xid never collides with coordinator txn ids
+          // (middleware ordinals are small; 0xFFFF is reserved).
           const Xid xid{
               MakeTxnId(0xFFFFu,
                         (static_cast<uint64_t>(node_->id()) << 24) |
                             ++synthetic_seq_),
               node_->logical_id()};
-          repl->ReplicateCommit(xid, std::move(records), std::move(done));
+          repl->ReplicateIngest(xid, std::move(records), migration_id,
+                                chunk_seq, delta_seq, std::move(done));
           return;
         }
         done();
       });
+}
+
+void ShardMigrator::SendChunkAck(uint64_t migration_id, NodeId source) {
+  auto it = inbound_.find(migration_id);
+  if (it == inbound_.end()) return;
+  const uint64_t window =
+      std::max<uint64_t>(1, node_->config().migration_stream_window);
+  const uint64_t buffered = it->second.pending_chunks.size();
+  auto ack = std::make_unique<ShardSnapshotAck>();
+  ack->from = node_->id();
+  ack->to = source;
+  ack->migration_id = migration_id;
+  ack->seq = it->second.applied_chunk_seq;
+  // Receiver-driven flow control: grant only what the ordering buffer has
+  // room for. Never zero — the grant rides on an apply ack, so at least
+  // one slot just freed.
+  ack->credit = window > buffered ? window - buffered : 1;
+  node_->network()->Send(std::move(ack));
 }
 
 void ShardMigrator::OnSnapshotChunk(const ShardSnapshotChunk& chunk) {
@@ -300,83 +609,138 @@ void ShardMigrator::OnSnapshotChunk(const ShardSnapshotChunk& chunk) {
   if (chunk.migration_id == 0) return;
   replication::Replicator* repl = node_->replicator();
   if (repl != nullptr && !repl->IsLeader()) return;  // balancer will retry
+  if (retired_inbound_.count(chunk.migration_id) > 0) return;  // cancelled
   const NodeId source = chunk.from;
   const uint64_t id = chunk.migration_id;
   Inbound& in = inbound_[id];
-  if (in.applying || in.snapshot_applied) return;  // duplicate chunk
-  in.range = chunk.range;
-  in.applying = true;
-  const size_t record_count = chunk.records.size();
-  const auto still_inbound = [this, id]() {
-    auto it = inbound_.find(id);
-    return it != inbound_.end() && it->second.applying;
-  };
-  ApplyRecords(chunk.records, still_inbound, [this, source, id,
-                                              record_count]() {
-    auto it = inbound_.find(id);
-    if (it == inbound_.end()) return;  // cancelled during replication
-    // Counted only here: a cancel or crash during the ingest delay means
-    // the records never reached the store.
-    stats_.snapshot_records_applied += record_count;
-    it->second.applying = false;
-    it->second.snapshot_applied = true;
-    auto ack = std::make_unique<ShardSnapshotAck>();
-    ack->from = node_->id();
-    ack->to = source;
-    ack->migration_id = id;
-    node_->network()->Send(std::move(ack));
-    // Deltas that outran the snapshot (independent per-message link
-    // delays) were buffered; they apply strictly after it.
-    DrainDeltas(id, source);
-  });
+  if (in.range.hi == 0) in.range = chunk.range;
+  if (chunk.seq <= in.applied_chunk_seq) {
+    // Retransmit of an applied chunk (its ack was lost): re-ack the
+    // current position so the source advances.
+    SendChunkAck(id, source);
+    return;
+  }
+  const uint64_t window =
+      std::max<uint64_t>(1, node_->config().migration_stream_window);
+  const bool already_buffered = in.pending_chunks.count(chunk.seq) > 0;
+  if (!already_buffered && in.pending_chunks.size() >= window) {
+    return;  // credit overrun; the retransmit path recovers
+  }
+  Inbound::BufferedChunk& buffered = in.pending_chunks[chunk.seq];
+  buffered.records = chunk.records;
+  buffered.last = chunk.last;
+  stats_.peak_buffered_chunks = std::max<uint64_t>(
+      stats_.peak_buffered_chunks, in.pending_chunks.size());
+  DrainIngest(id, source);
 }
 
 void ShardMigrator::OnDeltaBatch(const ShardDeltaBatch& batch) {
   replication::Replicator* repl = node_->replicator();
   if (repl != nullptr && !repl->IsLeader()) return;
+  if (retired_inbound_.count(batch.migration_id) > 0) return;  // cancelled
   Inbound& in = inbound_[batch.migration_id];
   if (batch.seq <= in.applied_seq) return;  // duplicate
   in.pending[batch.seq] = batch.writes;
-  DrainDeltas(batch.migration_id, batch.from);
+  DrainIngest(batch.migration_id, batch.from);
 }
 
-void ShardMigrator::DrainDeltas(uint64_t migration_id, NodeId source) {
-  // Strict order: nothing before the snapshot, then sequence order (a
-  // delta applied under an older store state would be overwritten), one
-  // ingest in flight at a time (application takes event-loop time).
+void ShardMigrator::DrainIngest(uint64_t migration_id, NodeId source) {
   auto it = inbound_.find(migration_id);
   if (it == inbound_.end()) return;
   Inbound& in = it->second;
-  if (!in.snapshot_applied || in.applying) return;
+  if (in.applying) return;  // one bounded ingest at a time
+  const auto still_inbound = [this, migration_id]() {
+    auto live = inbound_.find(migration_id);
+    return live != inbound_.end() && live->second.applying;
+  };
+
+  // Deltas first: they are small, carry post-cut (newer) values, and
+  // applying them promptly is what lets them interleave behind the chunk
+  // cursor instead of queueing until the stream ends (the drain at
+  // cutover waits on their acks). A gap in the delta sequence falls
+  // through to the chunk stream below.
   while (!in.pending.empty() && in.pending.begin()->first <= in.applied_seq) {
     in.pending.erase(in.pending.begin());  // stale duplicate
   }
-  if (in.pending.empty() || in.pending.begin()->first != in.applied_seq + 1) {
+  if (!in.pending.empty() &&
+      in.pending.begin()->first == in.applied_seq + 1) {
+    std::vector<ReplWrite> writes = std::move(in.pending.begin()->second);
+    in.pending.erase(in.pending.begin());
+    in.applying = true;
+    const uint64_t seq = in.applied_seq + 1;
+    if (!in.stream_complete) {
+      for (const ReplWrite& w : writes) in.delta_written.insert(w.key);
+    }
+    ApplyRecords(std::move(writes), migration_id, 0, seq, still_inbound,
+                 [this, source, migration_id, seq]() {
+                   auto live = inbound_.find(migration_id);
+                   if (live == inbound_.end()) return;  // cancelled
+                   live->second.applying = false;
+                   live->second.applied_seq = seq;
+                   stats_.delta_batches_applied++;
+                   auto ack = std::make_unique<ShardDeltaAck>();
+                   ack->from = node_->id();
+                   ack->to = source;
+                   ack->migration_id = migration_id;
+                   ack->seq = seq;
+                   node_->network()->Send(std::move(ack));
+                   DrainIngest(migration_id, source);
+                 });
     return;
   }
-  std::vector<ReplWrite> writes = std::move(in.pending.begin()->second);
-  in.pending.erase(in.pending.begin());
-  in.applying = true;
-  const uint64_t seq = in.applied_seq + 1;
-  const auto still_inbound = [this, migration_id]() {
-    auto it = inbound_.find(migration_id);
-    return it != inbound_.end() && it->second.applying;
-  };
-  ApplyRecords(std::move(writes), still_inbound,
-               [this, source, migration_id, seq]() {
-    auto jt = inbound_.find(migration_id);
-    if (jt == inbound_.end()) return;  // cancelled during replication
-    jt->second.applying = false;
-    jt->second.applied_seq = seq;
-    stats_.delta_batches_applied++;
-    auto ack = std::make_unique<ShardDeltaAck>();
-    ack->from = node_->id();
-    ack->to = source;
-    ack->migration_id = migration_id;
-    ack->seq = seq;
-    node_->network()->Send(std::move(ack));
-    DrainDeltas(migration_id, source);
-  });
+
+  // Chunks, in sequence order. Out-of-order arrivals (independent
+  // per-message link delays) wait in the bounded pending_chunks buffer.
+  // Prune stale duplicates first (a retransmit can re-buffer the chunk
+  // that was mid-apply when it arrived — seq == applied+1 at buffering
+  // time, already applied now); left in place they would pin window
+  // slots forever and shrink every future credit grant.
+  while (!in.pending_chunks.empty() &&
+         in.pending_chunks.begin()->first <= in.applied_chunk_seq) {
+    in.pending_chunks.erase(in.pending_chunks.begin());
+  }
+  auto chunk_it = in.pending_chunks.find(in.applied_chunk_seq + 1);
+  if (chunk_it != in.pending_chunks.end()) {
+    Inbound::BufferedChunk chunk = std::move(chunk_it->second);
+    in.pending_chunks.erase(chunk_it);
+    // Deltas interleave behind the stream cursor: any key a delta already
+    // wrote carries a post-cut (newer) value, so the chunk's committed-
+    // cut copy must not overwrite it. Ingests are serialized by the
+    // `applying` flag, so the set cannot change during this one.
+    std::vector<ReplWrite> records;
+    records.reserve(chunk.records.size());
+    for (ReplWrite& w : chunk.records) {
+      if (in.delta_written.count(w.key) > 0) {
+        stats_.chunk_records_superseded++;
+        continue;
+      }
+      records.push_back(std::move(w));
+    }
+    const uint64_t seq = in.applied_chunk_seq + 1;
+    const bool last = chunk.last;
+    const size_t record_count = records.size();
+    in.applying = true;
+    ApplyRecords(std::move(records), migration_id, seq, 0, still_inbound,
+                 [this, migration_id, source, seq, last, record_count]() {
+                   auto live = inbound_.find(migration_id);
+                   if (live == inbound_.end()) return;  // cancelled
+                   Inbound& applied = live->second;
+                   applied.applying = false;
+                   applied.applied_chunk_seq = seq;
+                   // Counted only here: a cancel or crash during the
+                   // ingest delay means the records never hit the store.
+                   stats_.snapshot_chunks_applied++;
+                   stats_.snapshot_records_applied += record_count;
+                   if (last) {
+                     applied.stream_complete = true;
+                     applied.delta_written.clear();
+                   }
+                   SendChunkAck(migration_id, source);
+                   DrainIngest(migration_id, source);
+                 });
+    return;
+  }
+
 }
 
 // ---------------------------------------------------------------------------
@@ -386,26 +750,34 @@ void ShardMigrator::DrainDeltas(uint64_t migration_id, NodeId source) {
 void ShardMigrator::OnMapUpdate(const ShardMapUpdate& update) {
   map_.Adopt(update.entries);
   // Migrations whose range the map now places at the destination are
-  // complete: drop their state (redirects come from the map from here on).
+  // complete: journal their End record (the log must stop pinning them)
+  // and drop their state (redirects come from the map from here on).
   const NodeId self = node_->logical_id();
-  outbound_.erase(
-      std::remove_if(outbound_.begin(), outbound_.end(),
-                     [this, self](const Outbound& out) {
-                       const ShardRange* range = map_.RangeOf(
-                           RecordKey{out.range.table, out.range.lo});
-                       return range != nullptr && range->owner != self;
-                     }),
-      outbound_.end());
+  for (auto it = outbound_.begin(); it != outbound_.end();) {
+    const ShardRange* range =
+        map_.RangeOf(RecordKey{it->range.table, it->range.lo});
+    if (range != nullptr && range->owner != self) {
+      JournalEnd(*it);
+      it = outbound_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   // Destination side: once the map places a migration's range here, its
   // delta stream is over (the source only reported cutover after every
   // delta was acked) — the ordering buffer can go.
   for (auto it = inbound_.begin(); it != inbound_.end();) {
     const ShardRange* range =
         map_.RangeOf(RecordKey{it->second.range.table, it->second.range.lo});
-    const bool complete = it->second.snapshot_applied && range != nullptr &&
+    const bool complete = it->second.stream_complete && range != nullptr &&
                           range->owner == self &&
                           range->version >= it->second.range.version;
-    it = complete ? inbound_.erase(it) : std::next(it);
+    if (complete) {
+      retired_inbound_.insert(it->first);
+      it = inbound_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 

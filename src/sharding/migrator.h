@@ -2,22 +2,46 @@
 //
 // Each DataSourceNode owns one migrator. It plays two roles:
 //
-//  * Source (replica-group leader only): on a ShardMigrateRequest it cuts
-//    a snapshot of the committed records in the moving range and sends it
-//    to the destination leader. Writes committed after the cut are
-//    forwarded as sequenced ShardDeltaBatch messages. Once the snapshot is
-//    acked it FENCES the range: new batches touching it are refused
-//    (retryable), in-flight active branches on it are aborted (the client
-//    retries), and prepared branches drain — their commit write sets still
-//    forward as deltas. When no live branch touches the range and every
-//    delta is acked, the migrator reports ShardCutoverReady to the
-//    balancer, which publishes the new placement.
+//  * Source (replica-group leader only): on a ShardMigrateRequest it
+//    journals a MigrationBegin record through the replica group's log
+//    (epoch-fenced like prepares), then STREAMS the committed records of
+//    the moving range as bounded, sequenced ShardSnapshotChunks under
+//    receiver-driven credit: the destination acks each applied chunk with
+//    a flow-control grant, so a slow destination backpressures the source
+//    (whose only stream memory is the unacked-chunk retransmit buffer,
+//    capped by the credit window) instead of flooding the event loop.
+//    Writes committed during the stream forward as sequenced
+//    ShardDeltaBatch messages. Once the last chunk is acked it FENCES the
+//    range: new batches touching it are refused (retryable), in-flight
+//    active branches on it are aborted (the client retries), and prepared
+//    branches drain — their commit write sets still forward as deltas.
+//    When no live branch touches the range and every delta is acked, the
+//    migrator journals a MigrationCutover record and, once that is
+//    quorum-durable, reports ShardCutoverReady{logged} to the balancer,
+//    which publishes the new placement.
 //
-//  * Destination: applies snapshot and delta records. On a replicated
-//    destination they are funnelled through the replica group's log
-//    (Replicator::ReplicateCommit with a synthetic migration xid), so
-//    followers receive them through the existing LogShipper entry stream
-//    and acks are quorum-durable.
+//  * Destination: applies chunks in sequence order, one bounded ingest at
+//    a time (`migration_apply_cost` per record per chunk), buffering at
+//    most the advertised credit window of out-of-order chunks. Deltas
+//    interleave behind the stream cursor: they apply immediately in delta
+//    order, and a chunk arriving later skips any key a delta already
+//    wrote (the delta is always newer than the chunk's committed cut).
+//    On a replicated destination every ingest is funnelled through the
+//    replica group's log (Replicator::ReplicateIngest with a synthetic
+//    migration xid, tagged with the chunk/delta seq it covers), so
+//    followers receive it through the existing LogShipper entry stream
+//    and acks are quorum-durable — the journaled tag is the crash-
+//    consistent ChunkAck record.
+//
+// Failover: all stream state is volatile, but the Begin/Cutover records
+// survive in the group log. A promoted source leader inherits every
+// unresolved migration (Replicator::FinishPromotion) and resolves it
+// deterministically: Cutover logged -> re-fence the range and re-report
+// readiness (the balancer's publish stays safe even if its leader-epoch
+// view is stale — the record IS the fence); Begin only -> journal a
+// MigrationEnd, notify the balancer with ShardMigrateAborted, and leave
+// the range serving at the source. This closes the in-flight-
+// LeaderAnnounce publish race the balancer's epoch compare could not.
 //
 // Every data source also keeps an adopted copy of the shard map
 // (ShardMapUpdate). A batch whose keys the local map places elsewhere is
@@ -29,9 +53,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "protocol/messages.h"
+#include "replication/replicator.h"
 #include "sharding/shard_map.h"
 #include "sim/network.h"
 
@@ -47,13 +73,30 @@ struct ShardMigratorStats {
   uint64_t migrations_cancelled = 0;
   uint64_t cutovers_reported = 0;
   uint64_t snapshot_records_sent = 0;
+  uint64_t snapshot_chunks_sent = 0;   ///< excludes retransmits
+  uint64_t chunk_retransmits = 0;
+  /// High-water mark of the source's unacked-chunk buffer — the stream's
+  /// only source-side memory. Flow control caps it at the receiver's
+  /// credit window.
+  uint64_t peak_unacked_chunks = 0;
+  uint64_t streams_completed = 0;      ///< all chunks acked
   uint64_t delta_batches_sent = 0;
   uint64_t delta_writes_sent = 0;
   uint64_t fence_aborts = 0;  ///< active branches aborted at fence
   // (fenced rejections / redirects are counted in DataSourceStats, where
   // the refusal responses are actually sent.)
   uint64_t snapshot_records_applied = 0;  ///< destination role
+  uint64_t snapshot_chunks_applied = 0;
+  /// High-water mark of the destination's out-of-order chunk buffer;
+  /// bounded by the window it advertises as credit.
+  uint64_t peak_buffered_chunks = 0;
   uint64_t delta_batches_applied = 0;
+  /// Chunk records skipped at apply time because a delta (always newer
+  /// than the chunk's committed cut) already wrote the key.
+  uint64_t chunk_records_superseded = 0;
+  // Failover path (replicated migration state).
+  uint64_t migration_resumes = 0;         ///< cutover re-reported from log
+  uint64_t migration_aborts_from_log = 0; ///< Begin-only inherited, aborted
 };
 
 class ShardMigrator {
@@ -96,12 +139,22 @@ class ShardMigrator {
   /// a fenced migration finished draining.
   void OnBranchResolved();
 
-  /// Crash: all migration state is volatile (the balancer times the
-  /// migration out and cancels it).
+  /// Promotion hook: unresolved migration records inherited through the
+  /// group log. Re-fences + re-reports cut-over migrations, aborts the
+  /// rest (see file comment).
+  void OnInheritedMigrations(
+      const std::vector<replication::Replicator::InheritedMigration>&
+          migrations);
+
+  /// Crash: stream and fence state are volatile. Migrations journaled in
+  /// the replicated log are resumed or aborted by the promoted leader;
+  /// unreplicated ones time out at the balancer and are cancelled.
   void OnCrash();
 
   const ShardMap& map() const { return map_; }
   const ShardMigratorStats& stats() const { return stats_; }
+  /// Chunks currently unacked on any outbound stream (test/bench probe).
+  uint64_t UnackedChunks() const;
 
  private:
   struct Outbound {
@@ -110,23 +163,51 @@ class ShardMigrator {
     NodeId dest = kInvalidNode;  ///< destination logical group
     NodeId dest_leader = kInvalidNode;
     uint64_t new_version = 0;
-    bool snapshot_acked = false;
+    NodeId balancer = kInvalidNode;  ///< where ShardCutoverReady goes
+    Micros timeout = 0;              ///< balancer cancellation window
+    // ---- chunk stream (source -> dest) ----
+    uint64_t next_chunk_seq = 1;   ///< next chunk to build
+    uint64_t acked_chunk_seq = 0;  ///< highest contiguously acked chunk
+    uint64_t credit = 1;           ///< receiver grant beyond acked_chunk_seq
+    uint64_t last_chunk_seq = 0;   ///< seq of the final chunk (0 = unknown)
+    uint64_t scan_cursor = 0;      ///< next key offset to scan
+    bool scan_exhausted = false;
+    bool stream_complete = false;  ///< every chunk acked
+    /// Sent-but-unacked chunks, kept for retransmit. The stream's only
+    /// source-side memory; flow control bounds it to the credit window.
+    std::map<uint64_t, std::vector<protocol::ReplWrite>> unacked;
+    Micros last_progress_at = 0;
+    bool resend_armed = false;
+    // ---- migration control records (replicated source) ----
+    bool begin_logged = false;    ///< Begin record quorum-durable
+    bool cutover_pending = false; ///< Cutover appended, awaiting quorum
+    bool cutover_logged = false;  ///< Cutover record quorum-durable
+    bool resumed = false;         ///< recreated from the log at promotion
+    // ---- fence / cutover ----
     bool fenced = false;
     bool cutover_reported = false;
-    NodeId balancer = kInvalidNode;  ///< where ShardCutoverReady goes
-    uint64_t next_seq = 1;           ///< next delta batch to send
-    uint64_t acked_seq = 0;          ///< highest delta batch acked
+    uint64_t next_seq = 1;  ///< next delta batch to send
+    uint64_t acked_seq = 0; ///< highest delta batch acked
   };
   struct Inbound {
     ShardRange range;  ///< for pruning once the map places it here
-    /// Deltas must never apply before the snapshot: an independent link
-    /// delay per message can deliver delta seq 1 first, and applying it
-    /// early would let the older snapshot overwrite a committed write.
-    bool snapshot_applied = false;
-    /// An ingest (snapshot or delta) is mid-apply: record application now
-    /// charges `migration_apply_cost` per record on the event loop, so
-    /// later batches must queue behind the one in flight.
+    /// An ingest (chunk or delta) is mid-apply: record application charges
+    /// `migration_apply_cost` per record on the event loop, so later
+    /// ingests queue behind the one in flight.
     bool applying = false;
+    // ---- chunk stream ----
+    uint64_t applied_chunk_seq = 0;  ///< highest contiguously applied chunk
+    bool stream_complete = false;    ///< every chunk applied
+    struct BufferedChunk {
+      std::vector<protocol::ReplWrite> records;
+      bool last = false;
+    };
+    /// Out-of-order chunks, bounded by the credit window we advertise.
+    std::map<uint64_t, BufferedChunk> pending_chunks;
+    /// Keys a delta wrote before the stream completed: a chunk arriving
+    /// later must not overwrite them with its older committed-cut value.
+    std::unordered_set<RecordKey, RecordKeyHash> delta_written;
+    // ---- deltas ----
     uint64_t applied_seq = 0;  ///< highest contiguously applied delta
     std::map<uint64_t, std::vector<protocol::ReplWrite>> pending;
   };
@@ -139,28 +220,57 @@ class ShardMigrator {
   void OnDeltaAck(const protocol::ShardDeltaAck& ack);
   void OnMapUpdate(const protocol::ShardMapUpdate& update);
 
+  Outbound* FindOutbound(uint64_t migration_id);
+  /// Builds + sends chunks while the receiver's credit window allows.
+  void PumpChunks(uint64_t migration_id);
+  /// Sends one already-built chunk (fresh or retransmit).
+  void SendChunk(const Outbound& out, uint64_t seq,
+                 const std::vector<protocol::ReplWrite>& records, bool last);
+  /// Arms the per-migration retransmit check chain.
+  void ArmResendTimer(uint64_t migration_id);
+  /// Journals one migration control record if this node leads a replica
+  /// group (no-op otherwise); `on_quorum` may be null.
+  void JournalMigrationRecord(protocol::ReplEntryType type,
+                              const Outbound& out,
+                              std::function<void()> on_quorum);
+  /// Journals the terminal MigrationEnd for `out` when the group log
+  /// still tracks the migration as unresolved.
+  void JournalEnd(const Outbound& out);
+
   /// Fences the range of `out`: aborts active branches touching it.
   void FenceRange(Outbound& out);
   /// Drain check: fenced + no live branch on the range + deltas acked ->
-  /// report cutover readiness once.
+  /// journal the Cutover record (replicated) and report readiness once.
   void MaybeReportCutover(Outbound& out);
+  void SendCutoverReady(Outbound& out, bool logged);
+
   /// Applies records at the destination after charging the per-record
-  /// ingest cost, through the replica group's log when replicated; runs
-  /// `done` once durable. `still_valid` is re-checked when the ingest
-  /// delay elapses, BEFORE anything touches the store: a migration
-  /// cancelled mid-ingest must not apply its stale records (a later
-  /// migration of the same range may have landed newer values by then).
+  /// ingest cost, through the replica group's log when replicated (tagged
+  /// with the stream position so the ack is journaled); runs `done` once
+  /// durable. `still_valid` is re-checked when the ingest delay elapses,
+  /// BEFORE anything touches the store: a migration cancelled mid-ingest
+  /// must not apply its stale records (a later migration of the same
+  /// range may have landed newer values by then).
   void ApplyRecords(std::vector<protocol::ReplWrite> records,
-                    std::function<bool()> still_valid,
+                    uint64_t migration_id, uint64_t chunk_seq,
+                    uint64_t delta_seq, std::function<bool()> still_valid,
                     std::function<void()> done);
-  /// Applies (and acks) the next buffered delta in sequence, one ingest at
-  /// a time (record application takes event-loop time).
-  void DrainDeltas(uint64_t migration_id, NodeId source);
+  /// Applies the next buffered ingest (chunk in seq order first, else
+  /// delta in seq order), one at a time.
+  void DrainIngest(uint64_t migration_id, NodeId source);
+  /// Acks the destination's current chunk position + credit grant.
+  void SendChunkAck(uint64_t migration_id, NodeId source);
 
   datasource::DataSourceNode* node_;
   ShardMap map_;  ///< adopted placement (empty until the first update)
   std::vector<Outbound> outbound_;
   std::map<uint64_t, Inbound> inbound_;  ///< by migration id
+  /// Destination-side tombstones: migrations cancelled or completed here.
+  /// A straggler (or retransmitted) chunk arriving after the Inbound was
+  /// erased must NOT recreate it — its stale records could overwrite a
+  /// later migration of the same range. Migration ids are globally unique
+  /// and few, so the set stays small.
+  std::unordered_set<uint64_t> retired_inbound_;
   uint64_t synthetic_seq_ = 0;  ///< synthetic txn ids for record applies
   ShardMigratorStats stats_;
 };

@@ -56,6 +56,7 @@ enum class MessageType : uint16_t {
   kShardDeltaBatch,
   kShardDeltaAck,
   kShardCutoverReady,
+  kShardMigrateAborted,
   kShardMapUpdate,
   kShardRedirect,
   // Latency monitoring.

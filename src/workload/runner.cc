@@ -158,6 +158,27 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     result.group_commit.entries += gc.entries;
     result.group_commit.max_batch_entries = std::max(
         result.group_commit.max_batch_entries, gc.max_batch_entries);
+    const sharding::ShardMigratorStats& ms = src->migrator().stats();
+    result.migration.migrations_started += ms.migrations_started;
+    result.migration.migrations_cancelled += ms.migrations_cancelled;
+    result.migration.cutovers_reported += ms.cutovers_reported;
+    result.migration.snapshot_records_sent += ms.snapshot_records_sent;
+    result.migration.snapshot_chunks_sent += ms.snapshot_chunks_sent;
+    result.migration.chunk_retransmits += ms.chunk_retransmits;
+    result.migration.streams_completed += ms.streams_completed;
+    result.migration.delta_batches_sent += ms.delta_batches_sent;
+    result.migration.delta_writes_sent += ms.delta_writes_sent;
+    result.migration.fence_aborts += ms.fence_aborts;
+    result.migration.snapshot_records_applied += ms.snapshot_records_applied;
+    result.migration.snapshot_chunks_applied += ms.snapshot_chunks_applied;
+    result.migration.delta_batches_applied += ms.delta_batches_applied;
+    result.migration.chunk_records_superseded += ms.chunk_records_superseded;
+    result.migration.migration_resumes += ms.migration_resumes;
+    result.migration.migration_aborts_from_log += ms.migration_aborts_from_log;
+    result.migration.peak_unacked_chunks = std::max(
+        result.migration.peak_unacked_chunks, ms.peak_unacked_chunks);
+    result.migration.peak_buffered_chunks = std::max(
+        result.migration.peak_buffered_chunks, ms.peak_buffered_chunks);
   }
   return result;
 }

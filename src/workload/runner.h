@@ -99,6 +99,11 @@ struct ExperimentResult {
   uint64_t wal_entries = 0;
   uint64_t wal_fsyncs = 0;
   storage::GroupCommitStats group_commit;  ///< summed; max_batch is the max
+  /// Streaming shard migration, aggregated over all data sources: counters
+  /// are summed, the peak_* watermarks are the max over nodes. The
+  /// rebalance bench reads these to assert the credit window bounded the
+  /// source's stream memory.
+  sharding::ShardMigratorStats migration;
 
   /// Physical WAL flushes per committed transaction — the Fig. 6-style
   /// durability-cost metric bench_group_commit sweeps.

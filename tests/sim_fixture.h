@@ -45,6 +45,9 @@ class MiniCluster {
     /// enabled (peer middlewares are wired automatically).
     bool sharding = false;
     uint64_t chunks_per_source = 4;
+    /// Hook to tweak every data source's config after the preset is
+    /// applied (migration stream knobs, apply costs, ...).
+    std::function<void(datasource::DataSourceConfig*)> ds_tweak;
   };
 
   MiniCluster() : MiniCluster(Options()) {}
@@ -136,6 +139,7 @@ class MiniCluster {
             datasource::DataSourceConfig::MySql();
         config.early_abort = options.dm.early_abort;
         config.group_commit = options.group_commit;
+        if (options.ds_tweak) options.ds_tweak(&config);
         auto node = std::make_unique<datasource::DataSourceNode>(
             replica, network_.get(), config);
         if (rf > 1) {
@@ -270,6 +274,25 @@ class MiniCluster {
     return cutovers_;
   }
 
+  /// ShardMigrateAborted notices addressed to the client node (a promoted
+  /// source leader aborting an inherited migration from its log).
+  const std::vector<protocol::ShardMigrateAborted>& aborted_migrations()
+      const {
+    return aborted_;
+  }
+
+  /// Preloads `count` committed records (value 0) at offsets [0, count)
+  /// of data source `i`'s partition, on every replica of the group — the
+  /// streaming-migration tests use it to make ranges large enough that a
+  /// snapshot takes many chunks.
+  void PreloadRange(int i, uint64_t count) {
+    for (auto* replica : replica_group(i)) {
+      for (uint64_t off = 0; off < count; ++off) {
+        replica->engine().store().Apply(KeyOn(i, off), 0);
+      }
+    }
+  }
+
   /// Advances virtual time by `ms` milliseconds. The DM's latency monitor
   /// pings forever, so the loop never drains on its own — tests drive it
   /// with bounded horizons.
@@ -319,6 +342,9 @@ class MiniCluster {
     } else if (auto* cutover =
                    dynamic_cast<protocol::ShardCutoverReady*>(msg.get())) {
       cutovers_.push_back(*cutover);
+    } else if (auto* aborted =
+                   dynamic_cast<protocol::ShardMigrateAborted*>(msg.get())) {
+      aborted_.push_back(*aborted);
     }
   }
 
@@ -330,6 +356,7 @@ class MiniCluster {
   std::vector<std::unique_ptr<middleware::MiddlewareNode>> dms_;
   std::map<uint64_t, ClientTxn> txns_;
   std::vector<protocol::ShardCutoverReady> cutovers_;
+  std::vector<protocol::ShardMigrateAborted> aborted_;
 };
 
 }  // namespace testing_support

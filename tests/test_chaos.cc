@@ -494,5 +494,222 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ShardChaosTest,
                                            12, 13, 14, 15, 16, 17, 18, 19,
                                            20));
 
+// ---------------------------------------------------------------------------
+// Streaming-migration chaos: the same split/merge/migration/leader-crash
+// fuzzer, but every source group is preloaded with enough resident records
+// that migrations stream many bounded chunks (small chunk size, tight
+// credit window), so injected leader crashes regularly land MID-STREAM —
+// on the source (the promoted leader must abort or resume from the
+// replicated Begin/Cutover records) and on the destination (the stream
+// stalls and the balancer's timeout cancels cleanly). Invariants are the
+// ShardChaosTest set: exact partition at every step, map convergence, a
+// per-key committed ledger (no write lost, none resurrected), and nothing
+// left prepared/active on any current leader.
+// ---------------------------------------------------------------------------
+
+class StreamingShardChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamingShardChaosTest, MidStreamCrashesResumeOrAbortFromTheLog) {
+  const uint64_t seed = GetParam();
+  const std::string repro = ReproLine(seed);
+
+  MiniCluster::Options options;
+  options.num_data_sources = 2;
+  options.rtts_ms = {10.0, 100.0};
+  options.replication_factor = 3;
+  options.num_middlewares = 2;
+  options.sharding = true;
+  options.chunks_per_source = 4;
+  options.dm = MiddlewareConfig::GeoTP();
+  options.dm.balancer.enabled = true;
+  options.dm.balancer.interval = MsToMicros(150);
+  options.dm.balancer.min_heat = 3;
+  options.dm.balancer.min_rtt_gain = MsToMicros(40);
+  options.dm.balancer.migration_timeout = SecToMicros(3);
+  options.dm.balancer.range_cooldown = SecToMicros(2);
+  options.dm.balancer.max_concurrent = 2;
+  // Split disabled on purpose: the balancer would otherwise carve the
+  // tiny hot head out and migrate a 1-chunk child, and the injected
+  // crashes would never land mid-stream. Whole chunk-ranges must move.
+  options.dm.balancer.split_enabled = false;
+  options.dm.balancer.merge_cold_ticks = 8;
+  // Long streams: 250 resident records per chunk-range, 16-record
+  // chunks, a 2-chunk window — ~16 chunks per migration, in flight for
+  // hundreds of virtual milliseconds, so the 6% per-step crash hazard
+  // hits plenty of them mid-stream across the seed set.
+  options.ds_tweak = [](datasource::DataSourceConfig* ds) {
+    ds->migration_chunk_records = 16;
+    ds->migration_stream_window = 2;
+    ds->migration_resend_timeout = MsToMicros(400);
+  };
+  MiniCluster cluster(options);
+  cluster.PreloadRange(0, 1000);
+  cluster.PreloadRange(1, 1000);
+  Rng rng(0x57E40000 + seed);
+
+  constexpr int kAccounts = 24;  // per source
+  constexpr int kTxns = 50;
+  const NodeId dm2 = 2 + options.num_data_sources * options.replication_factor;
+  sharding::ShardBalancer* balancer = cluster.dm().balancer();
+  ASSERT_NE(balancer, nullptr) << repro;
+
+  auto skewed_offset = [&rng]() {
+    const double u = rng.NextDouble();
+    return static_cast<uint64_t>(static_cast<double>(kAccounts) *
+                                 (u * u * u));
+  };
+
+  uint64_t tag = 1;
+  std::vector<bool> commit_sent(kTxns + 1, false);
+  struct Leg {
+    RecordKey a;
+    RecordKey b;
+    int64_t amount = 0;
+  };
+  std::map<uint64_t, Leg> ledger;
+  int leader_crashes = 0, mid_stream_crashes = 0;
+  for (int i = 0; i < kTxns; ++i) {
+    const uint64_t off_a = skewed_offset();
+    const int node_b = static_cast<int>(rng.NextU64(2));
+    uint64_t off_b = rng.NextU64(kAccounts);
+    if (node_b == 1 && off_a == off_b) off_b = (off_b + 1) % kAccounts;
+    const int64_t amount = static_cast<int64_t>(rng.NextU64(50)) + 1;
+    const NodeId coordinator = rng.NextBool(0.3) ? dm2 : NodeId{1};
+    cluster.SendRound(tag, {
+        MiniCluster::Write(cluster.KeyOn(1, off_a), -amount, true),
+        MiniCluster::Write(cluster.KeyOn(node_b, off_b), amount, true),
+    }, true, coordinator);
+    ledger[tag] = Leg{cluster.KeyOn(1, off_a), cluster.KeyOn(node_b, off_b),
+                      amount};
+    ++tag;
+    cluster.RunFor(rng.NextU64(60));
+
+    for (uint64_t t = 1; t < tag; ++t) {
+      auto& txn = cluster.txn(t);
+      if (!commit_sent[t] && !txn.has_result && !txn.round_responses.empty() &&
+          rng.NextBool(0.85)) {
+        cluster.SendCommit(t);
+        commit_sent[t] = true;
+      }
+    }
+
+    if (rng.NextBool(0.06)) {
+      const int group = static_cast<int>(rng.NextU64(2));
+      auto* leader = cluster.leader_of(group);
+      if (leader != nullptr) {
+        if (balancer->InFlight() > 0) ++mid_stream_crashes;
+        leader->Crash();
+        cluster.RunFor(300 + rng.NextU64(300));
+        leader->Restart();
+        ++leader_crashes;
+      }
+    }
+
+    ASSERT_TRUE(cluster.dm().catalog().shard_map().IsPartition(options.table))
+        << repro << " (step " << i << ")";
+  }
+
+  // Settle: commit whatever produced responses, keep driving until the
+  // in-flight work (streams, elections, balancer retries) drains.
+  for (int pass = 0; pass < 4; ++pass) {
+    cluster.RunFor(8000);
+    for (uint64_t t = 1; t < tag; ++t) {
+      auto& txn = cluster.txn(t);
+      if (!commit_sent[t] && !txn.has_result && !txn.round_responses.empty()) {
+        cluster.SendCommit(t);
+        commit_sent[t] = true;
+      }
+    }
+  }
+  cluster.RunFor(8000);
+
+  // --- Invariant: every actor's shard map converged to the balancer's ---
+  const sharding::ShardMap& authority = cluster.dm().catalog().shard_map();
+  ASSERT_TRUE(authority.IsPartition(options.table)) << repro;
+  auto expect_same_map = [&](const sharding::ShardMap& map,
+                             const std::string& who) {
+    if (map.empty() && authority.epoch() == 0) return;
+    ASSERT_EQ(map.size(), authority.size()) << repro << " at " << who;
+    for (size_t r = 0; r < authority.size(); ++r) {
+      const sharding::ShardRange& a = authority.ranges()[r];
+      const sharding::ShardRange& b = map.ranges()[r];
+      EXPECT_TRUE(a.SameSpan(b) && a.owner == b.owner &&
+                  a.version == b.version)
+          << repro << " at " << who << ": " << a.ToString() << " vs "
+          << b.ToString();
+    }
+  };
+  expect_same_map(cluster.dm(1).catalog().shard_map(), "dm2");
+  for (auto* src : cluster.source_ptrs()) {
+    ASSERT_FALSE(src->crashed()) << repro;
+    expect_same_map(src->migrator().map(),
+                    "source " + std::to_string(src->id()));
+  }
+
+  // --- Invariant: no committed write lost, none resurrected ---
+  std::map<uint64_t, int64_t> expected;
+  for (uint64_t t = 1; t < tag; ++t) {
+    auto& txn = cluster.txn(t);
+    ASSERT_TRUE(txn.has_result) << repro << " (txn " << t << " unresolved)";
+    if (!txn.result.ok()) continue;
+    expected[ledger[t].a.key] -= ledger[t].amount;
+    expected[ledger[t].b.key] += ledger[t].amount;
+  }
+  int64_t sum = 0;
+  for (int node = 0; node < 2; ++node) {
+    for (uint64_t off = 0; off < kAccounts; ++off) {
+      const RecordKey key = cluster.KeyOn(node, off);
+      const NodeId owner = cluster.dm().catalog().Route(key);
+      ASSERT_TRUE(owner == 2 || owner == 3) << repro;
+      auto* leader = cluster.leader_of(static_cast<int>(owner) - 2);
+      ASSERT_NE(leader, nullptr) << repro << " (group " << owner << ")";
+      auto rec = leader->engine().store().Get(key);
+      const int64_t got = rec ? rec->value : 0;
+      EXPECT_EQ(got, expected[key.key])
+          << repro << " (key " << key.key << " at owner " << owner << ")";
+      sum += got;
+    }
+  }
+  EXPECT_EQ(sum, 0) << repro;
+
+  // --- Invariant: nothing left prepared/active on any current leader ---
+  uint64_t resumes = 0, log_aborts = 0, chunks = 0;
+  for (int group = 0; group < 2; ++group) {
+    auto* leader = cluster.leader_of(group);
+    ASSERT_NE(leader, nullptr) << repro;
+    EXPECT_TRUE(leader->engine().PreparedXids().empty())
+        << repro << " (group " << group << ")";
+    EXPECT_EQ(leader->engine().ActiveCount(), 0u)
+        << repro << " (group " << group << ")";
+  }
+  for (auto* src : cluster.source_ptrs()) {
+    resumes += src->migrator().stats().migration_resumes;
+    log_aborts += src->migrator().stats().migration_aborts_from_log;
+    chunks += src->migrator().stats().snapshot_chunks_sent;
+  }
+
+  std::fprintf(stderr,
+               "[stream-chaos] seed %llu: %d leader crashes (%d with a "
+               "migration in flight), %llu chunks streamed, %llu log "
+               "resumes, %llu log aborts, %llu migrations completed, "
+               "%llu cancelled, epoch %llu\n",
+               static_cast<unsigned long long>(seed), leader_crashes,
+               mid_stream_crashes, static_cast<unsigned long long>(chunks),
+               static_cast<unsigned long long>(resumes),
+               static_cast<unsigned long long>(log_aborts),
+               static_cast<unsigned long long>(
+                   balancer->stats().migrations_completed),
+               static_cast<unsigned long long>(
+                   balancer->stats().migrations_cancelled),
+               static_cast<unsigned long long>(authority.epoch()));
+  if (::testing::Test::HasFailure()) {
+    std::fprintf(stderr, "[stream-chaos] FAILED %s\n", repro.c_str());
+  }
+}
+
+// 10 fixed seeds — run with the shard set in the CI chaos step.
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingShardChaosTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
 }  // namespace
 }  // namespace geotp
