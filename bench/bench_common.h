@@ -4,6 +4,7 @@
 #ifndef GEOTP_BENCH_BENCH_COMMON_H_
 #define GEOTP_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -42,6 +43,37 @@ inline void PrintRow(const std::string& label, const ExperimentResult& r) {
 }
 
 inline std::string Label(SystemKind system) { return SystemName(system); }
+
+/// Process-wide accumulator for the host wall-clock cost of every tracked
+/// simulation in a bench binary. The acceptance benches print the summary
+/// line just before their acceptance verdict, so the committed
+/// bench/out/BENCH_*.json snapshots record what the sim run itself cost
+/// per committed transaction — the counterpart to the loopback smoke's
+/// measured-vs-predicted comparison.
+struct SimWallTotals {
+  double seconds = 0.0;
+  uint64_t committed = 0;
+};
+
+inline SimWallTotals& SimWall() {
+  static SimWallTotals totals;
+  return totals;
+}
+
+inline ExperimentResult RunTracked(const ExperimentConfig& config) {
+  ExperimentResult result = RunExperiment(config);
+  SimWall().seconds += result.wall_seconds;
+  SimWall().committed += result.run.committed;
+  return result;
+}
+
+inline void PrintSimWallSummary() {
+  const SimWallTotals& t = SimWall();
+  std::printf("sim-wall: %.2f s host time, %llu committed txns, %.1f "
+              "us/committed-txn\n",
+              t.seconds, static_cast<unsigned long long>(t.committed),
+              t.committed == 0 ? 0.0 : t.seconds * 1e6 / t.committed);
+}
 
 }  // namespace bench
 }  // namespace geotp

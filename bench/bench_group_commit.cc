@@ -36,7 +36,7 @@ ExperimentResult RunOne(int terminals, bool batching, Micros batch_delay) {
     ds->group_commit.enabled = batching;
     ds->group_commit.max_batch_delay = batch_delay;
   };
-  return RunExperiment(config);
+  return RunTracked(config);
 }
 
 void PrintDetail(const Row& row) {
@@ -88,6 +88,7 @@ int main() {
         "summary: fsyncs/commit at 64 terminals: unbatched=%.2f "
         "batched(best)=%.2f reduction=%.1f%% (target >= 30%%)\n",
         baseline_64, best_batched_64, 100.0 * reduction);
+    PrintSimWallSummary();
     std::printf("acceptance: %s\n", reduction >= 0.30 ? "PASS" : "FAIL");
   }
   return 0;

@@ -58,7 +58,7 @@ Row RunOne(double theta, bool elastic) {
   config.balancer.migration_timeout = SecToMicros(5);
 
   Row row;
-  row.result = RunExperiment(config);
+  row.result = RunTracked(config);
   row.p50_ms = MicrosToMs(row.result.run.latency.P50());
   const auto& dm = row.result.dm;
   row.dist_ratio = dm.committed == 0
@@ -99,7 +99,7 @@ Row RunSkewWithinChunk(bool split) {
   config.balancer.split_enabled = split;
 
   Row row;
-  row.result = RunExperiment(config);
+  row.result = RunTracked(config);
   row.p50_ms = MicrosToMs(row.result.run.latency.P50());
   const auto& dm = row.result.dm;
   row.dist_ratio = dm.committed == 0
@@ -142,7 +142,7 @@ Row RunLargeRangeStreaming() {
   config.balancer.split_enabled = false;  // force the whole-range move
 
   Row row;
-  row.result = RunExperiment(config);
+  row.result = RunTracked(config);
   row.p50_ms = MicrosToMs(row.result.run.latency.P50());
   const auto& dm = row.result.dm;
   row.dist_ratio = dm.committed == 0
@@ -237,6 +237,7 @@ int main() {
                            mig.snapshot_chunks_sent >= 16 &&
                            mig.peak_unacked_chunks <= kStreamWindow;
   const bool pass = sweep_pass && split_pass && stream_pass;
+  PrintSimWallSummary();
   std::printf("acceptance: %s\n", pass ? "PASS" : "FAIL");
   std::printf(
       "\nExpected shape: under static placement every hot transaction pays\n"

@@ -3,7 +3,13 @@
 # JSON under bench/out/. Default is the fastest end-to-end scenario bench
 # (fig15: multi-region + the replication leader-failover scenario).
 #
-# Usage: scripts/run_bench.sh [bench_target]
+# Usage: scripts/run_bench.sh [--runtime=sim|loopback] [bench_target]
+#
+# --runtime=sim (default) runs the virtual-time simulation bench.
+# --runtime=loopback ignores the bench target and runs the loopback
+# runtime's multi-process YCSB smoke instead (real threads, TCP loopback,
+# real fsyncs), snapshotting its measured-vs-sim-predicted report to
+# bench/out/RUNTIME_LOOPBACK.json.
 #
 # Acceptance benches (their output ends with an "acceptance: PASS/FAIL"
 # line) additionally snapshot to bench/out/BENCH_<name>.json — the files
@@ -14,14 +20,35 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+RUNTIME="sim"
+if [[ "${1:-}" == --runtime=* ]]; then
+  RUNTIME="${1#--runtime=}"
+  shift
+fi
+case "${RUNTIME}" in
+  sim|loopback) ;;
+  *)
+    echo "unknown --runtime '${RUNTIME}' (expected sim or loopback)" >&2
+    exit 2
+    ;;
+esac
 BENCH="${1:-bench_fig15_multi_region}"
 OUT_DIR="${REPO_ROOT}/bench/out"
 BUILD_DIR="${REPO_ROOT}/build"
 
+mkdir -p "${OUT_DIR}"
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+
+if [[ "${RUNTIME}" == "loopback" ]]; then
+  cmake --build "${BUILD_DIR}" -j --target runtime_loopback_smoke
+  "${BUILD_DIR}/runtime_loopback_smoke" \
+      --out="${OUT_DIR}/RUNTIME_LOOPBACK.json"
+  echo "wrote ${OUT_DIR}/RUNTIME_LOOPBACK.json"
+  exit 0
+fi
+
 cmake --build "${BUILD_DIR}" -j --target "${BENCH}"
 
-mkdir -p "${OUT_DIR}"
 START=$(date +%s)
 STATUS=0
 RAW_OUT="$("${BUILD_DIR}/${BENCH}")" || STATUS=$?

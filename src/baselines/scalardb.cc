@@ -22,7 +22,8 @@ ScalarDbNode::ScalarDbNode(NodeId id, sim::Network* network,
       config_(std::move(config)),
       footprint_(std::make_unique<core::HotspotFootprint>(config_.footprint)),
       monitor_(std::make_unique<core::LatencyMonitor>(
-          id, network, catalog_.AllDataSources(), config_.monitor)),
+          id, network, network->loop(), catalog_.AllDataSources(),
+          config_.monitor)),
       rng_(0x5CA1A3DB + id) {
   core::SchedulerConfig sched;
   if (config_.plus) {

@@ -1,8 +1,18 @@
 #include "common/random.h"
 
+#include <atomic>
+
 #include <cmath>
 
 namespace geotp {
+
+Rng& ThreadLocalRng() {
+  // Distinct seeds per thread: a process-wide counter stirred through the
+  // generator's splitmix64 seeding. No locks after first use per thread.
+  static std::atomic<uint64_t> next_stream{0x51AB5EEDULL};
+  thread_local Rng rng(next_stream.fetch_add(0x9E3779B97F4A7C15ULL));
+  return rng;
+}
 
 namespace {
 

@@ -55,6 +55,16 @@ class Rng {
 /// targets, §I). Continuous-approximation inverse-CDF sampling, O(1).
 uint64_t BoundedZipfSample(uint64_t lo, uint64_t hi, double theta, Rng& rng);
 
+/// Per-thread generator for code that runs on loopback-runtime threads
+/// (actor executors, flusher threads) and has no actor-owned Rng to draw
+/// from. Each thread gets an independent stream the first time it asks:
+/// deterministic per thread-creation order within a process, but NOT
+/// reproducible across runs — real-thread scheduling already is not.
+/// Simulated (single-threaded, seeded) code paths must keep using their
+/// explicit Rng members; this exists so nothing multi-threaded is ever
+/// tempted to share one of those (a TSan data race).
+Rng& ThreadLocalRng();
+
 /// Zipfian distribution over [0, n), YCSB-style, with optional scrambling so
 /// hot keys are spread across the key space rather than clustered at 0.
 ///

@@ -67,6 +67,11 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Rebuilds a status from its (code, message) pair — the wire codec's
+  /// decode path. An OK code ignores the message (OK never allocates).
+  static Status FromCode(StatusCode code, std::string msg) {
+    return code == StatusCode::kOk ? OK() : Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }

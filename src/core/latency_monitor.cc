@@ -9,11 +9,13 @@
 namespace geotp {
 namespace core {
 
-LatencyMonitor::LatencyMonitor(NodeId self, sim::Network* network,
+LatencyMonitor::LatencyMonitor(NodeId self, runtime::ITransport* transport,
+                               runtime::ITimer* timer,
                                std::vector<NodeId> targets,
                                LatencyMonitorConfig config)
     : self_(self),
-      network_(network),
+      network_(transport),
+      timer_(timer),
       targets_(std::move(targets)),
       config_(config) {}
 
@@ -41,18 +43,18 @@ void LatencyMonitor::SendPings() {
     ping->from = self_;
     ping->to = target.node;
     ping->seq = ++seq_;
-    ping->sent_at = network_->loop()->Now();
+    ping->sent_at = timer_->Now();
     ping->shard_epoch = shard_epoch;
     network_->Send(std::move(ping));
     ++pings_sent_;
   }
-  network_->loop()->Schedule(config_.ping_interval, [this]() { SendPings(); });
+  timer_->Schedule(config_.ping_interval, [this]() { SendPings(); });
 }
 
 void LatencyMonitor::OnPong(const protocol::PingResponse& pong) {
   ++pongs_received_;
-  const Micros sample = network_->loop()->Now() - pong.sent_at;
-  last_pong_at_[pong.from] = network_->loop()->Now();
+  const Micros sample = timer_->Now() - pong.sent_at;
+  last_pong_at_[pong.from] = timer_->Now();
   RecordSample(pong.from, sample);
   RecordLoad(pong.from, pong.inflight);
   auto alias = alias_of_.find(pong.from);
@@ -98,7 +100,7 @@ double LatencyMonitor::LoadEstimate(NodeId node) const {
 Micros LatencyMonitor::SampleAge(NodeId node) const {
   auto it = last_pong_at_.find(node);
   if (it == last_pong_at_.end()) return std::numeric_limits<Micros>::max();
-  return network_->loop()->Now() - it->second;
+  return timer_->Now() - it->second;
 }
 
 Micros LatencyMonitor::MaxRtt(const std::vector<NodeId>& nodes) const {

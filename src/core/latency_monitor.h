@@ -14,6 +14,7 @@
 
 #include "common/types.h"
 #include "protocol/messages.h"
+#include "runtime/runtime.h"
 #include "sim/network.h"
 
 namespace geotp {
@@ -41,9 +42,16 @@ class LatencyMonitor {
   using TargetProvider = std::function<std::vector<PingTarget>()>;
   using EpochProvider = std::function<uint64_t()>;
 
+  LatencyMonitor(NodeId self, runtime::ITransport* transport,
+                 runtime::ITimer* timer, std::vector<NodeId> targets,
+                 LatencyMonitorConfig config = LatencyMonitorConfig());
+
+  /// Simulated-deployment convenience: the timer is the network's loop.
   LatencyMonitor(NodeId self, sim::Network* network,
                  std::vector<NodeId> targets,
-                 LatencyMonitorConfig config = LatencyMonitorConfig());
+                 LatencyMonitorConfig config = LatencyMonitorConfig())
+      : LatencyMonitor(self, network, network->loop(), std::move(targets),
+                       config) {}
 
   /// Re-evaluated before every ping round, so probes follow failovers
   /// (the ROADMAP stale-leader bug: without this the monitor kept pinging
@@ -93,7 +101,8 @@ class LatencyMonitor {
   void RecordLoad(NodeId node, uint64_t inflight);
 
   NodeId self_;
-  sim::Network* network_;
+  runtime::ITransport* network_;
+  runtime::ITimer* timer_;
   std::vector<NodeId> targets_;
   TargetProvider provider_;
   EpochProvider epoch_provider_;

@@ -23,11 +23,20 @@ using protocol::VoteMessage;
 
 DataSourceNode::DataSourceNode(NodeId id, sim::Network* network,
                                DataSourceConfig config)
-    : id_(id),
-      network_(network),
+    : DataSourceNode(runtime::ActorEnv{id, network->loop(), network, nullptr},
+                     config) {}
+
+DataSourceNode::DataSourceNode(runtime::ActorEnv env, DataSourceConfig config)
+    : id_(env.node),
+      network_(env.transport),
+      timer_(env.timer),
+      wal_device_(env.storage != nullptr
+                      ? env.storage->OpenStorage(env.node, "wal")
+                      : std::make_unique<runtime::SimStableStorage>(
+                            env.timer)),
       config_(config),
       engine_(config.engine),
-      committer_(network->loop(), config.group_commit),
+      committer_(timer_, wal_device_.get(), config.group_commit),
       agent_(std::make_unique<GeoAgent>(this)),
       migrator_(std::make_unique<sharding::ShardMigrator>(this)) {
   committer_.set_on_fsync([this]() { engine_.NoteWalFsync(); });
@@ -377,8 +386,9 @@ void DataSourceNode::OnPrepare(const Xid& xid, NodeId coordinator) {
   // record joins the WAL device's open batch; the branch transitions (and
   // the vote goes out) only when the shared fsync completes.
   stats_.explicit_prepares++;
-  committer_.Append(config_.engine.prepare_fsync_cost, [this, xid,
-                                                        coordinator]() {
+  committer_.Append(config_.engine.prepare_fsync_cost,
+                    "PREPARE xid=" + xid.ToString() + "\n",
+                    [this, xid, coordinator]() {
     if (crashed_) return;
     Status st = engine_.Prepare(xid, loop()->Now());
     if (st.ok()) {
@@ -439,6 +449,7 @@ void DataSourceNode::OnDecision(const DecisionItem& item,
     // prepare/commit records (group commit).
     committer_.Append(
         config_.engine.commit_fsync_cost,
+        "COMMIT xid=" + xid.ToString() + "\n",
         [this, xid, coordinator, one_phase]() {
           if (crashed_) return;
           auto finish = [this, xid, coordinator, one_phase]() {

@@ -25,6 +25,7 @@
 #include "datasource/geo_agent.h"
 #include "protocol/messages.h"
 #include "replication/replicator.h"
+#include "runtime/runtime.h"
 #include "sharding/migrator.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
@@ -100,6 +101,10 @@ struct DataSourceStats {
 
 class DataSourceNode {
  public:
+  /// Runtime-seam constructor: the node runs on whatever backend `env`
+  /// belongs to (sim event loop or a loopback actor thread).
+  DataSourceNode(runtime::ActorEnv env, DataSourceConfig config);
+  /// Simulated-deployment convenience (tests, benches, the runner).
   DataSourceNode(NodeId id, sim::Network* network, DataSourceConfig config);
 
   /// Registers the node's message handler with the network.
@@ -127,8 +132,8 @@ class DataSourceNode {
   /// Elastic sharding: live migration + stale-epoch redirects.
   sharding::ShardMigrator& migrator() { return *migrator_; }
   const DataSourceStats& stats() const { return stats_; }
-  sim::EventLoop* loop() { return network_->loop(); }
-  sim::Network* network() { return network_; }
+  runtime::ITimer* loop() { return timer_; }
+  runtime::ITransport* network() { return network_; }
 
   /// Crash simulation: partitions the node, rolls back non-prepared
   /// branches (paper §V-A setting ❷). Restart() reconnects it.
@@ -217,7 +222,10 @@ class DataSourceNode {
                            Status status, bool rolled_back);
 
   NodeId id_;
-  sim::Network* network_;
+  runtime::ITransport* network_;
+  runtime::ITimer* timer_;
+  /// Durable WAL device (simulated cost model or a real file).
+  std::unique_ptr<runtime::IStableStorage> wal_device_;
   DataSourceConfig config_;
   storage::TransactionEngine engine_;
   storage::GroupCommitter committer_;

@@ -39,6 +39,7 @@ void GeoAgent::AsyncPrepare(const Xid& xid, const std::vector<NodeId>& peers,
     // transitions (and the vote goes out) at the shared fsync completion.
     node->committer().Append(
         node->config().engine.prepare_fsync_cost,
+        "PREPARE xid=" + xid.ToString() + "\n",
         [this, node, xid, peers, coordinator]() {
           if (node->crashed()) return;
           if (node->engine().StateOf(xid) != storage::TxnState::kActive) {

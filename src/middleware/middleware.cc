@@ -107,18 +107,28 @@ MiddlewareConfig MiddlewareConfig::GeoTP() {
 MiddlewareNode::MiddlewareNode(NodeId id, uint32_t ordinal,
                                sim::Network* network, Catalog catalog,
                                MiddlewareConfig config)
-    : id_(id),
+    : MiddlewareNode(runtime::ActorEnv{id, network->loop(), network, nullptr},
+                     ordinal, std::move(catalog), std::move(config)) {}
+
+MiddlewareNode::MiddlewareNode(runtime::ActorEnv env, uint32_t ordinal,
+                               Catalog catalog, MiddlewareConfig config)
+    : id_(env.node),
       ordinal_(ordinal),
-      network_(network),
+      network_(env.transport),
+      timer_(env.timer),
+      log_device_(env.storage != nullptr
+                      ? env.storage->OpenStorage(env.node, "decision.log")
+                      : std::make_unique<runtime::SimStableStorage>(
+                            env.timer)),
       catalog_(std::move(catalog)),
       config_(std::move(config)),
       footprint_(std::make_unique<core::HotspotFootprint>(config_.footprint)),
       monitor_(std::make_unique<core::LatencyMonitor>(
-          id, network, catalog_.AllDataSources(), config_.monitor)),
+          id_, network_, timer_, catalog_.AllDataSources(), config_.monitor)),
       scheduler_(std::make_unique<core::GeoScheduler>(
           config_.scheduler, monitor_.get(), footprint_.get())),
-      rng_(0xD1CEBA5E + id),
-      log_committer_(network->loop(), config_.log_group_commit) {
+      rng_(0xD1CEBA5E + id_),
+      log_committer_(timer_, log_device_.get(), config_.log_group_commit) {
   log_committer_.set_on_fsync([this]() { stats_.log_flushes++; });
   if (config_.balancer.enabled) {
     balancer_ =
@@ -618,7 +628,10 @@ void MiddlewareNode::FlushLogAndDispatch(Txn& txn, bool commit) {
   // crash loses the open batch — exactly the decisions that were never
   // durable, so recovery's presumed abort stays correct.
   const TxnId id = txn.id;
-  log_committer_.Append(config_.log_flush_cost, [this, id, commit]() {
+  log_committer_.Append(
+      config_.log_flush_cost,
+      "DECISION txn=" + std::to_string(id) + (commit ? " C\n" : " A\n"),
+      [this, id, commit]() {
     Txn* txn = FindTxn(id);
     if (txn == nullptr) return;
     log_.push_back(DecisionLogEntry{id, commit});

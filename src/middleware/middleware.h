@@ -144,6 +144,11 @@ struct DecisionLogEntry {
 
 class MiddlewareNode {
  public:
+  /// Runtime-seam constructor: the DM runs on whatever backend `env`
+  /// belongs to (sim event loop or a loopback actor thread).
+  MiddlewareNode(runtime::ActorEnv env, uint32_t ordinal, Catalog catalog,
+                 MiddlewareConfig config);
+  /// Simulated-deployment convenience (tests, benches, the runner).
   MiddlewareNode(NodeId id, uint32_t ordinal, sim::Network* network,
                  Catalog catalog, MiddlewareConfig config);
   ~MiddlewareNode();
@@ -158,7 +163,7 @@ class MiddlewareNode {
   core::LatencyMonitor& monitor() { return *monitor_; }
   core::HotspotFootprint& footprint() { return *footprint_; }
   Catalog& catalog() { return catalog_; }
-  sim::Network* network() { return network_; }
+  runtime::ITransport* network() { return network_; }
   /// The balancer, when this DM runs one (nullptr otherwise).
   sharding::ShardBalancer* balancer() { return balancer_.get(); }
   /// Records an adopted/published shard-map epoch in the stats.
@@ -169,7 +174,7 @@ class MiddlewareNode {
   const storage::GroupCommitter& log_committer() const {
     return log_committer_;
   }
-  sim::EventLoop* loop() { return network_->loop(); }
+  runtime::ITimer* loop() { return timer_; }
 
   /// Number of transactions currently coordinated (in any phase).
   size_t InFlight() const { return txns_.size(); }
@@ -303,7 +308,10 @@ class MiddlewareNode {
 
   NodeId id_;
   uint32_t ordinal_;
-  sim::Network* network_;
+  runtime::ITransport* network_;
+  runtime::ITimer* timer_;
+  /// Durable decision-log device (simulated cost model or a real file).
+  std::unique_ptr<runtime::IStableStorage> log_device_;
   Catalog catalog_;
   MiddlewareConfig config_;
   std::unique_ptr<core::HotspotFootprint> footprint_;

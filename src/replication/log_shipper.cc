@@ -59,7 +59,7 @@ void LogShipper::ScheduleShip() {
   if (ship_scheduled_) return;
   ship_scheduled_ = true;
   const uint64_t activation = activation_;
-  network_->loop()->Schedule(0, [this, activation]() {
+  timer_->Schedule(0, [this, activation]() {
     if (activation != activation_ || !active_) return;
     ship_scheduled_ = false;
     for (auto& [follower, progress] : followers_) {

@@ -18,6 +18,7 @@
 #include "common/logging.h"
 #include "protocol/messages.h"
 #include "replication/replication_config.h"
+#include "runtime/runtime.h"
 #include "sim/network.h"
 
 namespace geotp {
@@ -121,8 +122,9 @@ class LogShipper {
   /// away (set by the Replicator; reuses the shard snapshot-install path).
   using SnapshotSender = std::function<void(NodeId follower)>;
 
-  LogShipper(NodeId self, sim::Network* network, ReplicationLog* log)
-      : self_(self), network_(network), log_(log) {}
+  LogShipper(NodeId self, runtime::ITransport* network, runtime::ITimer* timer,
+             ReplicationLog* log)
+      : self_(self), network_(network), timer_(timer), log_(log) {}
 
   void set_snapshot_sender(SnapshotSender sender) {
     snapshot_sender_ = std::move(sender);
@@ -176,7 +178,8 @@ class LogShipper {
   void AdvanceWatermark();
 
   NodeId self_;
-  sim::Network* network_;
+  runtime::ITransport* network_;
+  runtime::ITimer* timer_;
   ReplicationLog* log_;
   SnapshotSender snapshot_sender_;
   bool active_ = false;

@@ -26,7 +26,7 @@ Replicator::Replicator(datasource::DataSourceNode* node, GroupConfig group)
     : node_(node),
       group_(std::move(group)),
       election_(node->id(), group_.QuorumSize()),
-      shipper_(node->id(), node->network(), &log_) {
+      shipper_(node->id(), node->network(), node->loop(), &log_) {
   GEOTP_CHECK(!group_.replicas.empty(), "empty replica group");
   auto it = std::find(group_.replicas.begin(), group_.replicas.end(),
                       node_->id());
@@ -37,8 +37,8 @@ Replicator::Replicator(datasource::DataSourceNode* node, GroupConfig group)
       [this](NodeId follower) { SendBootstrapSnapshot(follower); });
 }
 
-sim::EventLoop* Replicator::loop() const { return node_->loop(); }
-sim::Network* Replicator::network() const { return node_->network(); }
+runtime::ITimer* Replicator::loop() const { return node_->loop(); }
+runtime::ITransport* Replicator::network() const { return node_->network(); }
 NodeId Replicator::self() const { return node_->id(); }
 
 uint64_t Replicator::LastLogEpoch() const {

@@ -23,6 +23,7 @@
 #include "protocol/messages.h"
 #include "replication/election.h"
 #include "replication/log_shipper.h"
+#include "runtime/runtime.h"
 #include "replication/replication_config.h"
 #include "sim/event_loop.h"
 
@@ -218,8 +219,8 @@ class Replicator {
   /// keeps the election timer armed for non-leaders.
   void SyncRoleState();
 
-  sim::EventLoop* loop() const;
-  sim::Network* network() const;
+  runtime::ITimer* loop() const;
+  runtime::ITransport* network() const;
   NodeId self() const;
 
   datasource::DataSourceNode* node_;

@@ -1,0 +1,38 @@
+// Wire codec for the loopback runtime: every concrete MessageType can be
+// serialized to a flat byte string and rebuilt on the far side of a TCP
+// socket.
+//
+// Format: little-endian fixed-width integers, length-prefixed strings and
+// vectors. The first two bytes are the MessageType tag, then `from`/`to`,
+// then the type's fields in declaration order. The format is a process-
+// boundary transport detail, not a storage format — there is no version
+// negotiation; both ends of a loopback deployment run the same binary.
+//
+// The simulator never touches this codec (messages cross sim::Network as
+// live C++ objects); the contract tests round-trip every type through it
+// so a message added without codec support fails CI instead of failing at
+// runtime in the loopback smoke.
+#ifndef GEOTP_RUNTIME_CODEC_H_
+#define GEOTP_RUNTIME_CODEC_H_
+
+#include <memory>
+#include <string>
+
+#include "runtime/message.h"
+
+namespace geotp {
+namespace runtime {
+
+/// Serializes `msg` (tag + from/to + fields). Aborts on a message type the
+/// codec does not know — every type in MessageType must be encodable.
+std::string EncodeMessage(const MessageBase& msg);
+
+/// Rebuilds a message from EncodeMessage output. Returns nullptr on a
+/// malformed or truncated buffer (the loopback transport drops the frame
+/// and logs; a bounds overrun never reads past the buffer).
+std::unique_ptr<MessageBase> DecodeMessage(const std::string& bytes);
+
+}  // namespace runtime
+}  // namespace geotp
+
+#endif  // GEOTP_RUNTIME_CODEC_H_

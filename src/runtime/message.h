@@ -1,0 +1,96 @@
+// MessageBase / MessageType: the wire-level message vocabulary of the
+// protocol stack, independent of any execution backend.
+//
+// Historically these lived in sim/network.h because the discrete-event
+// simulator was the only thing that could deliver a message. The pluggable
+// runtime moves them here: the same message structs now travel either
+// through sim::Network (virtual time, sampled link latency) or through the
+// loopback runtime's TCP sockets (real threads, real wire bytes via
+// runtime/codec.h). sim/network.h aliases these names so existing
+// `sim::MessageBase` spellings keep compiling.
+#ifndef GEOTP_RUNTIME_MESSAGE_H_
+#define GEOTP_RUNTIME_MESSAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace geotp {
+namespace runtime {
+
+/// Tag identifying each concrete message type so receivers can dispatch
+/// with one switch instead of a dynamic_cast chain (the cast chains showed
+/// up prominently in simulator profiles) and the loopback codec can frame
+/// messages on the wire. Values cover every message in src/protocol and
+/// src/baselines; the runtimes themselves never interpret them.
+enum class MessageType : uint16_t {
+  kUnknown = 0,
+  // Client <-> middleware.
+  kClientRoundRequest,
+  kClientRoundResponse,
+  kClientFinishRequest,
+  kClientTxnResult,
+  // Middleware <-> data source.
+  kBranchExecuteRequest,
+  kBranchExecuteResponse,
+  kPrepareRequest,
+  kPrepareBatch,
+  kVoteMessage,
+  kDecisionRequest,
+  kDecisionBatch,
+  kDecisionAck,
+  kPeerAbortRequest,
+  // Replication.
+  kReplAppendRequest,
+  kReplAppendAck,
+  kReplVoteRequest,
+  kReplVoteResponse,
+  kLeaderAnnounce,
+  kNotLeaderResponse,
+  kFollowerReadRequest,
+  kFollowerReadResponse,
+  // Elastic sharding (src/sharding).
+  kShardMigrateRequest,
+  kShardMigrateCancel,
+  kShardSnapshotChunk,
+  kShardSnapshotAck,
+  kShardDeltaBatch,
+  kShardDeltaAck,
+  kShardCutoverReady,
+  kShardMigrateAborted,
+  kShardMapUpdate,
+  kShardRedirect,
+  // Latency monitoring.
+  kPingRequest,
+  kPingResponse,
+  // Baseline stores (src/baselines).
+  kStoreReadRequest,
+  kStoreReadResponse,
+  kStorePrepareRequest,
+  kStorePrepareResponse,
+  kStoreDecisionRequest,
+  kStoreDecisionAck,
+  kYbBatchRequest,
+  kYbBatchResponse,
+  kYbResolveRequest,
+};
+
+/// Base class for anything sent between actors. Concrete message types
+/// live in src/protocol (and src/baselines for the baseline stores).
+struct MessageBase {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  virtual ~MessageBase() = default;
+
+  /// Dispatch tag; every concrete message overrides this.
+  virtual MessageType type() const { return MessageType::kUnknown; }
+
+  /// Approximate wire size, only used for traffic accounting.
+  virtual size_t WireSize() const { return 64; }
+};
+
+}  // namespace runtime
+}  // namespace geotp
+
+#endif  // GEOTP_RUNTIME_MESSAGE_H_

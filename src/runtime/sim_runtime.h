@@ -1,0 +1,50 @@
+// SimRuntime: the discrete-event simulator packaged as a runtime backend.
+//
+// A thin adapter: sim::EventLoop already IS-A runtime::ITimer and
+// sim::Network already IS-A runtime::ITransport, so every actor's timer is
+// the one shared loop and storage devices are SimStableStorage cost
+// models. Behavior is bit-identical to the pre-runtime wiring — tier-1
+// tests and committed bench numbers do not move.
+#ifndef GEOTP_RUNTIME_SIM_RUNTIME_H_
+#define GEOTP_RUNTIME_SIM_RUNTIME_H_
+
+#include <memory>
+#include <string>
+
+#include "runtime/runtime.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace geotp {
+namespace runtime {
+
+class SimRuntime : public Runtime {
+ public:
+  /// Does not take ownership; the loop/network outlive the runtime (they
+  /// are typically stack-owned by the test fixture or experiment runner).
+  SimRuntime(sim::EventLoop* loop, sim::Network* network)
+      : loop_(loop), network_(network) {}
+
+  ITransport* transport() override { return network_; }
+
+  ITimer* TimerFor(NodeId node) override {
+    (void)node;
+    return loop_;
+  }
+
+  std::unique_ptr<IStableStorage> OpenStorage(
+      NodeId node, const std::string& name) override {
+    (void)node;
+    (void)name;
+    return std::make_unique<SimStableStorage>(loop_);
+  }
+
+ private:
+  sim::EventLoop* loop_;
+  sim::Network* network_;
+};
+
+}  // namespace runtime
+}  // namespace geotp
+
+#endif  // GEOTP_RUNTIME_SIM_RUNTIME_H_

@@ -14,37 +14,39 @@
 #include <vector>
 
 #include "common/types.h"
+#include "runtime/runtime.h"
 
 namespace geotp {
 namespace sim {
 
 /// Identifies a scheduled event so it can be cancelled (e.g. a lock-wait
 /// timeout that is no longer needed once the lock is granted).
-using EventId = uint64_t;
-constexpr EventId kInvalidEvent = 0;
+using EventId = runtime::TimerId;
+constexpr EventId kInvalidEvent = runtime::kInvalidTimer;
 
 /// Min-heap driven virtual-time event loop.
 ///
 /// Events scheduled for the same instant fire in scheduling order (FIFO),
-/// which keeps runs reproducible.
-class EventLoop {
+/// which keeps runs reproducible. Implements the runtime timer seam: in a
+/// simulated deployment every actor's ITimer is this one shared loop.
+class EventLoop : public runtime::ITimer {
  public:
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
   /// Current virtual time.
-  Micros Now() const { return now_; }
+  Micros Now() const override { return now_; }
 
   /// Schedules `fn` to run `delay` microseconds from now (>= 0).
-  EventId Schedule(Micros delay, std::function<void()> fn);
+  EventId Schedule(Micros delay, std::function<void()> fn) override;
 
   /// Schedules `fn` at an absolute virtual time (clamped to >= Now()).
-  EventId ScheduleAt(Micros when, std::function<void()> fn);
+  EventId ScheduleAt(Micros when, std::function<void()> fn) override;
 
   /// Cancels a pending event. Returns true if the event existed and had not
   /// fired yet. Cancelling an already-fired or unknown id is a no-op.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) override;
 
   /// Runs until the queue drains. Returns the number of events processed.
   uint64_t Run();

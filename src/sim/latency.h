@@ -62,6 +62,14 @@ class LatencyMatrix {
   /// Samples the one-way delay for one message on the link.
   Micros SampleOneWay(NodeId from, NodeId to, Rng& rng) const;
 
+  /// Thread-safe sampling for callers without an actor-owned Rng (loopback
+  /// runtime threads injecting artificial delay, bench warmers). Draws from
+  /// ThreadLocalRng(), so concurrent callers never share generator state;
+  /// the deterministic simulator must keep passing its own Rng above.
+  Micros SampleOneWay(NodeId from, NodeId to) const {
+    return SampleOneWay(from, to, ThreadLocalRng());
+  }
+
   /// Mean RTT (both directions' means summed) — what an oracle would report;
   /// the middleware's LatencyMonitor estimates this by pinging.
   Micros MeanRtt(NodeId a, NodeId b) const;

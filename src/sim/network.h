@@ -12,81 +12,19 @@
 
 #include "common/random.h"
 #include "common/types.h"
+#include "runtime/message.h"
+#include "runtime/runtime.h"
 #include "sim/event_loop.h"
 #include "sim/latency.h"
 
 namespace geotp {
 namespace sim {
 
-/// Tag identifying each concrete message type so receivers can dispatch
-/// with one switch instead of a dynamic_cast chain (the cast chains showed
-/// up prominently in simulator profiles). Values cover every message in
-/// src/protocol and src/baselines; sim itself never interprets them.
-enum class MessageType : uint16_t {
-  kUnknown = 0,
-  // Client <-> middleware.
-  kClientRoundRequest,
-  kClientRoundResponse,
-  kClientFinishRequest,
-  kClientTxnResult,
-  // Middleware <-> data source.
-  kBranchExecuteRequest,
-  kBranchExecuteResponse,
-  kPrepareRequest,
-  kPrepareBatch,
-  kVoteMessage,
-  kDecisionRequest,
-  kDecisionBatch,
-  kDecisionAck,
-  kPeerAbortRequest,
-  // Replication.
-  kReplAppendRequest,
-  kReplAppendAck,
-  kReplVoteRequest,
-  kReplVoteResponse,
-  kLeaderAnnounce,
-  kNotLeaderResponse,
-  kFollowerReadRequest,
-  kFollowerReadResponse,
-  // Elastic sharding (src/sharding).
-  kShardMigrateRequest,
-  kShardMigrateCancel,
-  kShardSnapshotChunk,
-  kShardSnapshotAck,
-  kShardDeltaBatch,
-  kShardDeltaAck,
-  kShardCutoverReady,
-  kShardMigrateAborted,
-  kShardMapUpdate,
-  kShardRedirect,
-  // Latency monitoring.
-  kPingRequest,
-  kPingResponse,
-  // Baseline stores (src/baselines).
-  kStoreReadRequest,
-  kStoreReadResponse,
-  kStorePrepareRequest,
-  kStorePrepareResponse,
-  kStoreDecisionRequest,
-  kStoreDecisionAck,
-  kYbBatchRequest,
-  kYbBatchResponse,
-  kYbResolveRequest,
-};
-
-/// Base class for anything sent over the simulated network. Concrete
-/// message types live in src/protocol.
-struct MessageBase {
-  NodeId from = kInvalidNode;
-  NodeId to = kInvalidNode;
-  virtual ~MessageBase() = default;
-
-  /// Dispatch tag; every concrete message overrides this.
-  virtual MessageType type() const { return MessageType::kUnknown; }
-
-  /// Approximate wire size, only used for traffic accounting.
-  virtual size_t WireSize() const { return 64; }
-};
+// MessageType / MessageBase moved to runtime/message.h so they are shared
+// by every execution backend; aliased here because the whole protocol
+// layer spells them sim::MessageType / sim::MessageBase.
+using MessageType = runtime::MessageType;
+using MessageBase = runtime::MessageBase;
 
 /// Per-node traffic counters.
 struct TrafficStats {
@@ -95,9 +33,11 @@ struct TrafficStats {
   uint64_t bytes_sent = 0;
 };
 
-class Network {
+/// The simulated network implements the runtime transport seam: Send()
+/// samples the link latency and schedules delivery on the event loop.
+class Network : public runtime::ITransport {
  public:
-  using Handler = std::function<void(std::unique_ptr<MessageBase>)>;
+  using Handler = runtime::ITransport::Handler;
 
   Network(EventLoop* loop, LatencyMatrix matrix, uint64_t seed = 42);
 
@@ -112,17 +52,17 @@ class Network {
 
   /// Registers the message handler for a node. Must be called before any
   /// message addressed to that node is delivered.
-  void RegisterNode(NodeId node, Handler handler);
+  void RegisterNode(NodeId node, Handler handler) override;
 
   /// Marks a node as crashed: messages to it are silently dropped until
   /// Restore() is called (used by the failure-recovery tests).
-  void Partition(NodeId node);
-  void Restore(NodeId node);
-  bool IsPartitioned(NodeId node) const;
+  void Partition(NodeId node) override;
+  void Restore(NodeId node) override;
+  bool IsPartitioned(NodeId node) const override;
 
   /// Sends a message; delivery is scheduled after one sampled one-way delay.
   /// `msg->from` / `msg->to` must be filled in by the caller.
-  void Send(std::unique_ptr<MessageBase> msg);
+  void Send(std::unique_ptr<MessageBase> msg) override;
 
   const TrafficStats& StatsFor(NodeId node) const;
   uint64_t total_messages() const { return total_messages_; }

@@ -7,42 +7,43 @@
 namespace geotp {
 namespace storage {
 
-void GroupCommitter::Append(Micros fsync_cost, DurableCallback on_durable) {
+void GroupCommitter::Append(Micros fsync_cost, std::string payload,
+                            DurableCallback on_durable) {
   if (!config_.enabled) {
     // Unbatched baseline: an independent fsync per entry, charged in
     // parallel (the pre-group-commit model).
     const uint64_t generation = generation_;
-    loop_->Schedule(fsync_cost, [this, generation,
-                                 cb = std::move(on_durable)]() {
-      if (generation != generation_) return;  // crashed meanwhile
-      stats_.fsyncs++;
-      stats_.entries++;
-      stats_.max_batch_entries = std::max<uint64_t>(
-          stats_.max_batch_entries, 1);
-      if (on_fsync_) on_fsync_();
-      cb();
-    });
+    device_->Flush(std::move(payload), fsync_cost,
+                   [this, generation, cb = std::move(on_durable)]() {
+                     if (generation != generation_) return;  // crashed
+                     stats_.fsyncs++;
+                     stats_.entries++;
+                     stats_.max_batch_entries =
+                         std::max<uint64_t>(stats_.max_batch_entries, 1);
+                     if (on_fsync_) on_fsync_();
+                     cb();
+                   });
     return;
   }
 
-  open_.push_back(Entry{fsync_cost, std::move(on_durable)});
+  open_.push_back(Entry{fsync_cost, std::move(payload), std::move(on_durable)});
   if (flushing_) return;  // joins the next batch when the device frees
   if (open_.size() >= config_.max_batch_size) {
-    if (open_timer_ != sim::kInvalidEvent) {
-      loop_->Cancel(open_timer_);
-      open_timer_ = sim::kInvalidEvent;
+    if (open_timer_ != runtime::kInvalidTimer) {
+      timer_->Cancel(open_timer_);
+      open_timer_ = runtime::kInvalidTimer;
     }
     StartFlush();
     return;
   }
-  if (open_timer_ != sim::kInvalidEvent) return;  // batch already open
+  if (open_timer_ != runtime::kInvalidTimer) return;  // batch already open
   const uint64_t generation = generation_;
-  open_timer_ = loop_->Schedule(config_.max_batch_delay,
-                                [this, generation]() {
-                                  if (generation != generation_) return;
-                                  open_timer_ = sim::kInvalidEvent;
-                                  if (!flushing_) StartFlush();
-                                });
+  open_timer_ = timer_->Schedule(config_.max_batch_delay,
+                                 [this, generation]() {
+                                   if (generation != generation_) return;
+                                   open_timer_ = runtime::kInvalidTimer;
+                                   if (!flushing_) StartFlush();
+                                 });
 }
 
 void GroupCommitter::StartFlush() {
@@ -62,9 +63,14 @@ void GroupCommitter::StartFlush() {
                 open_.begin() + static_cast<ptrdiff_t>(config_.max_batch_size));
   }
   Micros cost = 0;
-  for (const Entry& entry : in_flight_) cost = std::max(cost, entry.cost);
+  std::string batch;
+  for (const Entry& entry : in_flight_) {
+    cost = std::max(cost, entry.cost);
+    batch += entry.payload;
+  }
   const uint64_t generation = generation_;
-  loop_->Schedule(cost, [this, generation]() { FinishFlush(generation); });
+  device_->Flush(std::move(batch), cost,
+                 [this, generation]() { FinishFlush(generation); });
 }
 
 void GroupCommitter::FinishFlush(uint64_t generation) {
@@ -82,9 +88,9 @@ void GroupCommitter::FinishFlush(uint64_t generation) {
   // Entries that arrived while the device was busy have waited long
   // enough: flush them immediately, ignoring max_batch_delay.
   if (!flushing_ && !open_.empty()) {
-    if (open_timer_ != sim::kInvalidEvent) {
-      loop_->Cancel(open_timer_);
-      open_timer_ = sim::kInvalidEvent;
+    if (open_timer_ != runtime::kInvalidTimer) {
+      timer_->Cancel(open_timer_);
+      open_timer_ = runtime::kInvalidTimer;
     }
     StartFlush();
   }
@@ -92,9 +98,9 @@ void GroupCommitter::FinishFlush(uint64_t generation) {
 
 void GroupCommitter::Reset() {
   generation_++;
-  if (open_timer_ != sim::kInvalidEvent) {
-    loop_->Cancel(open_timer_);
-    open_timer_ = sim::kInvalidEvent;
+  if (open_timer_ != runtime::kInvalidTimer) {
+    timer_->Cancel(open_timer_);
+    open_timer_ = runtime::kInvalidTimer;
   }
   open_.clear();
   in_flight_.clear();

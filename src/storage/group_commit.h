@@ -26,10 +26,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
-#include "sim/event_loop.h"
+#include "runtime/runtime.h"
 
 namespace geotp {
 namespace storage {
@@ -60,13 +62,32 @@ class GroupCommitter {
  public:
   using DurableCallback = std::function<void()>;
 
-  GroupCommitter(sim::EventLoop* loop, GroupCommitConfig config)
-      : loop_(loop), config_(config) {}
+  /// Flushes go to `device` (not owned; must outlive the committer). The
+  /// timer only drives batching delays — the device decides how long a
+  /// flush takes (simulated cost or a real fsync).
+  GroupCommitter(runtime::ITimer* timer, runtime::IStableStorage* device,
+                 GroupCommitConfig config)
+      : timer_(timer), device_(device), config_(config) {}
+
+  /// Convenience for simulated deployments: the device is an owned
+  /// SimStableStorage charging each flush's cost on `timer`.
+  GroupCommitter(runtime::ITimer* timer, GroupCommitConfig config)
+      : timer_(timer),
+        owned_device_(std::make_unique<runtime::SimStableStorage>(timer)),
+        config_(config) {
+    device_ = owned_device_.get();
+  }
 
   /// Joins the open batch. `fsync_cost` is this entry's device time if it
   /// flushed alone; the shared flush charges the max across the batch.
-  /// `on_durable` runs when that flush completes, never earlier.
-  void Append(Micros fsync_cost, DurableCallback on_durable);
+  /// `payload` is the entry's durable bytes (written to the device as part
+  /// of the shared flush). `on_durable` runs when that flush completes,
+  /// never earlier.
+  void Append(Micros fsync_cost, std::string payload,
+              DurableCallback on_durable);
+  void Append(Micros fsync_cost, DurableCallback on_durable) {
+    Append(fsync_cost, std::string(), std::move(on_durable));
+  }
 
   /// Crash: drops the open batch and the in-flight flush without running
   /// any waiter. Durable (already-flushed) entries are unaffected.
@@ -82,19 +103,22 @@ class GroupCommitter {
  private:
   struct Entry {
     Micros cost;
+    std::string payload;
     DurableCallback on_durable;
   };
 
   void StartFlush();
   void FinishFlush(uint64_t generation);
 
-  sim::EventLoop* loop_;
+  runtime::ITimer* timer_;
+  runtime::IStableStorage* device_ = nullptr;
+  std::unique_ptr<runtime::IStableStorage> owned_device_;
   GroupCommitConfig config_;
   std::function<void()> on_fsync_;
   std::vector<Entry> open_;       ///< batch accepting new entries
   std::vector<Entry> in_flight_;  ///< batch whose flush is on the device
   bool flushing_ = false;
-  sim::EventId open_timer_ = sim::kInvalidEvent;
+  runtime::TimerId open_timer_ = runtime::kInvalidTimer;
   /// Bumped by Reset() so stale scheduled events become no-ops.
   uint64_t generation_ = 0;
   GroupCommitStats stats_;

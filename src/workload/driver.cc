@@ -16,8 +16,15 @@ using protocol::ClientTxnResult;
 ClientDriver::ClientDriver(NodeId client_node, sim::Network* network,
                            NodeId coordinator, WorkloadGenerator* generator,
                            DriverConfig config)
-    : client_node_(client_node),
-      network_(network),
+    : ClientDriver(runtime::ActorEnv{client_node, network->loop(), network,
+                                     nullptr},
+                   coordinator, generator, config) {}
+
+ClientDriver::ClientDriver(runtime::ActorEnv env, NodeId coordinator,
+                           WorkloadGenerator* generator, DriverConfig config)
+    : client_node_(env.node),
+      network_(env.transport),
+      timer_(env.timer),
       coordinator_(coordinator),
       generator_(generator),
       config_(config),
@@ -42,7 +49,7 @@ void ClientDriver::Start() {
     // Stagger terminal starts over a few ms to avoid a thundering herd at
     // t=0 (real clients ramp up too).
     const Micros stagger = static_cast<Micros>(rng_.NextU64(5000));
-    network_->loop()->Schedule(stagger, [this, i]() {
+    timer_->Schedule(stagger, [this, i]() {
       StartFreshTxn(terminals_[i]);
     });
   }
@@ -62,15 +69,17 @@ void ClientDriver::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
 }
 
 void ClientDriver::StartFreshTxn(Terminal& term) {
+  if (stopped_) return;
   term.spec = generator_->Next(term.rng);
   term.next_round = 0;
   term.txn_id = kInvalidTxn;
   term.attempts = 0;
-  term.first_submit = network_->loop()->Now();
+  term.first_submit = timer_->Now();
   SubmitRound(term);
 }
 
 void ClientDriver::ResubmitTxn(Terminal& term) {
+  if (stopped_) return;
   term.next_round = 0;
   term.txn_id = kInvalidTxn;
   SubmitRound(term);
@@ -121,10 +130,11 @@ void ClientDriver::OnTxnResult(const ClientTxnResult& result) {
   Terminal& term = terminals_[result.client_tag];
   if (term.txn_id != kInvalidTxn && term.txn_id != result.txn_id) return;
 
-  const Micros now = network_->loop()->Now();
+  const Micros now = timer_->Now();
   TypeStats& per_type = type_stats_[term.spec.type_tag];
 
   if (result.status.ok()) {
+    if (commit_observer_) commit_observer_(term.spec);
     if (InWindow(now)) {
       stats_.committed++;
       const Micros latency = now - term.first_submit;
@@ -152,7 +162,7 @@ void ClientDriver::OnTxnResult(const ClientTxnResult& result) {
     const Micros backoff = rng_.NextInt(config_.retry_backoff_min,
                                         config_.retry_backoff_max);
     const uint64_t tag = term.tag;
-    network_->loop()->Schedule(backoff, [this, tag]() {
+    timer_->Schedule(backoff, [this, tag]() {
       ResubmitTxn(terminals_[tag]);
     });
   } else {

@@ -18,6 +18,7 @@
 #include "common/random.h"
 #include "metrics/stats.h"
 #include "protocol/messages.h"
+#include "runtime/runtime.h"
 #include "sim/network.h"
 #include "workload/generator.h"
 
@@ -44,6 +45,11 @@ struct TypeStats {
 
 class ClientDriver {
  public:
+  /// Runtime-seam constructor: the driver runs on whatever backend `env`
+  /// belongs to (sim event loop or a loopback actor thread).
+  ClientDriver(runtime::ActorEnv env, NodeId coordinator,
+               WorkloadGenerator* generator, DriverConfig config);
+  /// Simulated-deployment convenience (tests, benches, the runner).
   ClientDriver(NodeId client_node, sim::Network* network, NodeId coordinator,
                WorkloadGenerator* generator, DriverConfig config);
 
@@ -52,6 +58,19 @@ class ClientDriver {
 
   /// Launches all terminals (call after the simulation is assembled).
   void Start();
+
+  /// Quiesces the driver: in-flight transactions finish (and still count),
+  /// but no terminal starts or retries another one. Used by the loopback
+  /// smoke to reach a stable final state before oracle verification. Call
+  /// on the driver's own executor/loop.
+  void Stop() { stopped_ = true; }
+
+  /// Observer invoked (on the driver's executor) with the spec of every
+  /// COMMITTED transaction, in commit order — the loopback smoke feeds its
+  /// sequential oracle from this.
+  void SetCommitObserver(std::function<void(const TxnSpec&)> observer) {
+    commit_observer_ = std::move(observer);
+  }
 
   /// Optional: route each transaction to a different coordinator (the
   /// YugabyteDB baseline sends transactions to per-node coordinators).
@@ -91,11 +110,14 @@ class ClientDriver {
   }
 
   NodeId client_node_;
-  sim::Network* network_;
+  runtime::ITransport* network_;
+  runtime::ITimer* timer_;
   NodeId coordinator_;
   WorkloadGenerator* generator_;
   DriverConfig config_;
   std::function<NodeId(const TxnSpec&)> router_;
+  std::function<void(const TxnSpec&)> commit_observer_;
+  bool stopped_ = false;
   std::vector<Terminal> terminals_;
   metrics::RunStats stats_;
   metrics::ThroughputSeries series_;

@@ -1,5 +1,7 @@
 #include "workload/runner.h"
 
+#include <chrono>
+
 #include <algorithm>
 #include <memory>
 #include <utility>
@@ -62,7 +64,25 @@ middleware::MiddlewareConfig ConfigForSystem(SystemKind kind) {
   return MiddlewareConfig::SSP();
 }
 
+namespace {
+
+ExperimentResult RunExperimentInner(const ExperimentConfig& config);
+
+}  // namespace
+
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  ExperimentResult result = RunExperimentInner(config);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+namespace {
+
+ExperimentResult RunExperimentInner(const ExperimentConfig& config) {
   if (config.system == SystemKind::kScalarDb ||
       config.system == SystemKind::kScalarDbPlus) {
     return baselines::RunScalarDbExperiment(config);
@@ -182,6 +202,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
   return result;
 }
+
+}  // namespace
 
 }  // namespace workload
 }  // namespace geotp

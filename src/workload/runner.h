@@ -93,6 +93,10 @@ struct ExperimentResult {
   std::vector<std::pair<double, double>> throughput_series;
   uint64_t events_processed = 0;
   uint64_t network_messages = 0;
+  /// Host wall-clock time RunExperiment spent simulating this run. The
+  /// loopback smoke reports measured-vs-sim-predicted throughput; this is
+  /// the companion metric — what the prediction itself cost to compute.
+  double wall_seconds = 0.0;
   size_t footprint_bytes = 0;
   // Durability accounting across all data sources (middleware systems):
   // WAL entries vs physical fsyncs diverge under group commit.
@@ -110,6 +114,13 @@ struct ExperimentResult {
   double FsyncsPerCommit() const {
     return run.committed == 0 ? 0.0
                               : static_cast<double>(wal_fsyncs) /
+                                    static_cast<double>(run.committed);
+  }
+
+  /// Host microseconds of simulation per committed transaction.
+  double WallMicrosPerCommit() const {
+    return run.committed == 0 ? 0.0
+                              : wall_seconds * 1e6 /
                                     static_cast<double>(run.committed);
   }
 
