@@ -1,0 +1,199 @@
+// Figure 5 extension: goodput past the saturation knee, with and without
+// overload control. The paper's scalability curves (Fig. 5) peak around a
+// few hundred terminals and then *decline* — congestion collapse. This
+// bench pushes the sweep well past the knee (up to 1024 terminals) and
+// shows that admission control + shedding + client backoff hold goodput
+// flat where the uncontrolled system decays.
+//
+// Acceptance:
+//   * controlled goodput at >= 2x the saturating terminal count stays
+//     within 90% of the controlled peak (goodput survives saturation);
+//   * two-tenant 10:1 skew: the hot tenant ends up at its weighted share
+//     of goodput (+-10%), and the well-behaved tenant's p50 stays within
+//     2x of what it sees running alone on the same controlled system.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace geotp;
+using namespace geotp::bench;
+
+namespace {
+
+constexpr size_t kSweepBudget = 192;    // DM in-flight budget, load sweep
+constexpr size_t kFairBudget = 64;      // budget for the two-tenant runs
+constexpr size_t kDispatchBound = 256;  // per-source dispatch-queue bound
+constexpr uint64_t kRunQueueBound = 48; // per-source run-queue bound
+
+ExperimentConfig OverloadBase() {
+  ExperimentConfig config = DefaultConfig();
+  config.system = SystemKind::kGeoTP;
+  config.ycsb.theta = 0.9;
+  config.ycsb.distributed_ratio = 0.2;
+  config.driver.warmup = SecToMicros(2);
+  config.driver.measure = SecToMicros(10);
+  return config;
+}
+
+void EnableControl(ExperimentConfig* config, size_t budget) {
+  config->driver.retry_budget = 16;
+  config->driver.retry_backoff_max = MsToMicros(100);
+  config->dm_tweak = [budget](middleware::MiddlewareConfig* dm) {
+    dm->overload.max_inflight = budget;
+    dm->overload.max_dispatch_queue = kDispatchBound;
+  };
+  config->ds_tweak = [](datasource::DataSourceConfig* ds) {
+    ds->max_run_queue = kRunQueueBound;
+  };
+}
+
+struct SweepPoint {
+  int terminals = 0;
+  double goodput = 0.0;  // committed txn/s
+  double offered = 0.0;  // ~new-admission requests/s at the DM
+  ExperimentResult result;
+};
+
+SweepPoint RunPoint(int terminals, bool controlled) {
+  ExperimentConfig config = OverloadBase();
+  config.driver.terminals = terminals;
+  if (controlled) EnableControl(&config, kSweepBudget);
+  SweepPoint point;
+  point.terminals = terminals;
+  point.result = RunTracked(config);
+  const double secs = MicrosToMs(config.driver.measure) / 1000.0;
+  point.goodput = point.result.Tps();
+  // Every submission ends in a commit, a user-visible abort, or another
+  // attempt; their sum approximates the new-admission arrival rate.
+  point.offered = static_cast<double>(point.result.run.committed +
+                                      point.result.run.aborted +
+                                      point.result.run.retries) /
+                  secs;
+  return point;
+}
+
+void PrintPoint(const SweepPoint& p, bool controlled) {
+  std::printf("%8d %10.1f %10.1f %7.1f%% %9llu %9llu %9llu\n", p.terminals,
+              p.offered, p.goodput, 100.0 * p.result.AbortRate(),
+              static_cast<unsigned long long>(p.result.run.sheds),
+              static_cast<unsigned long long>(p.result.run.retries),
+              static_cast<unsigned long long>(
+                  controlled ? p.result.run_queue_rejections : 0));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> terminals = {64, 128, 256, 512, 1024};
+
+  PrintHeader("Fig. 5+ — goodput vs offered load past the knee (GeoTP, YCSB)");
+  std::printf("%-12s\n", "UNCONTROLLED (no admission, no shedding)");
+  std::printf("%8s %10s %10s %8s %9s %9s %9s\n", "term", "offered/s",
+              "goodput/s", "abort", "sheds", "retries", "rq_rej");
+  std::vector<SweepPoint> off;
+  for (int t : terminals) {
+    off.push_back(RunPoint(t, /*controlled=*/false));
+    PrintPoint(off.back(), false);
+  }
+
+  std::printf("%-12s\n", "CONTROLLED (admission + backoff + bounded queues)");
+  std::printf("%8s %10s %10s %8s %9s %9s %9s\n", "term", "offered/s",
+              "goodput/s", "abort", "sheds", "retries", "rq_rej");
+  std::vector<SweepPoint> on;
+  for (int t : terminals) {
+    on.push_back(RunPoint(t, /*controlled=*/true));
+    PrintPoint(on.back(), true);
+  }
+
+  // Saturation knee = the UNCONTROLLED sweep's peak-goodput terminal
+  // count (where adding terminals stops helping). "Goodput survives
+  // saturation" = at 2x that offered load and beyond, the controlled
+  // system still delivers >= 90% of the best goodput it achieved up to
+  // the knee. (The uncontrolled system fails this by construction: its
+  // post-knee points decay toward zero.)
+  size_t knee_idx = 0;
+  for (size_t i = 1; i < off.size(); ++i) {
+    if (off[i].goodput > off[knee_idx].goodput) knee_idx = i;
+  }
+  const int knee = off[knee_idx].terminals;
+  double peak = 0.0;  // controlled peak at or before the knee
+  double worst_past_knee = -1.0;
+  for (const SweepPoint& p : on) {
+    if (p.terminals <= knee) peak = std::max(peak, p.goodput);
+    if (p.terminals >= 2 * knee) {
+      worst_past_knee = worst_past_knee < 0
+                            ? p.goodput
+                            : std::min(worst_past_knee, p.goodput);
+    }
+  }
+  const bool goodput_pass =
+      peak > 0 && worst_past_knee >= 0.90 * peak;
+  double uncontrolled_worst = off.back().goodput;
+  for (const SweepPoint& p : off) {
+    if (p.terminals >= 2 * knee) {
+      uncontrolled_worst = std::min(uncontrolled_worst, p.goodput);
+    }
+  }
+  std::printf(
+      "summary: saturation knee at %d terminals (uncontrolled peak "
+      "%.1f txn/s, decaying to %.1f past 2x); controlled pre-knee "
+      "peak=%.1f txn/s, worst goodput at >=2x knee=%.1f txn/s "
+      "(%.1f%% of peak, target >= 90%%)\n",
+      knee, off[knee_idx].goodput, uncontrolled_worst, peak,
+      worst_past_knee, peak > 0 ? 100.0 * worst_past_knee / peak : 0.0);
+
+  PrintHeader("Two-tenant fairness under 10:1 skew (equal weights)");
+  // Baseline: the well-behaved tenant alone on the controlled system.
+  ExperimentConfig solo = OverloadBase();
+  EnableControl(&solo, kFairBudget);
+  solo.driver.tenant_terminals = {0, 32};  // tenant 1 only
+  const auto solo_result = RunTracked(solo);
+  const double solo_p50 = MicrosToMs(solo_result.run.latency.P50());
+
+  // Contended: tenant 0 offers 10x the terminals of tenant 1.
+  ExperimentConfig duo = OverloadBase();
+  EnableControl(&duo, kFairBudget);
+  duo.driver.tenant_terminals = {320, 32};
+  const auto duo_result = RunTracked(duo);
+  const auto t0 = duo_result.tenants.count(0) ? duo_result.tenants.at(0)
+                                              : workload::TenantStats{};
+  const auto t1 = duo_result.tenants.count(1) ? duo_result.tenants.at(1)
+                                              : workload::TenantStats{};
+  const double total_committed =
+      static_cast<double>(t0.committed + t1.committed);
+  const double hot_share =
+      total_committed > 0 ? static_cast<double>(t0.committed) / total_committed
+                          : 0.0;
+  const double t1_p50 = MicrosToMs(t1.latency.P50());
+  std::printf(
+      "tenant0 (hot, 320 term): committed=%llu sheds=%llu aborted=%llu\n",
+      static_cast<unsigned long long>(t0.committed),
+      static_cast<unsigned long long>(t0.sheds),
+      static_cast<unsigned long long>(t0.aborted));
+  std::printf(
+      "tenant1 (well-behaved, 32 term): committed=%llu sheds=%llu "
+      "p50=%.1f ms (solo p50=%.1f ms)\n",
+      static_cast<unsigned long long>(t1.committed),
+      static_cast<unsigned long long>(t1.sheds), t1_p50, solo_p50);
+  // Equal weights: the hot tenant is capped at ~half the goodput.
+  const bool share_pass = std::abs(hot_share - 0.5) <= 0.10;
+  const bool latency_pass = solo_p50 > 0 && t1_p50 <= 2.0 * solo_p50;
+  std::printf(
+      "summary: hot-tenant goodput share=%.1f%% (target 50%% +-10); "
+      "well-behaved p50 ratio=%.2fx (target <= 2x)\n",
+      100.0 * hot_share, solo_p50 > 0 ? t1_p50 / solo_p50 : 0.0);
+
+  const bool pass = goodput_pass && share_pass && latency_pass;
+  PrintSimWallSummary();
+  std::printf("acceptance: %s\n", pass ? "PASS" : "FAIL");
+  std::printf(
+      "\nExpected shape: uncontrolled goodput peaks near the knee and\n"
+      "decays as every extra terminal adds lock contention and aborted\n"
+      "work; controlled goodput reaches the budget's ceiling and stays\n"
+      "there, with the surplus offered load absorbed as cheap sheds and\n"
+      "client backoff instead of wasted execution.\n");
+  return 0;
+}

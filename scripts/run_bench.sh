@@ -17,6 +17,8 @@
 #   scripts/run_bench.sh bench_group_commit   # fsync amortization
 #   scripts/run_bench.sh bench_rebalance      # elastic sharding vs static,
 #                                             # + skew-within-chunk split
+#   scripts/run_bench.sh bench_fig05_overload # goodput past the knee +
+#                                             # two-tenant fairness
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

@@ -83,6 +83,16 @@ class LatencyMonitor {
   /// RTT samples, so balancer lookups by logical source id work.
   double LoadEstimate(NodeId node) const;
 
+  /// EWMA of the saturation signal (run_queue / run_queue_limit) the node
+  /// piggybacks on its pongs; 0 while the node reports no bound. Feeds the
+  /// DM admission controller's source-pressure shed decision.
+  double OccupancyEstimate(NodeId node) const;
+
+  /// Worst occupancy estimate across every node that reported one — the
+  /// admission controller sheds new work when any source is saturated
+  /// (a distributed transaction is only as fast as its slowest branch).
+  double MaxOccupancy() const;
+
   /// Virtual time since `node` last answered a ping (max if it never
   /// did). A crashed node's estimate freezes; callers doing
   /// lowest-RTT routing must treat stale estimates as unknown or they
@@ -99,6 +109,7 @@ class LatencyMonitor {
   void SendPings();
   void RecordSample(NodeId node, Micros sample);
   void RecordLoad(NodeId node, uint64_t inflight);
+  void RecordOccupancy(NodeId node, uint64_t run_queue, uint64_t limit);
 
   NodeId self_;
   runtime::ITransport* network_;
@@ -109,6 +120,7 @@ class LatencyMonitor {
   LatencyMonitorConfig config_;
   std::unordered_map<NodeId, Micros> estimates_;
   std::unordered_map<NodeId, double> load_estimates_;
+  std::unordered_map<NodeId, double> occupancy_estimates_;
   std::unordered_map<NodeId, bool> seeded_;
   std::unordered_map<NodeId, Micros> last_pong_at_;
   /// Alias recorded for each pinged physical node in the latest round.

@@ -46,7 +46,12 @@ void DataSourceNode::Attach() {
   network_->RegisterNode(id_, [this](std::unique_ptr<sim::MessageBase> msg) {
     HandleMessage(std::move(msg));
   });
-  if (replicator_ != nullptr) replicator_->Start();
+  // Same executor-affinity rule as MiddlewareNode::Attach: announces sent by
+  // Replicator::Start can draw same-tick replies on the actor thread, so the
+  // start itself must run there rather than on the attaching thread.
+  if (replicator_ != nullptr) {
+    timer_->Schedule(0, [this]() { replicator_->Start(); });
+  }
 }
 
 void DataSourceNode::EnableReplication(
@@ -249,6 +254,17 @@ void DataSourceNode::OnExecute(const BranchExecuteRequest& req) {
   }
 
   if (req.begin_branch) {
+    // Bounded run queue: a full engine refuses NEW branches retryably.
+    // Branches already begun here (the else arm) always run — refusing
+    // them mid-transaction would wedge admitted work behind the very
+    // queue it is supposed to drain.
+    if (config_.max_run_queue > 0 &&
+        engine_.ActiveCount() >= config_.max_run_queue) {
+      stats_.run_queue_rejections++;
+      SendExecuteResponse(state, Status::Unavailable("run queue full"),
+                          /*rolled_back=*/false);
+      return;
+    }
     Status st = engine_.Begin(req.xid);
     if (!st.ok()) {
       SendExecuteResponse(state, st, /*rolled_back=*/false);
@@ -554,6 +570,9 @@ void DataSourceNode::OnPing(const PingRequest& req) {
   // lock waiters) — the balancer's load term.
   pong->inflight = engine_.ActiveCount();
   stats_.peak_inflight = std::max(stats_.peak_inflight, pong->inflight);
+  // Saturation signal: run-queue depth against its bound (0 = unbounded).
+  pong->run_queue = pong->inflight;
+  pong->run_queue_limit = config_.max_run_queue;
   // Shard-map anti-entropy: report our epoch, and hand the whole map to a
   // DM whose ping proves it missed a publish.
   const sharding::ShardMap& map = migrator_->map();

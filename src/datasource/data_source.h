@@ -66,6 +66,13 @@ struct DataSourceConfig {
   /// lost by the network are re-sent when no stream progress happened for
   /// this long; duplicates are re-acked at the receiver's position.
   Micros migration_resend_timeout = MsToMicros(600);
+  /// Overload control: bound on the engine run queue (live branches,
+  /// including parked lock waiters). A NEW branch (begin_branch batch)
+  /// arriving at a full queue is refused retryably; batches of branches
+  /// already begun here always run — admitted work must finish. The
+  /// current depth and this bound ride on every pong as the saturation
+  /// signal the DM's admission controller sheds on. 0 = unbounded.
+  uint64_t max_run_queue = 0;
 
   static DataSourceConfig MySql() {
     DataSourceConfig config;
@@ -97,6 +104,8 @@ struct DataSourceStats {
   // Capacity signal / shard-map anti-entropy (piggybacked on pings).
   uint64_t peak_inflight = 0;       ///< max branches in flight ever reported
   uint64_t shard_map_serves = 0;    ///< pongs that carried the map to a behind DM
+  // Overload control.
+  uint64_t run_queue_rejections = 0;  ///< new branches refused at a full queue
 };
 
 class DataSourceNode {

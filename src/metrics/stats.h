@@ -49,6 +49,10 @@ struct RunStats {
   uint64_t aborted = 0;         ///< user-visible aborts (after retries, if any)
   uint64_t abort_events = 0;    ///< every internal abort, incl. retried ones
   uint64_t admission_blocked = 0;  ///< late-scheduling blocks (O3)
+  // Overload control (client side).
+  uint64_t sheds = 0;            ///< Overloaded replies received
+  uint64_t retries = 0;          ///< resubmits after an abort or a shed
+  uint64_t retry_exhausted = 0;  ///< transactions abandoned at the budget
   Micros measured_duration = 0;
 
   Histogram latency;                ///< all committed txns

@@ -128,6 +128,7 @@ MiddlewareNode::MiddlewareNode(runtime::ActorEnv env, uint32_t ordinal,
       scheduler_(std::make_unique<core::GeoScheduler>(
           config_.scheduler, monitor_.get(), footprint_.get())),
       rng_(0xD1CEBA5E + id_),
+      admission_(config_.overload),
       log_committer_(timer_, log_device_.get(), config_.log_group_commit) {
   log_committer_.set_on_fsync([this]() { stats_.log_flushes++; });
   if (config_.balancer.enabled) {
@@ -158,8 +159,14 @@ void MiddlewareNode::Attach() {
     return targets;
   });
   monitor_->SetShardEpochProvider([this]() { return catalog_.ShardEpoch(); });
-  monitor_->Start();
-  if (balancer_ != nullptr) balancer_->Start();
+  // Start the active side (ping sends, balancer ticks) on the actor's own
+  // executor: Attach may be called from a setup thread, and on the loopback
+  // runtime an in-process peer can answer the first ping while SendPings()
+  // is still iterating — all monitor state must stay on the actor thread.
+  timer_->Schedule(0, [this]() {
+    monitor_->Start();
+    if (balancer_ != nullptr) balancer_->Start();
+  });
 }
 
 void MiddlewareNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
@@ -226,10 +233,24 @@ std::vector<NodeId> MiddlewareNode::ParticipantIds(const Txn& txn) const {
 void MiddlewareNode::OnClientRound(const ClientRoundRequest& req) {
   TxnId id = req.txn_id;
   if (id == kInvalidTxn) {
+    // Overload gate — NEW transactions only. Continuation rounds of
+    // admitted transactions bypass it unconditionally: admitted work must
+    // finish, because finishing is what frees the budget.
+    if (config_.overload.enabled()) {
+      const ShedReason verdict =
+          admission_.Consider(req.tenant, MaxDispatchDepth(),
+                              monitor_->MaxOccupancy(), loop()->Now());
+      if (verdict != ShedReason::kNone) {
+        ShedClientRound(req);
+        return;
+      }
+      stats_.overload = admission_.stats();
+    }
     id = MakeTxnId(ordinal_, next_seq_++);
     Txn txn;
     txn.id = id;
     txn.client_tag = req.client_tag;
+    txn.tenant = req.tenant;
     txn.client = req.from;
     txn.ts_begin = loop()->Now();
     txns_.emplace(id, std::move(txn));
@@ -665,6 +686,8 @@ void MiddlewareNode::DispatchDecision(Txn& txn, bool commit, bool one_phase) {
 
 void MiddlewareNode::QueuePrepare(NodeId dest, const Xid& xid) {
   pending_prepares_[dest].push_back(xid);
+  admission_.NoteDispatchDepth(pending_prepares_[dest].size() +
+                               pending_decisions_[dest].size());
   ScheduleDispatchFlush();
 }
 
@@ -672,7 +695,34 @@ void MiddlewareNode::QueueDecision(NodeId dest, const Xid& xid, bool commit,
                                    bool one_phase) {
   pending_decisions_[dest].push_back(
       protocol::DecisionItem{xid, commit, one_phase});
+  admission_.NoteDispatchDepth(pending_prepares_[dest].size() +
+                               pending_decisions_[dest].size());
   ScheduleDispatchFlush();
+}
+
+size_t MiddlewareNode::MaxDispatchDepth() const {
+  size_t depth = 0;
+  for (const auto& [dest, xids] : pending_prepares_) {
+    size_t d = xids.size();
+    auto it = pending_decisions_.find(dest);
+    if (it != pending_decisions_.end()) d += it->second.size();
+    depth = std::max(depth, d);
+  }
+  for (const auto& [dest, items] : pending_decisions_) {
+    depth = std::max(depth, items.size());
+  }
+  return depth;
+}
+
+void MiddlewareNode::ShedClientRound(const ClientRoundRequest& req) {
+  stats_.overload = admission_.stats();
+  auto shed = std::make_unique<protocol::OverloadedResponse>();
+  shed->from = id_;
+  shed->to = req.from;
+  shed->client_tag = req.client_tag;
+  shed->tenant = req.tenant;
+  shed->retry_after_hint = admission_.RetryHint();
+  network_->Send(std::move(shed));
 }
 
 void MiddlewareNode::ScheduleDispatchFlush() {
@@ -838,6 +888,10 @@ void MiddlewareNode::FinishTxn(Txn& txn, bool committed) {
   result->txn_id = txn.id;
   result->status = committed ? Status::OK() : txn.abort_status;
   network_->Send(std::move(result));
+  if (config_.overload.enabled()) {
+    admission_.Release(txn.tenant);
+    stats_.overload = admission_.stats();
+  }
   txns_.erase(txn.id);
 }
 
@@ -1086,6 +1140,7 @@ void MiddlewareNode::Crash() {
   crashed_ = true;
   network_->Partition(id_);
   txns_.clear();  // in-memory coordinator state is lost; log_ survives
+  admission_.Reset();  // the budget died with the coordinated transactions
   // Decisions in the decision log's open batch were never durable: the
   // crash loses them (their transactions resolve via presumed abort).
   log_committer_.Reset();

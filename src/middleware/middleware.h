@@ -34,6 +34,7 @@
 #include "core/latency_monitor.h"
 #include "metrics/stats.h"
 #include "middleware/catalog.h"
+#include "middleware/overload.h"
 #include "protocol/messages.h"
 #include "sharding/balancer.h"
 #include "sim/network.h"
@@ -87,6 +88,10 @@ struct MiddlewareConfig {
   /// Elastic sharding: hotspot-driven rebalancing (enable on ONE DM of a
   /// deployment; every DM handles map updates and redirects regardless).
   sharding::BalancerConfig balancer;
+  /// Overload control: in-flight budget, per-tenant fair shares, shed
+  /// decisions. Disabled by default (max_inflight = 0) so paper-fidelity
+  /// configurations admit everything, exactly as before.
+  OverloadConfig overload;
 
   // ----- paper system presets ---------------------------------------------
   static MiddlewareConfig SSP();
@@ -133,6 +138,8 @@ struct MiddlewareStats {
   uint64_t shard_map_pulls = 0;     ///< maps adopted from ping anti-entropy
   uint64_t shard_map_pushes = 0;    ///< maps pushed to behind data sources
   uint64_t committed_distributed = 0;  ///< commits with >1 begun participant
+  /// Overload control (mirror of the admission controller's counters).
+  OverloadStats overload;
   metrics::PhaseBreakdown breakdown;
 };
 
@@ -179,6 +186,9 @@ class MiddlewareNode {
   /// Number of transactions currently coordinated (in any phase).
   size_t InFlight() const { return txns_.size(); }
 
+  /// Overload-control state (budget occupancy, shed counters).
+  const AdmissionController& admission() const { return admission_; }
+
   /// Crash simulation: in-memory transaction state is lost; the decision
   /// log survives. Clients receive no further messages.
   void Crash();
@@ -216,6 +226,7 @@ class MiddlewareNode {
   struct Txn {
     TxnId id = kInvalidTxn;
     uint64_t client_tag = 0;
+    uint32_t tenant = 0;  ///< admission accounting; released at FinishTxn
     NodeId client = kInvalidNode;
     Phase phase = Phase::kExecuting;
     std::map<NodeId, Participant> participants;
@@ -303,6 +314,13 @@ class MiddlewareNode {
   void ScheduleDispatchFlush();
   void FlushDispatchQueues();
 
+  // ----- overload control ---------------------------------------------------
+  /// Deepest per-destination dispatch queue (prepares + decisions for one
+  /// data source) — the DM-local backpressure input to admission.
+  size_t MaxDispatchDepth() const;
+  /// Sheds a new client transaction with an Overloaded reply.
+  void ShedClientRound(const protocol::ClientRoundRequest& req);
+
   Txn* FindTxn(TxnId id);
   std::vector<NodeId> ParticipantIds(const Txn& txn) const;
 
@@ -320,6 +338,7 @@ class MiddlewareNode {
   std::unique_ptr<sharding::ShardBalancer> balancer_;
   Rng rng_;
   MiddlewareStats stats_;
+  AdmissionController admission_;
   std::vector<DecisionLogEntry> log_;  // durable
   /// Group committer of the decision log: concurrent FlushLog calls share
   /// one `log_flush_cost` flush; a DM crash loses the open batch (those

@@ -43,6 +43,10 @@ struct ClientRoundRequest : sim::MessageBase {
   }
   uint64_t client_tag = 0;  ///< client-side correlation handle
   TxnId txn_id = kInvalidTxn;  ///< 0 on the first round; DM assigns
+  /// Tenant the transaction belongs to. The DM's admission controller
+  /// meters new admissions per tenant (weighted fair shares of the
+  /// in-flight budget); continuation rounds are never metered.
+  uint32_t tenant = 0;
   std::vector<ClientOp> ops;
   bool last_round = false;
   size_t WireSize() const override { return 64 + ops.size() * 24; }
@@ -77,6 +81,23 @@ struct ClientTxnResult : sim::MessageBase {
   uint64_t client_tag = 0;
   TxnId txn_id = kInvalidTxn;
   Status status;
+};
+
+/// Shed reply: the DM refused to admit a NEW transaction (in-flight
+/// budget, tenant share, or downstream queue pressure). Nothing was
+/// executed — the client may retry after backing off at least
+/// `retry_after_hint`. Only ever sent before a TxnId is assigned;
+/// admitted transactions always finish with ClientTxnResult.
+struct OverloadedResponse : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kOverloadedResponse;
+  }
+  uint64_t client_tag = 0;
+  uint32_t tenant = 0;  ///< echo of the request's tenant
+  /// Suggested minimum backoff before retrying; grows while the DM keeps
+  /// shedding so persistent overload pushes clients further out.
+  Micros retry_after_hint = 0;
+  size_t WireSize() const override { return 48; }
 };
 
 // ---------------------------------------------------------------------------
@@ -593,6 +614,14 @@ struct PingResponse : sim::MessageBase {
   /// subtracts a load penalty derived from this from the RTT gain, so hot
   /// chunks cannot all pile onto the one nearest node.
   uint64_t inflight = 0;
+  /// Saturation signal for overload control: current depth of the engine
+  /// run queue and its configured bound (0 = unbounded). The DM's
+  /// admission controller sheds new transactions when the occupancy
+  /// estimate (run_queue / run_queue_limit) crosses its threshold, so
+  /// backpressure from a saturated source reaches clients as Overloaded
+  /// replies instead of timeouts.
+  uint64_t run_queue = 0;
+  uint64_t run_queue_limit = 0;
   /// Responder's shard-map epoch (anti-entropy: a DM seeing a lower value
   /// than its own pushes the current map to the responder).
   uint64_t shard_epoch = 0;

@@ -295,6 +295,7 @@ std::string EncodeMessage(const MessageBase& msg) {
       const auto& m = static_cast<const protocol::ClientRoundRequest&>(msg);
       w.U64(m.client_tag);
       w.U64(m.txn_id);
+      w.U32(m.tenant);
       PutVec(w, m.ops, PutOp);
       w.Bool(m.last_round);
       break;
@@ -540,6 +541,8 @@ std::string EncodeMessage(const MessageBase& msg) {
       w.U64(m.seq);
       w.I64(m.sent_at);
       w.U64(m.inflight);
+      w.U64(m.run_queue);
+      w.U64(m.run_queue_limit);
       w.U64(m.shard_epoch);
       PutVec(w, m.map_entries, PutRange);
       break;
@@ -604,6 +607,13 @@ std::string EncodeMessage(const MessageBase& msg) {
       w.Bool(m.commit);
       break;
     }
+    case MessageType::kOverloadedResponse: {
+      const auto& m = static_cast<const protocol::OverloadedResponse&>(msg);
+      w.U64(m.client_tag);
+      w.U32(m.tenant);
+      w.I64(m.retry_after_hint);
+      break;
+    }
     case MessageType::kUnknown:
       GEOTP_CHECK(false, "codec: cannot encode kUnknown message");
   }
@@ -627,6 +637,7 @@ std::unique_ptr<MessageBase> DecodeMessage(const std::string& bytes) {
       auto m = std::make_unique<protocol::ClientRoundRequest>();
       m->client_tag = r.U64();
       m->txn_id = r.U64();
+      m->tenant = r.U32();
       m->ops = GetVec<protocol::ClientOp>(r, GetOp);
       m->last_round = r.Bool();
       out = std::move(m);
@@ -906,6 +917,8 @@ std::unique_ptr<MessageBase> DecodeMessage(const std::string& bytes) {
       m->seq = r.U64();
       m->sent_at = r.I64();
       m->inflight = r.U64();
+      m->run_queue = r.U64();
+      m->run_queue_limit = r.U64();
       m->shard_epoch = r.U64();
       m->map_entries = GetVec<sharding::ShardRange>(r, GetRange);
       out = std::move(m);
@@ -977,6 +990,14 @@ std::unique_ptr<MessageBase> DecodeMessage(const std::string& bytes) {
       auto m = std::make_unique<baselines::YbResolveRequest>();
       m->txn = r.U64();
       m->commit = r.Bool();
+      out = std::move(m);
+      break;
+    }
+    case MessageType::kOverloadedResponse: {
+      auto m = std::make_unique<protocol::OverloadedResponse>();
+      m->client_tag = r.U64();
+      m->tenant = r.U32();
+      m->retry_after_hint = r.I64();
       out = std::move(m);
       break;
     }

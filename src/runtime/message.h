@@ -74,6 +74,8 @@ enum class MessageType : uint16_t {
   kYbBatchRequest,
   kYbBatchResponse,
   kYbResolveRequest,
+  // Overload control (appended so earlier wire values stay stable).
+  kOverloadedResponse,
 };
 
 /// Base class for anything sent between actors. Concrete message types

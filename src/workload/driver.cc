@@ -1,5 +1,6 @@
 #include "workload/driver.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -29,6 +30,11 @@ ClientDriver::ClientDriver(runtime::ActorEnv env, NodeId coordinator,
       generator_(generator),
       config_(config),
       rng_(config.seed) {
+  if (!config_.tenant_terminals.empty()) {
+    int total = 0;
+    for (int n : config_.tenant_terminals) total += n;
+    config_.terminals = total;
+  }
   GEOTP_CHECK(config_.terminals > 0, "need terminals");
   stats_.measured_duration = config_.measure;
 }
@@ -42,9 +48,21 @@ void ClientDriver::Attach() {
 
 void ClientDriver::Start() {
   terminals_.resize(static_cast<size_t>(config_.terminals));
+  // Tenant assignment: contiguous terminal ranges per tenant id when
+  // tenant_terminals is set, the flat `tenant` otherwise.
+  std::vector<uint32_t> tenant_of(terminals_.size(), config_.tenant);
+  if (!config_.tenant_terminals.empty()) {
+    size_t next = 0;
+    for (size_t t = 0; t < config_.tenant_terminals.size(); ++t) {
+      for (int k = 0; k < config_.tenant_terminals[t]; ++k) {
+        tenant_of[next++] = static_cast<uint32_t>(t);
+      }
+    }
+  }
   for (size_t i = 0; i < terminals_.size(); ++i) {
     Terminal& term = terminals_[i];
     term.tag = i;
+    term.tenant = tenant_of[i];
     term.rng = rng_.Fork();
     // Stagger terminal starts over a few ms to avoid a thundering herd at
     // t=0 (real clients ramp up too).
@@ -62,6 +80,9 @@ void ClientDriver::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
       return;
     case sim::MessageType::kClientTxnResult:
       OnTxnResult(static_cast<ClientTxnResult&>(*msg));
+      return;
+    case sim::MessageType::kOverloadedResponse:
+      OnOverloaded(static_cast<protocol::OverloadedResponse&>(*msg));
       return;
     default:
       GEOTP_CHECK(false, "client: unknown message");
@@ -92,6 +113,7 @@ void ClientDriver::SubmitRound(Terminal& term) {
   req->to = router_ ? router_(term.spec) : coordinator_;
   req->client_tag = term.tag;
   req->txn_id = term.txn_id;
+  req->tenant = term.tenant;
   req->ops = term.spec.rounds[term.next_round];
   req->last_round = term.next_round + 1 == term.spec.rounds.size();
   term.next_round++;
@@ -147,6 +169,9 @@ void ClientDriver::OnTxnResult(const ClientTxnResult& result) {
       series_.OnCommit(now - config_.warmup);
       per_type.committed++;
       per_type.latency.Record(latency);
+      TenantStats& per_tenant = tenant_stats_[term.tenant];
+      per_tenant.committed++;
+      per_tenant.latency.Record(latency);
     }
     StartFreshTxn(term);
     return;
@@ -159,16 +184,65 @@ void ClientDriver::OnTxnResult(const ClientTxnResult& result) {
   }
   term.attempts++;
   if (config_.retry_aborted) {
-    const Micros backoff = rng_.NextInt(config_.retry_backoff_min,
-                                        config_.retry_backoff_max);
-    const uint64_t tag = term.tag;
-    timer_->Schedule(backoff, [this, tag]() {
-      ResubmitTxn(terminals_[tag]);
-    });
+    RetryOrGiveUp(term, /*floor_hint=*/0);
   } else {
-    if (InWindow(now)) stats_.aborted++;
+    if (InWindow(now)) {
+      stats_.aborted++;
+      tenant_stats_[term.tenant].aborted++;
+    }
     StartFreshTxn(term);
   }
+}
+
+void ClientDriver::OnOverloaded(const protocol::OverloadedResponse& shed) {
+  GEOTP_CHECK(shed.client_tag < terminals_.size(), "bad tag");
+  Terminal& term = terminals_[shed.client_tag];
+  // Sheds happen before a TxnId is assigned; anything else is stale.
+  if (term.txn_id != kInvalidTxn) return;
+
+  const Micros now = timer_->Now();
+  if (InWindow(now)) {
+    stats_.sheds++;
+    tenant_stats_[term.tenant].sheds++;
+  }
+  term.attempts++;
+  RetryOrGiveUp(term, shed.retry_after_hint);
+}
+
+Micros ClientDriver::NextBackoff(Terminal& term, Micros floor_hint) {
+  // Ceiling doubles per attempt up to the cap; the draw is full jitter
+  // over [min, ceiling] from the terminal's own RNG (deterministic, and
+  // decorrelated across terminals so retries don't re-synchronize).
+  Micros ceiling = config_.retry_backoff_min;
+  for (int i = 1; i < term.attempts && ceiling < config_.retry_backoff_max;
+       ++i) {
+    ceiling *= 2;
+  }
+  ceiling = std::min(ceiling, config_.retry_backoff_max);
+  const Micros backoff =
+      term.rng.NextInt(config_.retry_backoff_min, ceiling);
+  return std::max(backoff, floor_hint);
+}
+
+void ClientDriver::RetryOrGiveUp(Terminal& term, Micros floor_hint) {
+  const Micros now = timer_->Now();
+  if (config_.retry_budget > 0 && term.attempts >= config_.retry_budget) {
+    // Budget spent: surface the failure to the "user" and move on — a
+    // saturated system serves fresh load instead of compounding storms.
+    if (InWindow(now)) {
+      stats_.aborted++;
+      stats_.retry_exhausted++;
+      tenant_stats_[term.tenant].aborted++;
+    }
+    StartFreshTxn(term);
+    return;
+  }
+  if (InWindow(now)) stats_.retries++;
+  const Micros backoff = NextBackoff(term, floor_hint);
+  const uint64_t tag = term.tag;
+  timer_->Schedule(backoff, [this, tag]() {
+    ResubmitTxn(terminals_[tag]);
+  });
 }
 
 }  // namespace workload

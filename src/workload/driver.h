@@ -30,8 +30,24 @@ struct DriverConfig {
   Micros warmup = SecToMicros(5);
   Micros measure = SecToMicros(20);
   bool retry_aborted = true;
+  /// Retry backoff: capped exponential with full deterministic jitter.
+  /// Attempt k sleeps uniform(min, min * 2^(k-1)) capped at max — drawn
+  /// from the terminal's own forked RNG so sim runs stay reproducible.
+  /// An Overloaded reply's retry_after_hint raises the draw's floor.
   Micros retry_backoff_min = MsToMicros(5);
   Micros retry_backoff_max = MsToMicros(20);
+  /// Per-terminal retry budget: a transaction shed or aborted this many
+  /// times is abandoned (a user-visible abort) and the terminal moves to
+  /// a fresh one, so retry storms cannot outlive the overload that caused
+  /// them. 0 = retry forever (the pre-overload-control behaviour).
+  int retry_budget = 0;
+  /// Tenant id stamped on every transaction (single-tenant runs).
+  uint32_t tenant = 0;
+  /// Multi-tenant runs: terminals per tenant id (index = tenant id).
+  /// When non-empty this overrides `terminals` and `tenant`: the first
+  /// tenant_terminals[0] terminals belong to tenant 0, the next
+  /// tenant_terminals[1] to tenant 1, and so on.
+  std::vector<int> tenant_terminals;
   uint64_t seed = 1234;
 };
 
@@ -40,6 +56,16 @@ struct DriverConfig {
 struct TypeStats {
   uint64_t committed = 0;
   uint64_t aborted = 0;
+  metrics::Histogram latency;
+};
+
+/// Per-tenant accounting for multi-tenant runs (fair-share verification:
+/// the overload bench checks a hot tenant is capped at its weighted share
+/// while the well-behaved tenant's p50 holds).
+struct TenantStats {
+  uint64_t committed = 0;
+  uint64_t sheds = 0;
+  uint64_t aborted = 0;  ///< user-visible (budget-exhausted) aborts
   metrics::Histogram latency;
 };
 
@@ -84,10 +110,14 @@ class ClientDriver {
   const std::unordered_map<int, TypeStats>& type_stats() const {
     return type_stats_;
   }
+  const std::unordered_map<uint32_t, TenantStats>& tenant_stats() const {
+    return tenant_stats_;
+  }
 
  private:
   struct Terminal {
     uint64_t tag = 0;
+    uint32_t tenant = 0;
     TxnSpec spec;
     size_t next_round = 0;
     TxnId txn_id = kInvalidTxn;
@@ -99,11 +129,20 @@ class ClientDriver {
   void HandleMessage(std::unique_ptr<sim::MessageBase> msg);
   void OnRoundResponse(const protocol::ClientRoundResponse& resp);
   void OnTxnResult(const protocol::ClientTxnResult& result);
+  void OnOverloaded(const protocol::OverloadedResponse& shed);
 
   void StartFreshTxn(Terminal& term);
   void ResubmitTxn(Terminal& term);
   void SubmitRound(Terminal& term);
   void SendFinish(Terminal& term);
+
+  /// Capped-exponential, jittered backoff for the terminal's next retry
+  /// (attempt count already incremented); `floor_hint` is the server's
+  /// retry_after_hint (0 when retrying an abort).
+  Micros NextBackoff(Terminal& term, Micros floor_hint);
+  /// Retries after backoff, or abandons the transaction when the retry
+  /// budget is spent. `floor_hint` as in NextBackoff.
+  void RetryOrGiveUp(Terminal& term, Micros floor_hint);
 
   bool InWindow(Micros t) const {
     return t >= config_.warmup && t < config_.warmup + config_.measure;
@@ -122,6 +161,7 @@ class ClientDriver {
   metrics::RunStats stats_;
   metrics::ThroughputSeries series_;
   std::unordered_map<int, TypeStats> type_stats_;
+  std::unordered_map<uint32_t, TenantStats> tenant_stats_;
   Rng rng_;
 };
 

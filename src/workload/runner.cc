@@ -166,11 +166,13 @@ ExperimentResult RunExperimentInner(const ExperimentConfig& config) {
   result.run = driver.stats();
   result.dm = dm.stats();
   result.per_type = driver.type_stats();
+  result.tenants = driver.tenant_stats();
   result.throughput_series = driver.series().Points();
   result.events_processed = loop.events_processed();
   result.network_messages = network.total_messages();
   result.footprint_bytes = dm.footprint().ApproxBytes();
   for (const auto& src : sources) {
+    result.run_queue_rejections += src->stats().run_queue_rejections;
     result.wal_entries += src->engine().wal().entries().size();
     result.wal_fsyncs += src->engine().wal().fsyncs();
     const storage::GroupCommitStats& gc = src->committer().stats();

@@ -90,6 +90,10 @@ struct ExperimentResult {
   metrics::RunStats run;
   middleware::MiddlewareStats dm;
   std::unordered_map<int, TypeStats> per_type;
+  /// Per-tenant driver accounting (multi-tenant overload runs).
+  std::unordered_map<uint32_t, TenantStats> tenants;
+  /// New branches refused at a full run queue, summed over data sources.
+  uint64_t run_queue_rejections = 0;
   std::vector<std::pair<double, double>> throughput_series;
   uint64_t events_processed = 0;
   uint64_t network_messages = 0;

@@ -231,24 +231,32 @@ class MiniCluster {
     uint64_t tag;
     NodeId coordinator = 1;
     TxnId txn_id = kInvalidTxn;
+    uint32_t tenant = 0;
     std::vector<protocol::ClientRoundResponse> round_responses;
     bool has_result = false;
     Status result;
     Micros result_at = 0;
+    // Overload control: shed replies observed for this tag.
+    int sheds = 0;
+    Micros last_retry_hint = 0;
   };
 
   /// Sends one round (to `coordinator`, default the primary DM); returns
-  /// the client-side handle.
+  /// the client-side handle. `tenant` rides on the request for the DM's
+  /// per-tenant admission metering.
   ClientTxn* SendRound(uint64_t tag, std::vector<protocol::ClientOp> ops,
-                       bool last_round, NodeId coordinator = 1) {
+                       bool last_round, NodeId coordinator = 1,
+                       uint32_t tenant = 0) {
     ClientTxn& txn = txns_[tag];
     txn.tag = tag;
     txn.coordinator = coordinator;
+    txn.tenant = tenant;
     auto req = std::make_unique<protocol::ClientRoundRequest>();
     req->from = 0;
     req->to = coordinator;
     req->client_tag = tag;
     req->txn_id = txn.txn_id;
+    req->tenant = tenant;
     req->ops = std::move(ops);
     req->last_round = last_round;
     network_->Send(std::move(req));
@@ -339,6 +347,11 @@ class MiniCluster {
       txn.has_result = true;
       txn.result = result->status;
       txn.result_at = loop_.Now();
+    } else if (auto* shed =
+                   dynamic_cast<protocol::OverloadedResponse*>(msg.get())) {
+      ClientTxn& txn = txns_[shed->client_tag];
+      txn.sheds++;
+      txn.last_retry_hint = shed->retry_after_hint;
     } else if (auto* cutover =
                    dynamic_cast<protocol::ShardCutoverReady*>(msg.get())) {
       cutovers_.push_back(*cutover);

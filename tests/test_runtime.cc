@@ -360,6 +360,7 @@ TEST(RuntimeCodecTest, ClientMessagesRoundTrip) {
   auto round = Stamped<protocol::ClientRoundRequest>();
   round->client_tag = 5;
   round->txn_id = 99;
+  round->tenant = 7;
   round->ops = {SampleOp(), SampleOp()};
   round->last_round = true;
   ExpectRoundTrip(*round);
@@ -382,6 +383,12 @@ TEST(RuntimeCodecTest, ClientMessagesRoundTrip) {
   result->txn_id = 99;
   result->status = Status::TimedOut("lock wait");
   ExpectRoundTrip(*result);
+
+  auto shed = Stamped<protocol::OverloadedResponse>();
+  shed->client_tag = 5;
+  shed->tenant = 7;
+  shed->retry_after_hint = MsToMicros(25);
+  ExpectRoundTrip(*shed);
 }
 
 TEST(RuntimeCodecTest, BranchMessagesRoundTrip) {
@@ -578,6 +585,8 @@ TEST(RuntimeCodecTest, MonitorMessagesRoundTrip) {
   pong->seq = 12;
   pong->sent_at = 3456;
   pong->inflight = 17;
+  pong->run_queue = 9;
+  pong->run_queue_limit = 32;
   pong->shard_epoch = 3;
   pong->map_entries = {SampleRange()};
   ExpectRoundTrip(*pong);
@@ -658,8 +667,8 @@ TEST(RuntimeCodecTest, MalformedInputDecodesToNull) {
 // The enum is the codec's checklist: if someone appends a MessageType
 // this static count forces them here (and into codec.cc) on the same PR.
 TEST(RuntimeCodecTest, EveryMessageTypeIsCovered) {
-  // kYbResolveRequest is the last enumerator; 0 is kUnknown.
-  EXPECT_EQ(static_cast<int>(MessageType::kYbResolveRequest), 42);
+  // kOverloadedResponse is the last enumerator; 0 is kUnknown.
+  EXPECT_EQ(static_cast<int>(MessageType::kOverloadedResponse), 43);
 }
 
 }  // namespace
