@@ -6,9 +6,13 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "workload/runner.h"
 
 namespace geotp {
@@ -16,9 +20,10 @@ namespace bench {
 
 using workload::ExperimentConfig;
 using workload::ExperimentResult;
-using workload::RunExperiment;
 using workload::SystemKind;
 using workload::SystemName;
+// NOTE: benches call RunTracked (below), not workload::RunExperiment,
+// so every simulation gets sim-wall accounting and GEOTP_TRACE support.
 
 /// Default measurement windows: long enough for stable numbers, short
 /// enough that a full bench suite finishes in minutes.
@@ -60,11 +65,86 @@ inline SimWallTotals& SimWall() {
   return totals;
 }
 
+/// Observability opt-in: GEOTP_TRACE=1 (scripts/run_bench.sh --trace)
+/// samples every transaction, collects the metrics registry, and enables
+/// the executor profiler; PrintSimWallSummary then writes the artifacts
+/// next to the bench snapshots. Off (the default) nothing is touched, so
+/// the committed BENCH_*.json numbers stay bit-identical.
+inline bool TraceRequested() {
+  const char* env = std::getenv("GEOTP_TRACE");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+/// Metrics snapshot of the most recent traced run (the registry's gauges
+/// die with the experiment's nodes; the JSON survives here).
+inline std::string& LastMetricsJson() {
+  static std::string json;
+  return json;
+}
+
+inline void DumpObsArtifacts();
+
+/// Every bench simulation funnels through here (the bench namespace
+/// shadows workload::RunExperiment with this wrapper): sim-wall
+/// accounting always, plus — under GEOTP_TRACE — full sampling, metrics
+/// collection, the profiler, and an atexit artifact dump so any bench
+/// binary works with scripts/run_bench.sh --trace.
 inline ExperimentResult RunTracked(const ExperimentConfig& config) {
-  ExperimentResult result = RunExperiment(config);
+  ExperimentConfig run_config = config;
+  if (TraceRequested()) {
+    run_config.trace_sample_rate = 1.0;
+    run_config.collect_metrics = true;
+    obs::GlobalProfiler().Enable();
+    // Touch every function-local static DumpObsArtifacts reads BEFORE
+    // registering the atexit hook: atexit handlers and static
+    // destructors unwind as one LIFO stack, so anything first
+    // constructed after the registration would already be destroyed
+    // when the dump runs.
+    obs::GlobalTracer();
+    LastMetricsJson();
+    static const bool registered = []() {
+      std::atexit([]() { DumpObsArtifacts(); });
+      return true;
+    }();
+    (void)registered;
+  }
+  ExperimentResult result = workload::RunExperiment(run_config);
+  if (TraceRequested()) LastMetricsJson() = result.metrics_json;
   SimWall().seconds += result.wall_seconds;
   SimWall().committed += result.run.committed;
   return result;
+}
+
+/// Writes trace/metrics/profiler artifacts for a traced bench run:
+/// <prefix>_trace.json (Chrome trace-event, Perfetto loadable — the LAST
+/// experiment's spans; each run resets the tracer), <prefix>_slowest.txt,
+/// <prefix>_metrics.json, <prefix>_profile.json (cumulative handler/queue
+/// timings across every run of the binary). Prefix from GEOTP_TRACE_OUT,
+/// default "bench/out/trace".
+inline void DumpObsArtifacts() {
+  const char* env = std::getenv("GEOTP_TRACE_OUT");
+  const std::string prefix = env != nullptr && env[0] != '\0'
+                                 ? env
+                                 : "bench/out/trace";
+  obs::Tracer& tracer = obs::GlobalTracer();
+  {
+    std::ofstream out(prefix + "_trace.json");
+    tracer.ExportChromeTrace(out, /*pid=*/0);
+  }
+  {
+    std::ofstream out(prefix + "_slowest.txt");
+    out << obs::SlowestTracesReport(tracer.Snapshot(), /*k=*/8);
+  }
+  {
+    std::ofstream out(prefix + "_metrics.json");
+    out << LastMetricsJson();
+  }
+  {
+    std::ofstream out(prefix + "_profile.json");
+    out << obs::GlobalProfiler().ReportJson();
+  }
+  std::printf("obs artifacts: %s_{trace,metrics,profile}.json (%zu spans)\n",
+              prefix.c_str(), tracer.span_count());
 }
 
 inline void PrintSimWallSummary() {
@@ -73,6 +153,8 @@ inline void PrintSimWallSummary() {
               "us/committed-txn\n",
               t.seconds, static_cast<unsigned long long>(t.committed),
               t.committed == 0 ? 0.0 : t.seconds * 1e6 / t.committed);
+  // Trace artifacts (GEOTP_TRACE) are written by RunTracked's atexit
+  // hook, after the final experiment's spans are in.
 }
 
 }  // namespace bench

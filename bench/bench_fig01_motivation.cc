@@ -23,7 +23,7 @@ int main() {
       // Paper's motivation workload: centralized txns access DS1 only;
       // distributed ones access DS1 + DS2.
       config.ycsb.pin_anchor_to_first_node = true;
-      const auto result = RunExperiment(config);
+      const auto result = RunTracked(config);
       lat[i++] = result.run.centralized_latency.Mean() / 1000.0;
     }
     std::printf("%-10.0f %-18.1f %-18.1f\n", rtt, lat[0], lat[1]);

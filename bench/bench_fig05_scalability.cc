@@ -25,7 +25,7 @@ void Sweep(workload::WorkloadKind workload, const char* title) {
       config.ycsb.distributed_ratio = 0.2;
       config.tpcc.distributed_ratio = 0.2;
       config.driver.terminals = t;
-      const auto result = RunExperiment(config);
+      const auto result = RunTracked(config);
       std::printf(" %8.1f", result.Tps());
       std::fflush(stdout);
     }

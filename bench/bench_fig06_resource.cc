@@ -20,7 +20,7 @@ int main() {
     config.system = system;
     config.ycsb.theta = 0.9;
     config.ycsb.distributed_ratio = 0.2;
-    const auto r = RunExperiment(config);
+    const auto r = RunTracked(config);
     const double commits = static_cast<double>(
         r.run.committed > 0 ? r.run.committed : 1);
     std::printf("%-12s %16.1f %16.1f %16zu %14llu %14.2f\n",
@@ -41,11 +41,13 @@ int main() {
   config.system = SystemKind::kGeoTP;
   config.ycsb.theta = 0.9;
   config.ycsb.distributed_ratio = 0.2;
-  const auto r = RunExperiment(config);
+  const auto r = RunTracked(config);
+  std::printf("%-12s %10s %10s %10s\n", "phase", "mean", "p50", "p99");
   for (int p = 0; p < static_cast<int>(metrics::TxnPhase::kNumPhases); ++p) {
     const auto phase = static_cast<metrics::TxnPhase>(p);
-    std::printf("%-12s %10.2f ms\n", metrics::TxnPhaseName(phase),
-                r.dm.breakdown.MeanMs(phase));
+    std::printf("%-12s %8.2fms %8.2fms %8.2fms\n", metrics::TxnPhaseName(phase),
+                r.dm.breakdown.MeanMs(phase), r.dm.breakdown.P50Ms(phase),
+                r.dm.breakdown.P99Ms(phase));
   }
   std::printf("mean end-to-end latency: %.1f ms\n", r.MeanLatencyMs());
   // Shard-map visibility: migrations (if any) show up in the perf
@@ -77,7 +79,7 @@ int main() {
   oc.ds_tweak = [](datasource::DataSourceConfig* ds) {
     ds->max_run_queue = 64;
   };
-  const auto o = RunExperiment(oc);
+  const auto o = RunTracked(oc);
   std::printf("admitted=%llu shed_inflight=%llu shed_tenant=%llu "
               "shed_dispatch=%llu shed_source=%llu\n",
               static_cast<unsigned long long>(o.dm.overload.admitted),

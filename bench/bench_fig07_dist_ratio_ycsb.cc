@@ -26,7 +26,7 @@ int main() {
         config.system = system;
         config.ycsb.theta = level.theta;
         config.ycsb.distributed_ratio = dr;
-        const auto r = RunExperiment(config);
+        const auto r = RunTracked(config);
         std::printf("  %7.1f/%-8.1f", r.Tps(), r.MeanLatencyMs());
         std::fflush(stdout);
       }

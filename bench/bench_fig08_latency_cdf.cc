@@ -20,7 +20,7 @@ int main() {
       config.system = system;
       config.ycsb.theta = theta;
       config.ycsb.distributed_ratio = 0.6;
-      const auto r = RunExperiment(config);
+      const auto r = RunTracked(config);
       // Turning point: cumulative fraction of txns completing within
       // ~60ms (fast local commits, unaffected by remote links).
       double turning = 0.0;

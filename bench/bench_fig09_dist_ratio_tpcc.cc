@@ -25,7 +25,7 @@ void Sweep(workload::TpccTxnType type, const char* title) {
       // Pure-type workload so the per-type metrics are the whole story.
       config.tpcc.mix = {};
       config.tpcc.mix[static_cast<size_t>(type)] = 1.0;
-      const auto r = RunExperiment(config);
+      const auto r = RunTracked(config);
       std::printf("  %7.1f/%-8.1f", r.Tps(), r.MeanLatencyMs());
       std::fflush(stdout);
     }

@@ -14,7 +14,7 @@ double RunOnce(SystemKind system, const std::vector<double>& rtts) {
   config.ds_rtts_ms = rtts;
   config.ycsb.theta = 0.9;
   config.ycsb.distributed_ratio = 0.5;
-  return RunExperiment(config).Tps();
+  return RunTracked(config).Tps();
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ int main() {
         config.jitter_frac = 0.25;  // per-message jitter (latency x ~1.5 tail)
         config.seed = 1000 + static_cast<uint64_t>(seed);
         config.driver.measure = SecToMicros(12);
-        const double tps = RunExperiment(config).Tps();
+        const double tps = RunTracked(config).Tps();
         sum += tps;
         lo = std::min(lo, tps);
         hi = std::max(hi, tps);
@@ -64,7 +64,7 @@ int main() {
         });
       }
     };
-    const ExperimentResult result = RunExperiment(config);
+    const ExperimentResult result = RunTracked(config);
     series.push_back(result.throughput_series);
     shard_epochs.push_back(result.dm.shard_map_epoch);
   }

@@ -21,7 +21,7 @@ int main() {
       config.system = systems[s];
       config.ycsb.theta = theta;
       config.ycsb.distributed_ratio = 0.5;
-      const auto r = RunExperiment(config);
+      const auto r = RunTracked(config);
       grid[s].push_back(Cell{r.Tps(), r.P99LatencyMs(),
                              100.0 * r.AbortRate()});
     }

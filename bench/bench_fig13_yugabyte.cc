@@ -20,7 +20,7 @@ int main() {
       config.system = system;
       config.ycsb.theta = level.theta;
       config.ycsb.distributed_ratio = 0.2;
-      const auto r = RunExperiment(config);
+      const auto r = RunTracked(config);
       tput[i] = r.Tps();
       lat[i] = r.MeanLatencyMs();
       ++i;

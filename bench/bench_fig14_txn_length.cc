@@ -18,7 +18,7 @@ int main() {
       config.ycsb.theta = 0.9;
       config.ycsb.distributed_ratio = 0.2;
       config.ycsb.ops_per_txn = len;
-      tput[i++] = RunExperiment(config).Tps();
+      tput[i++] = RunTracked(config).Tps();
     }
     std::printf("%-10d %10.1f %10.1f\n", len, tput[0], tput[1]);
     std::fflush(stdout);
@@ -39,7 +39,7 @@ int main() {
         config.ycsb.distributed_ratio = 0.2;
         config.ycsb.ops_per_txn = 6;  // divisible into up to 6 rounds
         config.ycsb.rounds = rounds;
-        tput[i++] = RunExperiment(config).Tps();
+        tput[i++] = RunTracked(config).Tps();
       }
       std::printf("%-10d %10.1f %10.1f\n", rounds, tput[0], tput[1]);
       std::fflush(stdout);

@@ -33,7 +33,7 @@ int main() {
         config.dialects = scenario.dialects;
         config.ycsb.theta = 0.9;
         config.ycsb.distributed_ratio = dr;
-        const auto r = RunExperiment(config);
+        const auto r = RunTracked(config);
         std::printf("%-20s %-8.0f%% %-12s %18.1f %18.1f\n", scenario.name,
                     dr * 100, Label(system).c_str(), r.Tps(),
                     r.MeanLatencyMs());

@@ -3,13 +3,19 @@
 # JSON under bench/out/. Default is the fastest end-to-end scenario bench
 # (fig15: multi-region + the replication leader-failover scenario).
 #
-# Usage: scripts/run_bench.sh [--runtime=sim|loopback] [bench_target]
+# Usage: scripts/run_bench.sh [--runtime=sim|loopback] [--trace] [bench_target]
 #
 # --runtime=sim (default) runs the virtual-time simulation bench.
 # --runtime=loopback ignores the bench target and runs the loopback
 # runtime's multi-process YCSB smoke instead (real threads, TCP loopback,
 # real fsyncs), snapshotting its measured-vs-sim-predicted report to
 # bench/out/RUNTIME_LOOPBACK.json.
+# --trace samples every transaction into the distributed tracer and
+# enables the executor profiler (GEOTP_TRACE=1); the bench then writes
+# bench/out/<bench>_{trace,metrics,profile}.json + <bench>_slowest.txt
+# (the trace JSON loads in Perfetto / chrome://tracing). Tracing perturbs
+# timings slightly — regenerate committed BENCH_*.json snapshots WITHOUT
+# this flag.
 #
 # Acceptance benches (their output ends with an "acceptance: PASS/FAIL"
 # line) additionally snapshot to bench/out/BENCH_<name>.json — the files
@@ -23,10 +29,18 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 RUNTIME="sim"
-if [[ "${1:-}" == --runtime=* ]]; then
-  RUNTIME="${1#--runtime=}"
+TRACE=0
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --runtime=*) RUNTIME="${1#--runtime=}" ;;
+    --trace) TRACE=1 ;;
+    *)
+      echo "unknown flag '$1'" >&2
+      exit 2
+      ;;
+  esac
   shift
-fi
+done
 case "${RUNTIME}" in
   sim|loopback) ;;
   *)
@@ -50,6 +64,11 @@ if [[ "${RUNTIME}" == "loopback" ]]; then
 fi
 
 cmake --build "${BUILD_DIR}" -j --target "${BENCH}"
+
+if [[ "${TRACE}" == "1" ]]; then
+  export GEOTP_TRACE=1
+  export GEOTP_TRACE_OUT="${OUT_DIR}/${BENCH}"
+fi
 
 START=$(date +%s)
 STATUS=0

@@ -6,6 +6,10 @@ namespace geotp {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<LogSink*> g_sink{nullptr};
+
+std::mutex g_prefix_mu;
+std::string g_prefix;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,22 +26,88 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+class StderrSink : public LogSink {
+ public:
+  void Write(LogLevel level, const char* file, int line,
+             const std::string& msg) override {
+    const std::string formatted = FormatLogLine(level, file, line, msg);
+    std::fprintf(stderr, "%s\n", formatted.c_str());
+  }
+};
+
+StderrSink& DefaultSink() {
+  static StderrSink sink;
+  return sink;
+}
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
-namespace internal {
+void SetLogSink(LogSink* sink) { g_sink.store(sink); }
 
-void LogMessage(LogLevel level, const char* file, int line,
-                const std::string& msg) {
+void SetLogPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(g_prefix_mu);
+  g_prefix = prefix;
+}
+
+std::string GetLogPrefix() {
+  std::lock_guard<std::mutex> lock(g_prefix_mu);
+  return g_prefix;
+}
+
+std::string FormatLogLine(LogLevel level, const char* file, int line,
+                          const std::string& msg) {
   const char* base = file;
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
-               msg.c_str());
+  std::ostringstream os;
+  os << '[';
+  const std::string prefix = GetLogPrefix();
+  if (!prefix.empty()) os << prefix << ' ';
+  os << LevelName(level) << ' ' << base << ':' << line << "] " << msg;
+  return os.str();
+}
+
+void CaptureSink::Write(LogLevel level, const char* file, int line,
+                        const std::string& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(FormatLogLine(level, file, line, msg));
+  while (lines_.size() > max_lines_) lines_.pop_front();
+}
+
+std::vector<std::string> CaptureSink::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out(lines_.begin(), lines_.end());
+  lines_.clear();
+  return out;
+}
+
+std::string CaptureSink::Joined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+size_t CaptureSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg) {
+  LogSink* sink = g_sink.load();
+  if (sink == nullptr) sink = &DefaultSink();
+  sink->Write(level, file, line, msg);
 }
 
 }  // namespace internal

@@ -1,12 +1,21 @@
 // Minimal leveled logging. Disabled (kWarn) by default so simulations stay
 // quiet; tests and examples can raise the level for debugging.
+//
+// Output goes through a pluggable LogSink: the default sink formats to
+// stderr; tests install a CaptureSink to keep a bounded window of recent
+// lines (the chaos harness attaches that window to a failing seed's
+// artifact); loopback child processes set a per-actor prefix so their
+// interleaved stderr stays attributable.
 #ifndef GEOTP_COMMON_LOGGING_H_
 #define GEOTP_COMMON_LOGGING_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace geotp {
 
@@ -15,6 +24,51 @@ enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError
 /// Process-wide log threshold. Messages below it are discarded.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Receives every emitted log record. Implementations must be
+/// thread-safe: loopback executor threads log concurrently.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, const char* file, int line,
+                     const std::string& msg) = 0;
+};
+
+/// Installs `sink` process-wide; nullptr restores the stderr default.
+/// The sink must outlive every log call (install for process lifetime,
+/// or restore the default before destroying it).
+void SetLogSink(LogSink* sink);
+
+/// Per-process prefix (e.g. "node2" in a loopback child) prepended to
+/// every formatted line. Empty clears it.
+void SetLogPrefix(const std::string& prefix);
+std::string GetLogPrefix();
+
+/// Formats a record the way the default sink prints it:
+/// "[<prefix> LEVEL file:line] msg".
+std::string FormatLogLine(LogLevel level, const char* file, int line,
+                          const std::string& msg);
+
+/// Sink keeping the last `max_lines` formatted lines in memory — the "log
+/// window" a failing chaos seed attaches to its artifact.
+class CaptureSink : public LogSink {
+ public:
+  explicit CaptureSink(size_t max_lines = 1024) : max_lines_(max_lines) {}
+
+  void Write(LogLevel level, const char* file, int line,
+             const std::string& msg) override;
+
+  /// Returns and clears the window.
+  std::vector<std::string> Drain();
+  /// The window joined with newlines (does not clear).
+  std::string Joined() const;
+  size_t size() const;
+
+ private:
+  const size_t max_lines_;
+  mutable std::mutex mu_;
+  std::deque<std::string> lines_;
+};
 
 namespace internal {
 void LogMessage(LogLevel level, const char* file, int line,

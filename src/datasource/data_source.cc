@@ -59,18 +59,72 @@ void DataSourceNode::EnableReplication(
   replicator_ = std::make_unique<replication::Replicator>(this, group);
 }
 
+obs::TraceContext DataSourceNode::BranchTrace(TxnId txn) const {
+  auto it = branches_.find(txn);
+  return it == branches_.end() ? obs::TraceContext{} : it->second.trace;
+}
+
+void DataSourceNode::RegisterMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const std::string prefix = "ds." + std::to_string(id_) + ".";
+  auto gauge = [&](const char* name, std::function<double()> fn) {
+    registry->RegisterGauge(prefix + name, std::move(fn));
+  };
+  auto count = [](uint64_t v) { return static_cast<double>(v); };
+  gauge("commits", [this, count]() { return count(stats_.commits); });
+  gauge("rollbacks", [this, count]() { return count(stats_.rollbacks); });
+  gauge("batches_executed",
+        [this, count]() { return count(stats_.batches_executed); });
+  gauge("ops_executed",
+        [this, count]() { return count(stats_.ops_executed); });
+  gauge("lock_timeouts",
+        [this, count]() { return count(stats_.lock_timeouts); });
+  gauge("decentralized_prepares",
+        [this, count]() { return count(stats_.decentralized_prepares); });
+  gauge("explicit_prepares",
+        [this, count]() { return count(stats_.explicit_prepares); });
+  gauge("early_aborts_sent",
+        [this, count]() { return count(stats_.early_aborts_sent); });
+  gauge("run_queue_rejections",
+        [this, count]() { return count(stats_.run_queue_rejections); });
+  gauge("inflight_branches",
+        [this, count]() { return count(engine_.ActiveCount()); });
+  gauge("wal_fsyncs",
+        [this, count]() { return count(wal_device_->fsyncs()); });
+  gauge("wal_bytes",
+        [this, count]() { return count(wal_device_->bytes_flushed()); });
+}
+
 void DataSourceNode::AfterLocalPrepare(const Xid& xid, NodeId coordinator,
                                        std::function<void()> deliver_vote) {
+  // The quorum span covers the replication wait when the group has peers;
+  // without replication it closes in the same tick (a pass-through), so a
+  // sampled transaction's span chain is the same shape either way.
+  obs::SpanHandle quorum = obs::kInvalidSpan;
+  if (obs::GlobalTracer().enabled()) {
+    const obs::TraceContext trace = BranchTrace(xid.txn_id);
+    if (trace.valid()) {
+      quorum = obs::GlobalTracer().BeginSpan(trace, "ds.quorum", id_,
+                                             loop()->Now());
+    }
+  }
+  auto deliver = [this, quorum,
+                  deliver_vote = std::move(deliver_vote)]() {
+    if (quorum != obs::kInvalidSpan) {
+      obs::GlobalTracer().EndSpan(quorum, loop()->Now());
+    }
+    deliver_vote();
+  };
   if (replicator_ != nullptr && replicator_->IsLeader()) {
     std::vector<protocol::ReplWrite> writes;
     for (const auto& [key, value] : engine_.WriteSetOf(xid)) {
       writes.push_back(protocol::ReplWrite{key, value});
     }
     replicator_->ReplicatePrepare(xid, std::move(writes), coordinator,
-                                  std::move(deliver_vote));
+                                  std::move(deliver));
     return;
   }
-  deliver_vote();
+  deliver();
 }
 
 void DataSourceNode::NoteLocalRollback(TxnId txn) {
@@ -219,6 +273,10 @@ void DataSourceNode::OnExecute(const BranchExecuteRequest& req) {
   state->last_statement = req.last_statement;
   state->started_at = loop()->Now();
   state->reply_to = req.from;
+  if (obs::GlobalTracer().enabled() && req.trace.valid()) {
+    state->exec_span = obs::GlobalTracer().BeginSpan(
+        req.trace, "ds.branch_exec", id_, state->started_at);
+  }
 
   // Elastic sharding: refuse batches on fenced (mid-migration) ranges —
   // the client retries and, post-cutover, routes to the new owner — and
@@ -273,6 +331,7 @@ void DataSourceNode::OnExecute(const BranchExecuteRequest& req) {
     BranchInfo info;
     info.peers = req.peers;
     info.coordinator = req.coordinator;
+    info.trace = req.trace;
     branches_[req.xid.txn_id] = std::move(info);
   } else if (branches_.count(req.xid.txn_id) == 0) {
     SendExecuteResponse(state, Status::Aborted("branch gone"),
@@ -280,6 +339,7 @@ void DataSourceNode::OnExecute(const BranchExecuteRequest& req) {
     return;
   }
   BranchInfo& branch = branches_[req.xid.txn_id];
+  if (!branch.trace.valid()) branch.trace = req.trace;
   for (const protocol::ClientOp& op : req.ops) {
     branch.keys.push_back(op.key);
   }
@@ -393,6 +453,10 @@ void DataSourceNode::SendExecuteResponse(
   resp->values = state->values;
   resp->local_exec_latency = loop()->Now() - state->started_at;
   resp->rolled_back = rolled_back;
+  if (state->exec_span != obs::kInvalidSpan) {
+    obs::GlobalTracer().EndSpan(state->exec_span, loop()->Now());
+    state->exec_span = obs::kInvalidSpan;
+  }
   network_->Send(std::move(resp));
 }
 
@@ -402,9 +466,20 @@ void DataSourceNode::OnPrepare(const Xid& xid, NodeId coordinator) {
   // record joins the WAL device's open batch; the branch transitions (and
   // the vote goes out) only when the shared fsync completes.
   stats_.explicit_prepares++;
+  obs::SpanHandle fsync_span = obs::kInvalidSpan;
+  if (obs::GlobalTracer().enabled()) {
+    const obs::TraceContext trace = BranchTrace(xid.txn_id);
+    if (trace.valid()) {
+      fsync_span = obs::GlobalTracer().BeginSpan(trace, "ds.prepare_fsync",
+                                                 id_, loop()->Now());
+    }
+  }
   committer_.Append(config_.engine.prepare_fsync_cost,
                     "PREPARE xid=" + xid.ToString() + "\n",
-                    [this, xid, coordinator]() {
+                    [this, xid, coordinator, fsync_span]() {
+    if (fsync_span != obs::kInvalidSpan) {
+      obs::GlobalTracer().EndSpan(fsync_span, loop()->Now());
+    }
     if (crashed_) return;
     Status st = engine_.Prepare(xid, loop()->Now());
     if (st.ok()) {
@@ -463,10 +538,21 @@ void DataSourceNode::OnDecision(const DecisionItem& item,
     }
     // The commit record shares the WAL device's flush with any concurrent
     // prepare/commit records (group commit).
+    obs::SpanHandle fsync_span = obs::kInvalidSpan;
+    if (obs::GlobalTracer().enabled()) {
+      const obs::TraceContext trace = BranchTrace(xid.txn_id);
+      if (trace.valid()) {
+        fsync_span = obs::GlobalTracer().BeginSpan(trace, "ds.commit_fsync",
+                                                   id_, loop()->Now());
+      }
+    }
     committer_.Append(
         config_.engine.commit_fsync_cost,
         "COMMIT xid=" + xid.ToString() + "\n",
-        [this, xid, coordinator, one_phase]() {
+        [this, xid, coordinator, one_phase, fsync_span]() {
+          if (fsync_span != obs::kInvalidSpan) {
+            obs::GlobalTracer().EndSpan(fsync_span, loop()->Now());
+          }
           if (crashed_) return;
           auto finish = [this, xid, coordinator, one_phase]() {
             if (crashed_) return;
@@ -508,12 +594,26 @@ void DataSourceNode::OnDecision(const DecisionItem& item,
               committable) {
             // Quorum-replicate the commit (with its write set) before the
             // local commit becomes durable and is acknowledged.
+            obs::SpanHandle quorum = obs::kInvalidSpan;
+            if (obs::GlobalTracer().enabled()) {
+              const obs::TraceContext trace = BranchTrace(xid.txn_id);
+              if (trace.valid()) {
+                quorum = obs::GlobalTracer().BeginSpan(
+                    trace, "ds.commit_quorum", id_, loop()->Now());
+              }
+            }
             std::vector<protocol::ReplWrite> writes;
             for (const auto& [key, value] : engine_.WriteSetOf(xid)) {
               writes.push_back(protocol::ReplWrite{key, value});
             }
-            replicator_->ReplicateCommit(xid, std::move(writes),
-                                         std::move(finish));
+            replicator_->ReplicateCommit(
+                xid, std::move(writes),
+                [this, quorum, finish = std::move(finish)]() {
+                  if (quorum != obs::kInvalidSpan) {
+                    obs::GlobalTracer().EndSpan(quorum, loop()->Now());
+                  }
+                  finish();
+                });
           } else {
             finish();
           }

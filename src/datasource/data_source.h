@@ -23,6 +23,8 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "datasource/geo_agent.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "protocol/messages.h"
 #include "replication/replicator.h"
 #include "runtime/runtime.h"
@@ -153,6 +155,10 @@ class DataSourceNode {
   /// True if this node currently executes/holds the branch of `txn`.
   bool HasBranch(TxnId txn) const { return branches_.count(txn) > 0; }
 
+  /// Registers this source's stats as named gauges on `registry` (see
+  /// MiddlewareNode::AttachMetrics for the lifetime contract).
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
   /// Common setting ❶ (§V-A): when a DM disconnects, its branches that
   /// have not completed the prepare phase are aborted. Prepared branches
   /// survive as in-doubt until the DM recovers.
@@ -181,6 +187,11 @@ class DataSourceNode {
     /// this to abort (active) or drain (prepared) branches on the moving
     /// range without scanning the engine.
     std::vector<RecordKey> keys;
+    /// Trace context seeded from the BranchExecuteRequest envelope.
+    /// Prepare/decision batches carry no per-transaction context (one
+    /// envelope, many transactions), so source-side spans of the commit
+    /// path parent under the context stored here.
+    obs::TraceContext trace;
   };
 
   /// In-flight execution of one BranchExecuteRequest.
@@ -195,6 +206,7 @@ class DataSourceNode {
     NodeId reply_to = kInvalidNode;
     sim::EventId timeout_event = sim::kInvalidEvent;
     bool finished = false;
+    obs::SpanHandle exec_span = obs::kInvalidSpan;
   };
 
   friend class replication::Replicator;
@@ -212,6 +224,10 @@ class DataSourceNode {
   /// coordinator (the client retries; post-cutover the retry routes to the
   /// shard's new owner). Mirrors the peer-abort path.
   void AbortBranchForMigration(TxnId txn);
+
+  /// The stored trace context of `txn`'s branch (invalid when the branch
+  /// is gone or was never sampled).
+  obs::TraceContext BranchTrace(TxnId txn) const;
 
   void HandleMessage(std::unique_ptr<sim::MessageBase> msg);
   /// Promotion barrier (see Replicator::ReadyToServe): true for message

@@ -37,10 +37,21 @@ void GeoAgent::AsyncPrepare(const Xid& xid, const std::vector<NodeId>& peers,
     }
     // The prepare record joins the WAL device's open batch; the branch
     // transitions (and the vote goes out) at the shared fsync completion.
+    obs::SpanHandle fsync_span = obs::kInvalidSpan;
+    if (obs::GlobalTracer().enabled()) {
+      const obs::TraceContext trace = node->BranchTrace(xid.txn_id);
+      if (trace.valid()) {
+        fsync_span = obs::GlobalTracer().BeginSpan(
+            trace, "ds.prepare_fsync", node->id(), node->loop()->Now());
+      }
+    }
     node->committer().Append(
         node->config().engine.prepare_fsync_cost,
         "PREPARE xid=" + xid.ToString() + "\n",
-        [this, node, xid, peers, coordinator]() {
+        [this, node, xid, peers, coordinator, fsync_span]() {
+          if (fsync_span != obs::kInvalidSpan) {
+            obs::GlobalTracer().EndSpan(fsync_span, node->loop()->Now());
+          }
           if (node->crashed()) return;
           if (node->engine().StateOf(xid) != storage::TxnState::kActive) {
             // Rolled back while the prepare was in flight (early abort

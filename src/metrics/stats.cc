@@ -28,12 +28,14 @@ void PhaseBreakdown::Record(TxnPhase phase, Micros duration) {
   GEOTP_CHECK(i >= 0 && i < kN, "phase " << i);
   total_[i] += duration;
   count_[i] += 1;
+  hist_[i].Record(duration);
 }
 
 void PhaseBreakdown::Merge(const PhaseBreakdown& other) {
   for (int i = 0; i < kN; ++i) {
     total_[i] += other.total_[i];
     count_[i] += other.count_[i];
+    hist_[i].Merge(other.hist_[i]);
   }
 }
 
@@ -50,6 +52,18 @@ double PhaseBreakdown::MeanMs(TxnPhase phase) const {
   return count_[i] == 0 ? 0.0
                         : MicrosToMs(total_[i]) /
                               static_cast<double>(count_[i]);
+}
+
+double PhaseBreakdown::P50Ms(TxnPhase phase) const {
+  return MicrosToMs(hist_[static_cast<int>(phase)].P50());
+}
+
+double PhaseBreakdown::P99Ms(TxnPhase phase) const {
+  return MicrosToMs(hist_[static_cast<int>(phase)].P99());
+}
+
+const Histogram& PhaseBreakdown::histogram(TxnPhase phase) const {
+  return hist_[static_cast<int>(phase)];
 }
 
 std::string PhaseBreakdown::ToString() const {

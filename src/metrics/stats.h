@@ -25,7 +25,9 @@ enum class TxnPhase : int {
 
 const char* TxnPhaseName(TxnPhase phase);
 
-/// Accumulates per-phase time; one instance per experiment run.
+/// Accumulates per-phase time; one instance per experiment run. Keeps a
+/// full histogram per phase alongside the totals, so Fig. 6c can report
+/// tail (p50/p99) per-phase latency, not just means.
 class PhaseBreakdown {
  public:
   void Record(TxnPhase phase, Micros duration);
@@ -34,12 +36,16 @@ class PhaseBreakdown {
   Micros total(TxnPhase phase) const;
   uint64_t count(TxnPhase phase) const;
   double MeanMs(TxnPhase phase) const;
+  double P50Ms(TxnPhase phase) const;
+  double P99Ms(TxnPhase phase) const;
+  const Histogram& histogram(TxnPhase phase) const;
   std::string ToString() const;
 
  private:
   static constexpr int kN = static_cast<int>(TxnPhase::kNumPhases);
   Micros total_[kN] = {};
   uint64_t count_[kN] = {};
+  Histogram hist_[kN];
 };
 
 /// Everything an experiment run reports. Committed counts only measured

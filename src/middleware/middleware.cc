@@ -128,6 +128,7 @@ MiddlewareNode::MiddlewareNode(runtime::ActorEnv env, uint32_t ordinal,
       scheduler_(std::make_unique<core::GeoScheduler>(
           config_.scheduler, monitor_.get(), footprint_.get())),
       rng_(0xD1CEBA5E + id_),
+      trace_rng_(0x714ACE00 + id_),
       admission_(config_.overload),
       log_committer_(timer_, log_device_.get(), config_.log_group_commit) {
   log_committer_.set_on_fsync([this]() { stats_.log_flushes++; });
@@ -138,6 +139,45 @@ MiddlewareNode::MiddlewareNode(runtime::ActorEnv env, uint32_t ordinal,
 }
 
 MiddlewareNode::~MiddlewareNode() = default;
+
+void MiddlewareNode::AttachMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) return;
+  const std::string prefix = "dm." + std::to_string(ordinal_) + ".";
+  auto gauge = [&](const char* name, std::function<double()> fn) {
+    registry->RegisterGauge(prefix + name, std::move(fn));
+  };
+  auto count = [](uint64_t v) { return static_cast<double>(v); };
+  gauge("committed", [this, count]() { return count(stats_.committed); });
+  gauge("aborted", [this, count]() { return count(stats_.aborted); });
+  gauge("inflight", [this, count]() { return count(txns_.size()); });
+  gauge("admission_blocks",
+        [this, count]() { return count(stats_.admission_blocks); });
+  gauge("admission_aborts",
+        [this, count]() { return count(stats_.admission_aborts); });
+  gauge("sheds", [this, count]() { return count(admission_.stats().Sheds()); });
+  gauge("log_flushes", [this, count]() { return count(stats_.log_flushes); });
+  gauge("log_entries_flushed",
+        [this, count]() { return count(stats_.log_entries_flushed); });
+  gauge("dispatches_coalesced",
+        [this, count]() { return count(stats_.dispatches_coalesced); });
+  gauge("failovers_observed",
+        [this, count]() { return count(stats_.failovers_observed); });
+  gauge("branch_retries",
+        [this, count]() { return count(stats_.branch_retries); });
+  gauge("follower_reads",
+        [this, count]() { return count(stats_.follower_reads); });
+  gauge("shard_redirects",
+        [this, count]() { return count(stats_.shard_redirects); });
+  gauge("dispatch_depth",
+        [this, count]() { return count(MaxDispatchDepth()); });
+  for (int i = 0; i < static_cast<int>(metrics::TxnPhase::kNumPhases); ++i) {
+    const auto phase = static_cast<metrics::TxnPhase>(i);
+    registry->RegisterHistogram(
+        prefix + "phase." + metrics::TxnPhaseName(phase),
+        [this, phase]() { return &stats_.breakdown.histogram(phase); });
+  }
+}
 
 void MiddlewareNode::Attach() {
   network_->RegisterNode(id_, [this](std::unique_ptr<sim::MessageBase> msg) {
@@ -214,6 +254,24 @@ void MiddlewareNode::HandleMessage(std::unique_ptr<sim::MessageBase> msg) {
   }
 }
 
+void MiddlewareNode::BeginPrepareSpan(Txn& txn) {
+  if (!txn.trace.valid() || txn.prepare_span != obs::kInvalidSpan) return;
+  txn.prepare_span = obs::GlobalTracer().BeginSpan(
+      txn.trace, "dm.prepare_wait", id_, loop()->Now());
+}
+
+void MiddlewareNode::CloseTxnSpans(Txn& txn, Micros now) {
+  obs::Tracer& tracer = obs::GlobalTracer();
+  for (obs::SpanHandle* h : {&txn.analysis_span, &txn.prepare_span,
+                             &txn.fsync_span, &txn.commit_span,
+                             &txn.root_span}) {
+    if (*h != obs::kInvalidSpan) {
+      tracer.EndSpan(*h, now);
+      *h = obs::kInvalidSpan;
+    }
+  }
+}
+
 MiddlewareNode::Txn* MiddlewareNode::FindTxn(TxnId id) {
   auto it = txns_.find(id);
   return it == txns_.end() ? nullptr : &it->second;
@@ -253,6 +311,16 @@ void MiddlewareNode::OnClientRound(const ClientRoundRequest& req) {
     txn.tenant = req.tenant;
     txn.client = req.from;
     txn.ts_begin = loop()->Now();
+    // Trace-sampling decision (dedicated rng stream: the draw must not
+    // perturb rng_'s scheduling/jitter sequence). The root span's context
+    // is what every outbound envelope of this transaction carries.
+    obs::Tracer& tracer = obs::GlobalTracer();
+    if (tracer.enabled() && tracer.Sample(trace_rng_.NextDouble())) {
+      const obs::TraceContext root =
+          tracer.NewTrace(trace_rng_.NextU64(), id_);
+      txn.root_span =
+          tracer.BeginSpan(root, "dm.txn", id_, txn.ts_begin, &txn.trace);
+    }
     txns_.emplace(id, std::move(txn));
   }
   Txn* txn = FindTxn(id);
@@ -263,6 +331,10 @@ void MiddlewareNode::OnClientRound(const ClientRoundRequest& req) {
   txn->last_round = req.last_round;
   txn->round_values.assign(req.ops.size(), 0);
   txn->analysis_total += config_.analysis_cost;
+  if (txn->trace.valid() && txn->analysis_span == obs::kInvalidSpan) {
+    txn->analysis_span = obs::GlobalTracer().BeginSpan(
+        txn->trace, "dm.analysis", id_, loop()->Now());
+  }
   // Parse / rewrite / route / schedule cost at the DM.
   loop()->Schedule(config_.analysis_cost,
                    [this, id]() { PlanAndDispatchRound(id); });
@@ -271,6 +343,10 @@ void MiddlewareNode::OnClientRound(const ClientRoundRequest& req) {
 void MiddlewareNode::PlanAndDispatchRound(TxnId id) {
   Txn* txn = FindTxn(id);
   if (txn == nullptr || txn->aborting) return;
+  if (txn->analysis_span != obs::kInvalidSpan) {
+    obs::GlobalTracer().EndSpan(txn->analysis_span, loop()->Now());
+    txn->analysis_span = obs::kInvalidSpan;
+  }
 
   // Group operations (with their positions in the round) per data source.
   std::map<NodeId, std::vector<std::pair<ClientOp, size_t>>> groups;
@@ -380,6 +456,7 @@ void MiddlewareNode::SendBranchBatch(Txn& txn, NodeId logical,
   auto req = std::make_unique<BranchExecuteRequest>();
   req->from = id_;
   req->to = catalog_.LeaderOf(logical);
+  req->trace = txn.trace;
   req->xid = Xid{txn.id, logical};
   req->round_seq = round_seq;
   req->begin_branch = !p.begun;
@@ -430,6 +507,7 @@ bool MiddlewareNode::TryFollowerRead(Txn& txn, NodeId logical,
   auto req = std::make_unique<FollowerReadRequest>();
   req->from = id_;
   req->to = target;
+  req->trace = txn.trace;
   req->group = logical;
   req->txn_id = txn.id;
   req->round_seq = round_seq;
@@ -553,6 +631,7 @@ void MiddlewareNode::StartCommit(Txn& txn) {
       // Votes arrive asynchronously from the geo-agents (implicit
       // decentralized prepare, Algorithm 1): wait for them.
       txn.phase = Phase::kWaitCommitVotes;
+      BeginPrepareSpan(txn);
       CheckVotesComplete(txn);
       return;
     }
@@ -564,6 +643,7 @@ void MiddlewareNode::StartCommit(Txn& txn) {
         return;
       }
       txn.phase = Phase::kWaitCommitVotes;
+      BeginPrepareSpan(txn);
       for (auto& [node, p] : txn.participants) {
         if (!p.begun) continue;
         QueuePrepare(catalog_.LeaderOf(node), Xid{txn.id, node});
@@ -632,6 +712,10 @@ void MiddlewareNode::CheckVotesComplete(Txn& txn) {
     return;
   }
   txn.ts_votes = loop()->Now();
+  if (txn.prepare_span != obs::kInvalidSpan) {
+    obs::GlobalTracer().EndSpan(txn.prepare_span, txn.ts_votes);
+    txn.prepare_span = obs::kInvalidSpan;
+  }
   const bool one_phase = txn.participants.size() == 1 &&
                          txn.participants.begin()->second.vote == Vote::kIdle;
   if (one_phase) {
@@ -649,12 +733,20 @@ void MiddlewareNode::FlushLogAndDispatch(Txn& txn, bool commit) {
   // crash loses the open batch — exactly the decisions that were never
   // durable, so recovery's presumed abort stays correct.
   const TxnId id = txn.id;
+  if (txn.trace.valid() && txn.fsync_span == obs::kInvalidSpan) {
+    txn.fsync_span = obs::GlobalTracer().BeginSpan(
+        txn.trace, "dm.log_fsync", id_, loop()->Now());
+  }
   log_committer_.Append(
       config_.log_flush_cost,
       "DECISION txn=" + std::to_string(id) + (commit ? " C\n" : " A\n"),
       [this, id, commit]() {
     Txn* txn = FindTxn(id);
     if (txn == nullptr) return;
+    if (txn->fsync_span != obs::kInvalidSpan) {
+      obs::GlobalTracer().EndSpan(txn->fsync_span, loop()->Now());
+      txn->fsync_span = obs::kInvalidSpan;
+    }
     log_.push_back(DecisionLogEntry{id, commit});
     stats_.log_entries_flushed++;
     DispatchDecision(*txn, commit, /*one_phase=*/false);
@@ -665,6 +757,10 @@ void MiddlewareNode::DispatchDecision(Txn& txn, bool commit, bool one_phase) {
   txn.phase = commit ? Phase::kCommitDispatched : Phase::kAborting;
   txn.decision_one_phase = one_phase;
   txn.ts_decision = loop()->Now();
+  if (txn.trace.valid() && txn.commit_span == obs::kInvalidSpan) {
+    txn.commit_span = obs::GlobalTracer().BeginSpan(
+        txn.trace, commit ? "dm.commit" : "dm.abort", id_, txn.ts_decision);
+  }
   size_t sent = 0;
   for (auto& [node, p] : txn.participants) {
     if (!p.begun) continue;
@@ -748,6 +844,10 @@ void MiddlewareNode::FlushDispatchQueues() {
       prep->from = id_;
       prep->to = dest;
       prep->xid = xids.front();
+      // Singleton envelopes carry the transaction's context; batches rely
+      // on the branch context stored at the source (one envelope cannot
+      // carry many contexts).
+      if (Txn* t = FindTxn(prep->xid.txn_id)) prep->trace = t->trace;
       network_->Send(std::move(prep));
       continue;
     }
@@ -769,6 +869,7 @@ void MiddlewareNode::FlushDispatchQueues() {
       decision->xid = items.front().xid;
       decision->commit = items.front().commit;
       decision->one_phase = items.front().one_phase;
+      if (Txn* t = FindTxn(decision->xid.txn_id)) decision->trace = t->trace;
       network_->Send(std::move(decision));
       continue;
     }
@@ -849,6 +950,7 @@ void MiddlewareNode::CheckAbortDone(Txn& txn) {
 
 void MiddlewareNode::FinishTxn(Txn& txn, bool committed) {
   const Micros now = loop()->Now();
+  CloseTxnSpans(txn, now);
   // Release footprint charges for participants whose execute response
   // never arrived (dispatch skipped mid-abort, or settled early) so a_cnt
   // does not leak — a leaked a_cnt drives Eq. 9 to 1 permanently.
@@ -1027,6 +1129,15 @@ void MiddlewareNode::OnShardMapUpdate(const protocol::ShardMapUpdate& update) {
 
 void MiddlewareNode::OnPingResponse(const protocol::PingResponse& pong) {
   monitor_->OnPong(pong);
+  // Metrics sampling rides the monitor tick: pongs arrive once per ping
+  // interval per target, so space samples by the interval.
+  if (metrics_ != nullptr) {
+    const Micros now = loop()->Now();
+    if (now - last_metrics_sample_ >= config_.monitor.ping_interval) {
+      last_metrics_sample_ = now;
+      metrics_->Sample(now);
+    }
+  }
   // Anti-entropy, both directions. A source that saw our stale epoch sent
   // its map along: adopt it (bounds DM staleness by one ping interval
   // instead of one redirect). A source whose own epoch trails the catalog

@@ -35,6 +35,8 @@
 #include "metrics/stats.h"
 #include "middleware/catalog.h"
 #include "middleware/overload.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "protocol/messages.h"
 #include "sharding/balancer.h"
 #include "sim/network.h"
@@ -189,6 +191,11 @@ class MiddlewareNode {
   /// Overload-control state (budget occupancy, shed counters).
   const AdmissionController& admission() const { return admission_; }
 
+  /// Registers this DM's stats as named gauges on `registry` and samples
+  /// the registry on every latency-monitor ping tick. The registry must
+  /// outlive this node (or be detached with AttachMetrics(nullptr)).
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
   /// Crash simulation: in-memory transaction state is lost; the decision
   /// log survives. Clients receive no further messages.
   void Crash();
@@ -250,6 +257,16 @@ class MiddlewareNode {
     Micros ts_votes = 0;
     Micros ts_decision = 0;
     Micros analysis_total = 0;
+    // Distributed tracing: invalid unless the transaction was sampled at
+    // admission. `trace` is the context stamped onto outbound envelopes
+    // (trace_id + the root span as parent); the handles are the DM-side
+    // spans still open.
+    obs::TraceContext trace;
+    obs::SpanHandle root_span = obs::kInvalidSpan;
+    obs::SpanHandle analysis_span = obs::kInvalidSpan;
+    obs::SpanHandle prepare_span = obs::kInvalidSpan;
+    obs::SpanHandle fsync_span = obs::kInvalidSpan;
+    obs::SpanHandle commit_span = obs::kInvalidSpan;
   };
 
   void HandleMessage(std::unique_ptr<sim::MessageBase> msg);
@@ -321,6 +338,13 @@ class MiddlewareNode {
   /// Sheds a new client transaction with an Overloaded reply.
   void ShedClientRound(const protocol::ClientRoundRequest& req);
 
+  // ----- tracing ----------------------------------------------------------
+  /// Opens the "dm.prepare_wait" span (no-op when the transaction is
+  /// unsampled or the span is already open).
+  void BeginPrepareSpan(Txn& txn);
+  /// Closes every DM-side span the transaction still holds open.
+  void CloseTxnSpans(Txn& txn, Micros now);
+
   Txn* FindTxn(TxnId id);
   std::vector<NodeId> ParticipantIds(const Txn& txn) const;
 
@@ -337,6 +361,12 @@ class MiddlewareNode {
   std::unique_ptr<core::GeoScheduler> scheduler_;
   std::unique_ptr<sharding::ShardBalancer> balancer_;
   Rng rng_;
+  /// Dedicated stream for trace-sampling decisions so enabling tracing
+  /// never perturbs `rng_` (scheduling/jitter draws stay identical).
+  Rng trace_rng_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  /// Last Sample() on the registry (spaced by the monitor ping interval).
+  Micros last_metrics_sample_ = 0;
   MiddlewareStats stats_;
   AdmissionController admission_;
   std::vector<DecisionLogEntry> log_;  // durable

@@ -1,0 +1,69 @@
+#include "obs/profiler.h"
+
+#include <sstream>
+
+namespace geotp {
+namespace obs {
+
+void Profiler::RecordHandler(int msg_type, uint64_t ns) {
+  if (msg_type < 0 || msg_type >= kMaxMessageTypes) return;
+  handlers_[msg_type].Record(ns);
+}
+
+const ProfileSlot& Profiler::handler_slot(int msg_type) const {
+  static const ProfileSlot empty;
+  if (msg_type < 0 || msg_type >= kMaxMessageTypes) return empty;
+  return handlers_[msg_type];
+}
+
+void Profiler::Reset() {
+  for (ProfileSlot& slot : handlers_) slot.Reset();
+  queue_wait_.Reset();
+  timer_lag_.Reset();
+  task_.Reset();
+}
+
+namespace {
+
+void WriteSlot(std::ostream& os, const ProfileSlot& slot) {
+  const uint64_t count = slot.count.load(std::memory_order_relaxed);
+  const uint64_t total = slot.total.load(std::memory_order_relaxed);
+  const uint64_t max = slot.max.load(std::memory_order_relaxed);
+  os << "{\"count\":" << count << ",\"total\":" << total
+     << ",\"max\":" << max << ",\"mean\":"
+     << (count == 0 ? 0.0
+                    : static_cast<double>(total) /
+                          static_cast<double>(count))
+     << "}";
+}
+
+}  // namespace
+
+std::string Profiler::ReportJson() const {
+  std::ostringstream os;
+  os << "{\"handlers_ns\":{";
+  bool first = true;
+  for (int t = 0; t < kMaxMessageTypes; ++t) {
+    if (handlers_[t].count.load(std::memory_order_relaxed) == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << t << "\":";
+    WriteSlot(os, handlers_[t]);
+  }
+  os << "},\"queue_wait_ns\":";
+  WriteSlot(os, queue_wait_);
+  os << ",\"timer_lag_us\":";
+  WriteSlot(os, timer_lag_);
+  os << ",\"task_ns\":";
+  WriteSlot(os, task_);
+  os << "}";
+  return os.str();
+}
+
+Profiler& GlobalProfiler() {
+  static Profiler profiler;
+  return profiler;
+}
+
+}  // namespace obs
+}  // namespace geotp

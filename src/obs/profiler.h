@@ -1,0 +1,93 @@
+// Event-loop / executor profiler for both runtime backends.
+//
+// Answers "where does execution time go" at the runtime layer, which the
+// ROADMAP's sim-perf direction needs before the fig05 sweep can grow from
+// 1k to tens of thousands of terminals:
+//
+//  * per-message-type handler wall time — sampled around the delivery
+//    callback in sim::Network (host time spent simulating each message
+//    kind) and around the mailbox dispatch in the loopback ActorExecutor;
+//  * queue-wait time — loopback only: host ns between a message being
+//    posted to an executor's mailbox and the executor picking it up;
+//  * timer-fire lag — loopback only: how late each timer callback ran
+//    versus its deadline (in the sim backend virtual timers fire exactly
+//    on time, so the lag is definitionally zero and is not recorded).
+//
+// All counters are relaxed atomics so many executor threads can record
+// concurrently; `enabled()` is one relaxed load and the hooks do nothing
+// else when it is false, keeping tier-1 behaviour identical.
+#ifndef GEOTP_OBS_PROFILER_H_
+#define GEOTP_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace geotp {
+namespace obs {
+
+/// One accumulation slot: count / total / max, all relaxed atomics.
+struct ProfileSlot {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> total{0};
+  std::atomic<uint64_t> max{0};
+
+  void Record(uint64_t value) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    total.fetch_add(value, std::memory_order_relaxed);
+    uint64_t prev = max.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !max.compare_exchange_weak(prev, value,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
+  void Reset() {
+    count.store(0, std::memory_order_relaxed);
+    total.store(0, std::memory_order_relaxed);
+    max.store(0, std::memory_order_relaxed);
+  }
+};
+
+class Profiler {
+ public:
+  /// One slot per runtime::MessageType value, with headroom for growth.
+  static constexpr int kMaxMessageTypes = 64;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Host nanoseconds the handler for `msg_type` ran.
+  void RecordHandler(int msg_type, uint64_t ns);
+  /// Host nanoseconds a message waited in an executor mailbox.
+  void RecordQueueWait(uint64_t ns) { queue_wait_.Record(ns); }
+  /// Microseconds a timer fired past its deadline.
+  void RecordTimerLag(uint64_t us) { timer_lag_.Record(us); }
+  /// Host nanoseconds a posted (non-message) task ran.
+  void RecordTask(uint64_t ns) { task_.Record(ns); }
+
+  const ProfileSlot& handler_slot(int msg_type) const;
+  const ProfileSlot& queue_wait() const { return queue_wait_; }
+  const ProfileSlot& timer_lag() const { return timer_lag_; }
+
+  void Reset();
+
+  /// JSON report: per-message-type handler profile (named via the codec's
+  /// type values), queue wait, timer lag, posted tasks.
+  std::string ReportJson() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  ProfileSlot handlers_[kMaxMessageTypes];
+  ProfileSlot queue_wait_;
+  ProfileSlot timer_lag_;
+  ProfileSlot task_;
+};
+
+Profiler& GlobalProfiler();
+
+}  // namespace obs
+}  // namespace geotp
+
+#endif  // GEOTP_OBS_PROFILER_H_

@@ -576,6 +576,12 @@ void Replicator::ArmHeartbeatTimer() {
 
 void Replicator::BecomeLeader() {
   stats_.promotions++;
+  if (obs::GlobalTracer().enabled() &&
+      promotion_span_ == obs::kInvalidSpan) {
+    promotion_span_ = obs::GlobalTracer().BeginSpan(
+        obs::SystemContext(), "repl.promotion", self(),
+        node_->loop()->Now());
+  }
   GEOTP_INFO("replica " << self() << " leads group " << group_.logical
                         << " at epoch " << election_.epoch());
   // 1. Catch up the local store to the quorum-durable commit point.
@@ -622,6 +628,10 @@ void Replicator::BecomeLeader() {
 }
 
 void Replicator::FinishPromotion() {
+  if (promotion_span_ != obs::kInvalidSpan) {
+    obs::GlobalTracer().EndSpan(promotion_span_, node_->loop()->Now());
+    promotion_span_ = obs::kInvalidSpan;
+  }
   if (!IsLeader()) return;  // deposed while the barrier was pending
   // Staged prepares become in-doubt XA branches; re-vote them so the
   // coordinator (or its presumed-abort path) resolves them. Installed

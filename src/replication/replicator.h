@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "protocol/messages.h"
 #include "replication/election.h"
 #include "replication/log_shipper.h"
@@ -260,6 +261,8 @@ class Replicator {
   sim::EventId heartbeat_timer_ = sim::kInvalidEvent;
   /// Inherited entries not yet re-quorum'd + applied (promotion barrier).
   uint64_t promotion_applies_pending_ = 0;
+  /// "repl.promotion" system span (BecomeLeader -> barrier cleared).
+  obs::SpanHandle promotion_span_ = obs::kInvalidSpan;
   ReplicatorStats stats_;
 };
 

@@ -290,6 +290,16 @@ std::string EncodeMessage(const MessageBase& msg) {
   w.U16(static_cast<uint16_t>(msg.type()));
   w.I32(msg.from);
   w.I32(msg.to);
+  // Trace context: one absence byte for the (default) unsampled case so
+  // disabled tracing costs one wire byte, not 24.
+  if (msg.trace.valid()) {
+    w.U8(1);
+    w.U64(msg.trace.trace_id);
+    w.U64(msg.trace.span_id);
+    w.U64(msg.trace.parent_span_id);
+  } else {
+    w.U8(0);
+  }
   switch (msg.type()) {
     case MessageType::kClientRoundRequest: {
       const auto& m = static_cast<const protocol::ClientRoundRequest&>(msg);
@@ -629,6 +639,12 @@ std::unique_ptr<MessageBase> DecodeMessage(const std::string& bytes) {
   const auto type = static_cast<MessageType>(r.U16());
   const NodeId from = r.I32();
   const NodeId to = r.I32();
+  obs::TraceContext trace;
+  if (r.U8() != 0) {
+    trace.trace_id = r.U64();
+    trace.span_id = r.U64();
+    trace.parent_span_id = r.U64();
+  }
   if (!r.ok()) return nullptr;
 
   std::unique_ptr<MessageBase> out;
@@ -1007,6 +1023,7 @@ std::unique_ptr<MessageBase> DecodeMessage(const std::string& bytes) {
   if (out == nullptr || !r.AtEnd()) return nullptr;
   out->from = from;
   out->to = to;
+  out->trace = trace;
   return out;
 }
 

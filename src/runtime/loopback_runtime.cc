@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/profiler.h"
 #include "runtime/codec.h"
 
 namespace geotp {
@@ -38,10 +39,14 @@ Micros ActorExecutor::Now() const {
 }
 
 void ActorExecutor::Post(std::function<void()> fn) {
+  MailboxItem item{std::move(fn), {}};
+  if (obs::GlobalProfiler().enabled()) {
+    item.enqueued = std::chrono::steady_clock::now();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
-    mailbox_.push_back(std::move(fn));
+    mailbox_.push_back(std::move(item));
   }
   cv_.notify_one();
 }
@@ -93,10 +98,26 @@ void ActorExecutor::Run() {
       timers_.pop();
     }
     if (!mailbox_.empty()) {
-      std::function<void()> fn = std::move(mailbox_.front());
+      MailboxItem item = std::move(mailbox_.front());
       mailbox_.pop_front();
       lock.unlock();
-      fn();
+      obs::Profiler& profiler = obs::GlobalProfiler();
+      if (profiler.enabled()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (item.enqueued.time_since_epoch().count() != 0) {
+          profiler.RecordQueueWait(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  t0 - item.enqueued)
+                  .count()));
+        }
+        item.fn();
+        profiler.RecordTask(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+      } else {
+        item.fn();
+      }
       lock.lock();
       continue;
     }
@@ -108,6 +129,10 @@ void ActorExecutor::Run() {
         timers_.pop();
         live_.erase(timer.id);
         lock.unlock();
+        obs::Profiler& profiler = obs::GlobalProfiler();
+        if (profiler.enabled() && now > timer.when) {
+          profiler.RecordTimerLag(static_cast<uint64_t>(now - timer.when));
+        }
         timer.fn();
         lock.lock();
         continue;
@@ -247,7 +272,22 @@ void LoopbackTransport::DeliverLocal(std::unique_ptr<MessageBase> msg) {
     if (it != handlers_.end()) handler = &it->second;
   }
   if (handler == nullptr) return;  // actor unregistered while in flight
+  obs::Profiler& profiler = obs::GlobalProfiler();
+  if (!profiler.enabled()) {
+    (*handler)(std::move(msg));
+    return;
+  }
+  // Per-message-type handler wall time, the loopback counterpart of the
+  // sim::Network delivery profile.
+  const int msg_type = static_cast<int>(msg->type());
+  const auto t0 = std::chrono::steady_clock::now();
   (*handler)(std::move(msg));
+  profiler.RecordHandler(
+      msg_type,
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
 }
 
 int LoopbackTransport::ConnectionTo(NodeId node) {

@@ -82,13 +82,20 @@ class ActorExecutor : public ITimer {
     }
   };
 
+  /// Mailbox entry; `enqueued` is only stamped while the executor
+  /// profiler is enabled (queue-wait attribution).
+  struct MailboxItem {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void Run();
 
   const std::string name_;
   const std::chrono::steady_clock::time_point epoch_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> mailbox_;
+  std::deque<MailboxItem> mailbox_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
   std::unordered_map<TimerId, bool> live_;  ///< id -> not cancelled
   TimerId next_timer_ = 1;

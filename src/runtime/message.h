@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace geotp {
 namespace runtime {
@@ -83,6 +84,10 @@ enum class MessageType : uint16_t {
 struct MessageBase {
   NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
+  /// Distributed-tracing context piggybacked on every envelope. Invalid
+  /// (trace_id 0) unless the transaction was sampled; the codec encodes
+  /// an invalid context as a single absence byte.
+  obs::TraceContext trace;
   virtual ~MessageBase() = default;
 
   /// Dispatch tag; every concrete message overrides this.

@@ -213,6 +213,11 @@ void ShardMigrator::PumpChunks(uint64_t migration_id) {
     stats_.snapshot_chunks_sent++;
     stats_.snapshot_records_sent += records.size();
     SendChunk(*out, seq, records, last);
+    if (obs::GlobalTracer().enabled()) {
+      out->chunk_spans[seq] = obs::GlobalTracer().BeginSpan(
+          obs::SystemContext(), "migrate.chunk", node_->id(),
+          node_->loop()->Now());
+    }
     out->unacked[seq] = std::move(records);
     stats_.peak_unacked_chunks = std::max<uint64_t>(
         stats_.peak_unacked_chunks, out->unacked.size());
@@ -276,6 +281,12 @@ void ShardMigrator::OnSnapshotAck(const ShardSnapshotAck& ack) {
     out->acked_chunk_seq = ack.seq;
     out->unacked.erase(out->unacked.begin(),
                        out->unacked.upper_bound(ack.seq));
+    while (!out->chunk_spans.empty() &&
+           out->chunk_spans.begin()->first <= ack.seq) {
+      obs::GlobalTracer().EndSpan(out->chunk_spans.begin()->second,
+                                  node_->loop()->Now());
+      out->chunk_spans.erase(out->chunk_spans.begin());
+    }
     out->last_progress_at = node_->loop()->Now();
   }
   if (out->last_chunk_seq != 0 &&

@@ -56,6 +56,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "protocol/messages.h"
 #include "replication/replicator.h"
 #include "sharding/shard_map.h"
@@ -176,6 +177,9 @@ class ShardMigrator {
     /// Sent-but-unacked chunks, kept for retransmit. The stream's only
     /// source-side memory; flow control bounds it to the credit window.
     std::map<uint64_t, std::vector<protocol::ReplWrite>> unacked;
+    /// "migrate.chunk" system spans (first send -> ack), keyed like
+    /// `unacked`; retransmits extend the original span.
+    std::map<uint64_t, obs::SpanHandle> chunk_spans;
     Micros last_progress_at = 0;
     bool resend_armed = false;
     // ---- migration control records (replicated source) ----

@@ -1,8 +1,10 @@
 #include "sim/network.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/profiler.h"
 
 namespace geotp {
 namespace sim {
@@ -57,7 +59,23 @@ void Network::Send(std::unique_ptr<MessageBase> msg) {
     auto& handler = handlers_[static_cast<size_t>(to)];
     GEOTP_CHECK(handler != nullptr, "no handler for node " << to);
     stats_[static_cast<size_t>(to)].messages_received++;
+    obs::Profiler& profiler = obs::GlobalProfiler();
+    if (!profiler.enabled()) {
+      handler(std::move(*holder));
+      return;
+    }
+    // Sim-perf profile (ROADMAP direction 4): host time the simulator
+    // spends handling each message kind — virtual time is stopped here,
+    // so this is pure simulator overhead attribution.
+    const int msg_type = static_cast<int>((*holder)->type());
+    const auto t0 = std::chrono::steady_clock::now();
     handler(std::move(*holder));
+    const auto t1 = std::chrono::steady_clock::now();
+    profiler.RecordHandler(
+        msg_type,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
   });
 }
 

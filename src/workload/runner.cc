@@ -9,6 +9,8 @@
 #include "baselines/baseline_runners.h"
 #include "common/logging.h"
 #include "datasource/data_source.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/topology.h"
 
 namespace geotp {
@@ -92,6 +94,12 @@ ExperimentResult RunExperimentInner(const ExperimentConfig& config) {
   }
 
   // ----- middleware-based systems ------------------------------------------
+  if (config.trace_sample_rate > 0.0) {
+    obs::TraceConfig trace_config;
+    trace_config.sample_rate = config.trace_sample_rate;
+    obs::GlobalTracer().Reset();
+    obs::GlobalTracer().Enable(trace_config);
+  }
   sim::DefaultTopology topo =
       sim::DefaultTopology::Make(config.ds_rtts_ms, config.jitter_frac);
   sim::EventLoop loop;
@@ -151,6 +159,13 @@ ExperimentResult RunExperimentInner(const ExperimentConfig& config) {
   middleware::MiddlewareNode dm(topo.middleware, /*ordinal=*/0, &network,
                                 std::move(catalog), dm_config);
   dm.Attach();
+  if (config.collect_metrics) {
+    obs::GlobalMetrics().Clear();
+    dm.AttachMetrics(&obs::GlobalMetrics());
+    for (const auto& src : sources) {
+      src->RegisterMetrics(&obs::GlobalMetrics());
+    }
+  }
 
   DriverConfig driver_config = config.driver;
   driver_config.seed = config.seed * 7919 + 17;
@@ -201,6 +216,16 @@ ExperimentResult RunExperimentInner(const ExperimentConfig& config) {
         result.migration.peak_unacked_chunks, ms.peak_unacked_chunks);
     result.migration.peak_buffered_chunks = std::max(
         result.migration.peak_buffered_chunks, ms.peak_buffered_chunks);
+  }
+  // Snapshot observability state before the nodes (which the registry's
+  // gauge callbacks borrow) go out of scope.
+  if (config.collect_metrics) {
+    result.metrics_json = obs::GlobalMetrics().SnapshotJson();
+    obs::GlobalMetrics().Clear();
+  }
+  if (config.trace_sample_rate > 0.0) {
+    result.trace_spans = obs::GlobalTracer().span_count();
+    obs::GlobalTracer().Disable();  // spans stay readable via Snapshot()
   }
   return result;
 }

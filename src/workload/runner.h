@@ -83,6 +83,15 @@ struct ExperimentConfig {
   /// instead of just the keys the run happened to write.
   bool preload = false;
 
+  /// Distributed tracing: fraction of transactions sampled into the
+  /// global tracer (0 = tracing fully off, the default — see obs/trace.h).
+  /// The runner enables/resets the tracer around the run and leaves the
+  /// recorded spans in GlobalTracer() for the caller to export.
+  double trace_sample_rate = 0.0;
+  /// Register every node's stats on GlobalMetrics() and snapshot the
+  /// registry into ExperimentResult::metrics_json before teardown.
+  bool collect_metrics = false;
+
   uint64_t seed = 42;
 };
 
@@ -112,6 +121,12 @@ struct ExperimentResult {
   /// rebalance bench reads these to assert the credit window bounded the
   /// source's stream memory.
   sharding::ShardMigratorStats migration;
+  /// GlobalMetrics() snapshot taken before teardown (collect_metrics runs
+  /// only; empty otherwise). Gauges/histograms borrow node state, so this
+  /// is the only safe place to evaluate them.
+  std::string metrics_json;
+  /// Spans recorded during the run (trace_sample_rate > 0 only).
+  size_t trace_spans = 0;
 
   /// Physical WAL flushes per committed transaction — the Fig. 6-style
   /// durability-cost metric bench_group_commit sweeps.

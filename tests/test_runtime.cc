@@ -391,6 +391,49 @@ TEST(RuntimeCodecTest, ClientMessagesRoundTrip) {
   ExpectRoundTrip(*shed);
 }
 
+// The trace context is an envelope-level field: every message carries one
+// absence byte when unsampled, or the three span ids when sampled. Both
+// shapes must round-trip bit-stably on any message type.
+TEST(RuntimeCodecTest, TraceContextRoundTrip) {
+  auto bare = Stamped<protocol::BranchExecuteRequest>();
+  bare->xid = Xid{99, 2};
+  bare->ops = {SampleOp()};
+  ExpectRoundTrip(*bare);
+  const std::string without = EncodeMessage(*bare);
+
+  auto traced = Stamped<protocol::BranchExecuteRequest>();
+  traced->xid = Xid{99, 2};
+  traced->ops = {SampleOp()};
+  traced->trace =
+      obs::TraceContext{0xfeedface12345678ull, 0x1111ull, 0x2222ull};
+  ExpectRoundTrip(*traced);
+  const std::string with = EncodeMessage(*traced);
+
+  // Unsampled costs exactly one absence byte; sampling adds the 3 ids.
+  EXPECT_EQ(with.size(), without.size() + 3 * sizeof(uint64_t));
+
+  std::unique_ptr<MessageBase> decoded = DecodeMessage(with);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->trace.trace_id, traced->trace.trace_id);
+  EXPECT_EQ(decoded->trace.span_id, traced->trace.span_id);
+  EXPECT_EQ(decoded->trace.parent_span_id, traced->trace.parent_span_id);
+
+  std::unique_ptr<MessageBase> decoded_bare = DecodeMessage(without);
+  ASSERT_NE(decoded_bare, nullptr);
+  EXPECT_FALSE(decoded_bare->trace.valid());
+
+  // Same invariants on a client-facing envelope.
+  auto round = Stamped<protocol::ClientRoundRequest>();
+  round->txn_id = 7;
+  round->ops = {SampleOp()};
+  round->trace = obs::TraceContext{0xabcull, 0xdefull, 0x123ull};
+  ExpectRoundTrip(*round);
+  std::unique_ptr<MessageBase> round_decoded =
+      DecodeMessage(EncodeMessage(*round));
+  ASSERT_NE(round_decoded, nullptr);
+  EXPECT_EQ(round_decoded->trace.trace_id, round->trace.trace_id);
+}
+
 TEST(RuntimeCodecTest, BranchMessagesRoundTrip) {
   auto exec = Stamped<protocol::BranchExecuteRequest>();
   exec->xid = Xid{99, 2};

@@ -24,6 +24,13 @@
 //   parent -> child:  "ROUTE <node> <port>"  (full mesh), then "START"
 //   child -> parent:  "READY"      data sources attached
 //   parent -> child:  "QUIT"       shut down and exit
+//
+// Tracing: every process enables the tracer at sample_rate=1. Each child
+// dumps its spans to <data_dir>/spans-<node>.txt on shutdown; the parent
+// merges them with its own spans into one Chrome trace-event JSON
+// (Perfetto loadable, one pid per OS process) and ASSERTS that at least
+// one distributed transaction produced spans in all three processes
+// covering analysis -> branch exec -> prepare fsync -> quorum -> commit.
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -36,13 +43,16 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "datasource/data_source.h"
 #include "middleware/middleware.h"
+#include "obs/trace.h"
 #include "runtime/loopback_runtime.h"
 #include "workload/driver.h"
 #include "workload/runner.h"
@@ -70,11 +80,23 @@ workload::YcsbConfig SmokeYcsb() {
   return ycsb;
 }
 
+void EnableFullTracing() {
+  obs::TraceConfig trace_config;
+  trace_config.sample_rate = 1.0;
+  obs::GlobalTracer().Enable(trace_config);
+}
+
+std::string SpanFilePath(const std::string& data_dir, NodeId node) {
+  return data_dir + "/spans-" + std::to_string(node) + ".txt";
+}
+
 // ---------------------------------------------------------------------------
 // Child: host one data source until told to quit.
 // ---------------------------------------------------------------------------
 
 int RunChild(NodeId node, const std::string& data_dir) {
+  SetLogPrefix("node" + std::to_string(node));
+  EnableFullTracing();
   runtime::LoopbackConfig config;
   config.data_dir = data_dir;
   runtime::LoopbackRuntime rt(config);
@@ -101,6 +123,10 @@ int RunChild(NodeId node, const std::string& data_dir) {
     }
   }
   rt.Shutdown();
+  // Executor threads are joined; every span this process recorded is
+  // final. The parent merges this file into the cross-process trace.
+  std::ofstream spans_out(SpanFilePath(data_dir, node));
+  obs::GlobalTracer().DumpText(spans_out);
   return 0;
 }
 
@@ -187,7 +213,53 @@ double SimPredictedTps() {
 // Parent: run the workload, verify, report.
 // ---------------------------------------------------------------------------
 
+/// Cross-process trace verdict computed from the merged span set.
+struct TraceCheck {
+  size_t total_spans = 0;
+  size_t processes_with_spans = 0;
+  uint64_t cross_process_traces = 0;  ///< traces with spans in all 3 pids
+  uint64_t full_chain_traces = 0;     ///< ... that also cover the txn chain
+};
+
+TraceCheck CheckMergedTrace(
+    const std::vector<std::pair<int, std::vector<obs::SpanRecord>>>& per_pid) {
+  // The span names one distributed transaction must produce end to end:
+  // DM analysis, branch execution + prepare fsync + quorum gate at the
+  // data sources, and the DM commit decision.
+  static const char* const kChain[] = {"dm.analysis", "ds.branch_exec",
+                                       "ds.prepare_fsync", "ds.quorum",
+                                       "dm.commit"};
+  TraceCheck check;
+  std::map<uint64_t, std::set<int>> pids_by_trace;
+  std::map<uint64_t, std::set<std::string>> names_by_trace;
+  for (const auto& [pid, spans] : per_pid) {
+    check.total_spans += spans.size();
+    if (!spans.empty()) check.processes_with_spans++;
+    for (const obs::SpanRecord& span : spans) {
+      if (span.trace_id == obs::kSystemTraceId) continue;
+      pids_by_trace[span.trace_id].insert(pid);
+      names_by_trace[span.trace_id].insert(span.name);
+    }
+  }
+  for (const auto& [trace_id, pids] : pids_by_trace) {
+    if (pids.size() < per_pid.size()) continue;
+    check.cross_process_traces++;
+    const std::set<std::string>& names = names_by_trace[trace_id];
+    bool full = true;
+    for (const char* name : kChain) {
+      if (names.count(name) == 0) {
+        full = false;
+        break;
+      }
+    }
+    if (full) check.full_chain_traces++;
+  }
+  return check;
+}
+
 int RunParent(const char* self, const std::string& out_path) {
+  SetLogPrefix("parent");
+  EnableFullTracing();
   const std::string data_dir =
       "/tmp/geotp-loopback-" + std::to_string(getpid());
 
@@ -381,6 +453,39 @@ int RunParent(const char* self, const std::string& out_path) {
   const uint64_t frames_received = rt.loopback_transport().frames_received();
   rt.Shutdown();
 
+  // -- merge the cross-process trace ---------------------------------------
+  // pid 0 = this (DM + client) process, pids 1.. = the data-source
+  // children, read from the span files they wrote before exiting.
+  // Timestamps are per-process (each runtime's own epoch), which skews
+  // lanes in the viewer but leaves trace/span ids — what the assertion
+  // needs — exact.
+  std::vector<std::pair<int, std::vector<obs::SpanRecord>>> per_pid;
+  per_pid.emplace_back(0, obs::GlobalTracer().Snapshot());
+  obs::GlobalTracer().Disable();  // keep the sim prediction run untraced
+  for (size_t i = 0; i < children.size(); ++i) {
+    std::vector<obs::SpanRecord> spans;
+    std::ifstream in(SpanFilePath(data_dir, kDataSources[i]));
+    obs::ReadSpansText(in, &spans);
+    per_pid.emplace_back(static_cast<int>(i + 1), std::move(spans));
+  }
+  const TraceCheck trace_check = CheckMergedTrace(per_pid);
+  std::string trace_path = out_path.empty() ? data_dir + "/trace" : out_path;
+  const std::string json_suffix = ".json";
+  if (trace_path.size() > json_suffix.size() &&
+      trace_path.compare(trace_path.size() - json_suffix.size(),
+                         json_suffix.size(), json_suffix) == 0) {
+    trace_path.resize(trace_path.size() - json_suffix.size());
+  }
+  trace_path += "_trace.json";
+  {
+    std::ofstream out(trace_path);
+    out << obs::ChromeTraceJson(per_pid);
+  }
+  std::cerr << "merged trace: " << trace_path << " ("
+            << trace_check.total_spans << " spans, "
+            << trace_check.full_chain_traces
+            << " full-chain cross-process traces)\n";
+
   // -- sim prediction + report ---------------------------------------------
   const double predicted_tps = SimPredictedTps();
   const double measured_tps = stats.ThroughputTps();
@@ -402,7 +507,13 @@ int RunParent(const char* self, const std::string& out_path) {
        << "  \"oracle_keys\": " << oracle_snapshot.size() << ",\n"
        << "  \"oracle_verified\": " << verified << ",\n"
        << "  \"oracle_read_failures\": " << read_failures << ",\n"
-       << "  \"oracle_mismatches\": " << mismatches << "\n"
+       << "  \"oracle_mismatches\": " << mismatches << ",\n"
+       << "  \"trace_spans\": " << trace_check.total_spans << ",\n"
+       << "  \"trace_processes\": " << trace_check.processes_with_spans
+       << ",\n"
+       << "  \"trace_cross_process\": " << trace_check.cross_process_traces
+       << ",\n"
+       << "  \"trace_full_chain\": " << trace_check.full_chain_traces << "\n"
        << "}\n";
   std::cout << json.str();
   if (!out_path.empty()) {
@@ -413,6 +524,14 @@ int RunParent(const char* self, const std::string& out_path) {
   if (mismatches != 0 || verified == 0) {
     std::cerr << "SMOKE FAILED: " << mismatches << " mismatches, " << verified
               << " keys verified\n";
+    return 1;
+  }
+  if (trace_check.full_chain_traces == 0) {
+    std::cerr << "SMOKE FAILED: no distributed transaction traced across "
+                 "all "
+              << (1 + children.size())
+              << " processes with the full analysis -> branch exec -> "
+                 "fsync -> quorum -> commit span chain\n";
     return 1;
   }
   std::cerr << "SMOKE OK: " << verified << " keys verified, measured "
