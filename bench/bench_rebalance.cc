@@ -225,6 +225,16 @@ int main() {
       static_cast<unsigned long long>(mig.streams_completed),
       static_cast<unsigned long long>(mig.cutovers_reported),
       static_cast<unsigned long long>(streaming.result.dm.shard_map_epoch));
+  const double wan_ratio =
+      mig.wan_bytes_wire == 0
+          ? 0.0
+          : static_cast<double>(mig.wan_bytes_raw) /
+                static_cast<double>(mig.wan_bytes_wire);
+  std::printf(
+      "wan: raw_bytes=%llu wire_bytes=%llu ratio=%.2f chunks_declined=%llu\n",
+      static_cast<unsigned long long>(mig.wan_bytes_raw),
+      static_cast<unsigned long long>(mig.wan_bytes_wire), wan_ratio,
+      static_cast<unsigned long long>(mig.chunks_declined));
 
   const bool sweep_pass =
       headline_p50_gain >= 0.20 || headline_dist_gain >= 0.20;

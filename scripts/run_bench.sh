@@ -91,6 +91,20 @@ doc = {
     "duration_seconds": int(os.environ["DURATION"]),
     "output": lines,
 }
+# WAN accounting lines ("wan: raw_bytes=... wire_bytes=... ratio=...")
+# are lifted into a structured top-level key alongside the raw output.
+for l in lines:
+    if l.startswith("wan: "):
+        wan = {}
+        for tok in l[len("wan: "):].split():
+            if "=" not in tok:
+                continue
+            k, v = tok.split("=", 1)
+            try:
+                wan[k] = float(v) if "." in v else int(v)
+            except ValueError:
+                continue
+        doc["wan"] = wan
 path = os.environ["OUT_FILE"]
 with open(path, "w") as f:
     json.dump(doc, f, indent=2)

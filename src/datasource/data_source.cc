@@ -93,6 +93,31 @@ void DataSourceNode::RegisterMetrics(obs::MetricsRegistry* registry) {
         [this, count]() { return count(wal_device_->fsyncs()); });
   gauge("wal_bytes",
         [this, count]() { return count(wal_device_->bytes_flushed()); });
+  // WAN frugality: payload bytes before/after the wire codec, across both
+  // long-haul streams this node sources (log shipping + migration chunks).
+  gauge("wan_bytes_raw", [this, count]() {
+    uint64_t raw = migrator_->stats().wan_bytes_raw;
+    if (replicator_ != nullptr) {
+      raw += replicator_->stats().wan_bytes_raw +
+             replicator_->shipper_stats().wan_bytes_raw;
+    }
+    return count(raw);
+  });
+  gauge("wan_bytes_wire", [this, count]() {
+    uint64_t wire = migrator_->stats().wan_bytes_wire;
+    if (replicator_ != nullptr) {
+      wire += replicator_->stats().wan_bytes_wire +
+              replicator_->shipper_stats().wan_bytes_wire;
+    }
+    return count(wire);
+  });
+}
+
+void DataSourceNode::OnIngestApplied(uint64_t migration_id,
+                                     uint64_t chunk_seq, uint64_t delta_seq,
+                                     uint64_t content_hash) {
+  migrator_->NoteIngestApplied(migration_id, chunk_seq, delta_seq,
+                               content_hash);
 }
 
 void DataSourceNode::AfterLocalPrepare(const Xid& xid, NodeId coordinator,
@@ -240,6 +265,11 @@ bool DataSourceNode::ParkedDuringPromotion(sim::MessageType type) {
     // consumed by the Replicator before parking is consulted.)
     case sim::MessageType::kShardSnapshotChunk:
     case sim::MessageType::kShardDeltaBatch:
+    // A seed offer answered during the barrier would consult an ingest
+    // journal the deferred inherited-entry applies are still extending —
+    // the decline would under-claim and chunks would re-cross the WAN.
+    case sim::MessageType::kShardSeedOffer:
+    case sim::MessageType::kShardSeedDecline:
       return true;
     default:
       return false;

@@ -68,6 +68,12 @@ struct DataSourceConfig {
   /// lost by the network are re-sent when no stream progress happened for
   /// this long; duplicates are re-acked at the receiver's position.
   Micros migration_resend_timeout = MsToMicros(600);
+  /// WAN frugality: compress log-shipping batches and migration/bootstrap
+  /// snapshot chunks (common/compress.h). Negotiated per connection — a
+  /// sender only compresses toward a peer that advertised a shared codec
+  /// on an ack, so an actor with this off (or an older build without the
+  /// envelope at all) keeps exchanging plain frames with everyone.
+  bool wan_compression = true;
   /// Overload control: bound on the engine run queue (live branches,
   /// including parked lock waiters). A NEW branch (begin_branch batch)
   /// arriving at a full queue is refused retryably; batches of branches
@@ -175,6 +181,13 @@ class DataSourceNode {
   void OnInheritedMigrations(
       const std::vector<replication::Replicator::InheritedMigration>&
           migrations);
+
+  /// Replicator hook, apply path: a migration-ingest commit entry was
+  /// applied on this replica. Feeds the migrator's per-migration ingest
+  /// journal, which is what lets a freshly promoted destination leader
+  /// decline already-held chunks when the source re-offers the stream.
+  void OnIngestApplied(uint64_t migration_id, uint64_t chunk_seq,
+                       uint64_t delta_seq, uint64_t content_hash);
 
  private:
   friend class GeoAgent;

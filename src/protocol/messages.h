@@ -301,13 +301,19 @@ struct ReplEntry {
   /// Destination-side chunk-ack journaling: a commit entry that installs a
   /// migration ingest (snapshot chunk or delta batch) is tagged with the
   /// migration id and the stream position it covers, so the group log
-  /// records exactly which ack each quorum backed. Today the tags are
-  /// provenance only — nothing reads them back; destination-side stream
-  /// resume after a failover (rather than the balancer's timeout-cancel)
-  /// would start here. 0 = not a migration ingest.
+  /// records exactly which ack each quorum backed. Followers fold the tags
+  /// into a per-migration ingest journal (ShardMigrator::NoteIngestApplied)
+  /// — that journal is what a promoted destination leader declines from
+  /// when the source re-offers the stream (ShardSeedOffer), replacing the
+  /// balancer's timeout-cancel with resume-by-hash. 0 = not a migration
+  /// ingest.
   uint64_t ingest_migration_id = 0;
   uint64_t ingest_chunk_seq = 0;  ///< snapshot chunk seq (0 for deltas)
   uint64_t ingest_delta_seq = 0;  ///< delta batch seq (0 for chunks)
+  /// Content hash of the chunk's packed records (common::ContentHash64 of
+  /// the uncompressed wire payload) — the identity the decline handshake
+  /// compares against the source's re-offer. 0 for deltas.
+  uint64_t ingest_content_hash = 0;
 };
 
 /// Leader -> follower log shipping. Empty `entries` is a heartbeat; both
@@ -331,8 +337,22 @@ struct ReplAppendRequest : sim::MessageBase {
   /// to here and no further, so any future leader can still re-ship the
   /// retained tail to a lagging peer.
   uint64_t compact_floor = 0;
+  // ---- WAN envelope (src/common/compress.h) ----
+  // When `payload` is non-empty it replaces `entries` on the wire: the
+  // batch is packed (protocol::PackEntries), optionally compressed under
+  // `payload_codec`, and verified end-to-end against `payload_hash` (the
+  // FNV hash of the UNCOMPRESSED packed bytes) before the receiver unpacks
+  // it back into `entries`. A frame failing the check is dropped whole —
+  // the follower's nack/retransmit path recovers, nothing half-applies.
+  // The leader only builds an envelope once the follower's ack advertised
+  // a codec (mixed-version actors keep receiving plain `entries`).
+  uint8_t payload_codec = 0;  ///< common::WireCodec
+  uint32_t payload_uncompressed_len = 0;
+  uint64_t payload_hash = 0;
+  std::string payload;
   size_t WireSize() const override {
     size_t bytes = 64;
+    if (!payload.empty()) return bytes + payload.size();
     for (const ReplEntry& e : entries) bytes += 48 + e.writes.size() * 16;
     return bytes;
   }
@@ -347,6 +367,10 @@ struct ReplAppendAck : sim::MessageBase {
   /// Highest log index the follower holds after processing the append.
   uint64_t ack_index = 0;
   bool ok = true;  ///< false: log gap — leader rewinds to ack_index + 1
+  /// Codecs this follower can decode (common::SupportedCodecMask, gated by
+  /// its wan_compression knob). 0 — the default a pre-negotiation actor
+  /// sends — keeps the leader shipping plain entries.
+  uint32_t codec_mask = 0;
   size_t WireSize() const override { return 48; }
 };
 
@@ -487,7 +511,21 @@ struct ShardSnapshotChunk : sim::MessageBase {
   uint64_t base_index = 0;       ///< log index covered through (bootstrap)
   uint64_t base_epoch = 0;       ///< epoch of the entry at base_index
   std::vector<ReplWrite> records;
-  size_t WireSize() const override { return 112 + records.size() * 16; }
+  // ---- WAN envelope (src/common/compress.h) ----
+  // Non-empty `payload` replaces `records` on the wire (packed via
+  // protocol::PackWrites, optionally compressed). `content_hash` is always
+  // set — even on raw chunks — because beyond integrity it is the chunk's
+  // identity in the re-seed handshake: the destination journals it with
+  // the ingest (ReplEntry::ingest_content_hash) and declines the chunk
+  // when the source re-offers the same hash after a failover.
+  uint8_t payload_codec = 0;  ///< common::WireCodec
+  uint32_t payload_uncompressed_len = 0;
+  uint64_t content_hash = 0;  ///< hash of the packed (uncompressed) records
+  std::string payload;
+  size_t WireSize() const override {
+    if (!payload.empty()) return 112 + payload.size();
+    return 112 + records.size() * 16;
+  }
 };
 
 /// Dest leader -> source leader: chunk `seq` (and everything before it) is
@@ -502,6 +540,9 @@ struct ShardSnapshotAck : sim::MessageBase {
   uint64_t migration_id = 0;
   uint64_t seq = 0;     ///< highest contiguously applied chunk
   uint64_t credit = 1;  ///< additional chunks the receiver will buffer
+  /// Codecs the destination can decode (0 = pre-negotiation actor: the
+  /// source keeps shipping plain records).
+  uint32_t codec_mask = 0;
   size_t WireSize() const override { return 48; }
 };
 
@@ -558,6 +599,67 @@ struct ShardMigrateAborted : sim::MessageBase {
   }
   uint64_t migration_id = 0;
   size_t WireSize() const override { return 48; }
+};
+
+/// One chunk's identity in an incremental re-seed offer: its stream
+/// sequence, the content hash of its packed records, and the key span it
+/// covered. Migration re-offers replay the ORIGINAL per-chunk hashes the
+/// source retained, so a destination that journaled the ingest declines
+/// exactly. Bootstrap offers are built fresh from the leader's store; the
+/// key span lets the follower hash its own records over [lo, hi] and
+/// decline spans it already holds byte-for-byte.
+struct SeedDigest {
+  uint64_t seq = 0;   ///< 1-based chunk sequence
+  uint64_t hash = 0;  ///< ContentHash64 of the packed records
+  RecordKey lo;       ///< first key the chunk covers
+  RecordKey hi;       ///< last key the chunk covers
+  bool last = false;  ///< final chunk of the stream
+};
+
+/// Source -> destination: "this is the chunk stream; decline what you
+/// hold". Two users, like ShardSnapshotChunk:
+///  * migration resume (migration_id != 0): sent by the source leader when
+///    the balancer re-points a mid-stream migration at a freshly promoted
+///    destination leader. The digests are the chunks already sent (their
+///    original hashes); the new leader declines the prefix its replicated
+///    ingest journal confirms and the stream resumes after it — no
+///    timeout-cancel, no full re-copy.
+///  * follower bootstrap (migration_id == 0): sent by the group leader
+///    instead of one monolithic store snapshot. base_index/base_epoch
+///    position the follower's log exactly as the old single-chunk path
+///    did, once every non-declined chunk has been applied.
+struct ShardSeedOffer : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardSeedOffer;
+  }
+  uint64_t migration_id = 0;
+  NodeId group = kInvalidNode;  ///< dest logical group / repl group id
+  sharding::ShardRange range;   ///< moving range (migration only)
+  uint64_t epoch = 0;           ///< sender's leadership epoch
+  uint64_t base_index = 0;      ///< bootstrap only (see ShardSnapshotChunk)
+  uint64_t base_epoch = 0;
+  std::vector<SeedDigest> digests;
+  size_t WireSize() const override { return 96 + digests.size() * 48; }
+};
+
+/// Destination -> source: the chunks (by seq) the receiver already holds
+/// and therefore declines, plus its resume state. Everything NOT declined
+/// is (re)sent. Also the natural carrier of the receiver's codec mask and
+/// credit for the resumed stream.
+struct ShardSeedDecline : sim::MessageBase {
+  sim::MessageType type() const override {
+    return sim::MessageType::kShardSeedDecline;
+  }
+  uint64_t migration_id = 0;
+  NodeId group = kInvalidNode;
+  uint64_t epoch = 0;  ///< receiver's epoch (stale offers die here)
+  std::vector<uint64_t> declined;  ///< chunk seqs held, ascending
+  /// Migration resume: highest contiguously applied delta batch — the
+  /// source resends its unacked deltas past this.
+  uint64_t delta_seq = 0;
+  uint64_t credit = 1;      ///< flow-control grant for the resumed stream
+  uint32_t codec_mask = 0;  ///< codecs the receiver decodes
+  size_t WireSize() const override { return 64 + declined.size() * 8; }
 };
 
 /// Balancer -> every DM and data-source replica: authoritative shard map.

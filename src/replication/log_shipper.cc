@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "protocol/wan_codec.h"
 
 namespace geotp {
 namespace replication {
@@ -111,7 +112,16 @@ void LogShipper::ShipTo(NodeId follower, Progress& progress) {
   req->commit_watermark = commit_watermark_;
   req->compact_floor = std::min(MinMatchIndex(), commit_watermark_);
   stats_.entries_shipped += req->entries.size();
-  if (!req->entries.empty()) stats_.append_batches_shipped++;
+  if (!req->entries.empty()) {
+    stats_.append_batches_shipped++;
+    // Seal the batch into the compressed WAN envelope under the codec the
+    // follower negotiated (raw until its first ack arrives).
+    const protocol::EnvelopeBytes bytes = protocol::SealAppendPayload(
+        common::PickWireCodec(progress.codec_mask, wan_compression_),
+        req.get());
+    stats_.wan_bytes_raw += bytes.raw;
+    stats_.wan_bytes_wire += bytes.wire;
+  }
   network_->Send(std::move(req));
   // Optimistically advance; a failed ack rewinds next_index.
   progress.next_index = log_->last_index() + 1;
@@ -123,6 +133,9 @@ void LogShipper::OnAck(NodeId follower, const ReplAppendAck& ack) {
   if (it == followers_.end()) return;
   stats_.acks_received++;
   Progress& progress = it->second;
+  // Every ack re-advertises the follower's codec support; later batches
+  // to this follower may compress.
+  progress.codec_mask = ack.codec_mask;
   if (!ack.ok) {
     // Log gap at the follower: rewind and retransmit from its tail.
     progress.next_index = ack.ack_index + 1;

@@ -113,6 +113,11 @@ struct LogShipperStats {
   uint64_t retransmissions = 0;
   uint64_t quorum_callbacks_fired = 0;
   uint64_t snapshots_sent = 0;  ///< bootstrap snapshots to wiped followers
+  /// WAN accounting for shipped entry batches: packed size before
+  /// compression vs bytes actually put on the wire (equal when a batch
+  /// ships raw — pre-negotiation follower or compression disabled).
+  uint64_t wan_bytes_raw = 0;
+  uint64_t wan_bytes_wire = 0;
 };
 
 class LogShipper {
@@ -129,6 +134,11 @@ class LogShipper {
   void set_snapshot_sender(SnapshotSender sender) {
     snapshot_sender_ = std::move(sender);
   }
+
+  /// Leader-side compression knob (DataSourceConfig::wan_compression).
+  /// Even when on, a batch only compresses after the follower advertised
+  /// a shared codec on an ack — until then frames ship raw.
+  void set_wan_compression(bool on) { wan_compression_ = on; }
 
   /// Activates shipping for a leadership term. `floor` is the commit
   /// watermark known when leadership was acquired — the watermark never
@@ -169,6 +179,9 @@ class LogShipper {
   struct Progress {
     uint64_t next_index = 1;   ///< first entry to ship next
     uint64_t match_index = 0;  ///< highest index known replicated
+    /// Codecs the follower advertised on its last ack (0 until the first
+    /// ack arrives: ship raw so a mixed-version peer always interops).
+    uint32_t codec_mask = 0;
   };
 
   void ShipTo(NodeId follower, Progress& progress);
@@ -182,6 +195,7 @@ class LogShipper {
   runtime::ITimer* timer_;
   ReplicationLog* log_;
   SnapshotSender snapshot_sender_;
+  bool wan_compression_ = true;
   bool active_ = false;
   NodeId group_ = kInvalidNode;
   uint64_t epoch_ = 0;

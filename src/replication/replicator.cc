@@ -6,9 +6,53 @@
 
 #include "common/logging.h"
 #include "datasource/data_source.h"
+#include "protocol/wan_codec.h"
 
 namespace geotp {
 namespace replication {
+
+namespace {
+
+/// Store-scan ordering shared by the offer builder (leader) and the span
+/// hasher (follower): digests only match if both sides pack a span's
+/// records in the same order.
+bool KeyLess(const RecordKey& a, const RecordKey& b) {
+  if (a.table != b.table) return a.table < b.table;
+  return a.key < b.key;
+}
+
+std::vector<protocol::ReplWrite> SortedCommittedRecords(
+    storage::TransactionEngine& engine) {
+  std::vector<protocol::ReplWrite> records;
+  for (const auto& [key, value] : engine.CommittedRecords()) {
+    records.push_back(protocol::ReplWrite{key, value});
+  }
+  std::sort(records.begin(), records.end(),
+            [](const protocol::ReplWrite& a, const protocol::ReplWrite& b) {
+              return KeyLess(a.key, b.key);
+            });
+  return records;
+}
+
+/// Packs this replica's committed records within [lo, hi] (inclusive) in
+/// canonical order — hash-comparable against a SeedDigest for the span.
+uint64_t SpanHash(storage::TransactionEngine& engine, const RecordKey& lo,
+                  const RecordKey& hi) {
+  std::vector<protocol::ReplWrite> records;
+  for (const auto& [key, value] : engine.CommittedRecords(
+           [&lo, &hi](const RecordKey& key) {
+             return !KeyLess(key, lo) && !KeyLess(hi, key);
+           })) {
+    records.push_back(protocol::ReplWrite{key, value});
+  }
+  std::sort(records.begin(), records.end(),
+            [](const protocol::ReplWrite& a, const protocol::ReplWrite& b) {
+              return KeyLess(a.key, b.key);
+            });
+  return common::ContentHash64(protocol::PackWrites(records));
+}
+
+}  // namespace
 
 using protocol::FollowerReadRequest;
 using protocol::FollowerReadResponse;
@@ -35,6 +79,12 @@ Replicator::Replicator(datasource::DataSourceNode* node, GroupConfig group)
   ordinal_ = static_cast<int>(it - group_.replicas.begin());
   shipper_.set_snapshot_sender(
       [this](NodeId follower) { SendBootstrapSnapshot(follower); });
+  shipper_.set_wan_compression(node_->config().wan_compression);
+}
+
+uint32_t Replicator::LocalCodecMask() const {
+  return node_->config().wan_compression ? common::SupportedCodecMask()
+                                         : common::kCodecRawBit;
 }
 
 runtime::ITimer* Replicator::loop() const { return node_->loop(); }
@@ -61,6 +111,7 @@ void Replicator::RetireLeadership() {
   applied_index_ = std::max(applied_index_, shipper_.commit_watermark());
   shipper_.Deactivate();  // drops any pending promotion-barrier callbacks
   promotion_applies_pending_ = 0;
+  bootstrap_streams_.clear();  // leader-only re-seed offers die with the term
   // Work parked behind the barrier must not wait forever: replayed now,
   // it bounces off the not-a-leader redirect path (or is dropped by a
   // crash) instead of wedging.
@@ -116,13 +167,13 @@ void Replicator::ReplicatePrepare(const Xid& xid,
 void Replicator::ReplicateCommit(const Xid& xid,
                                  std::vector<protocol::ReplWrite> writes,
                                  QuorumCallback on_quorum) {
-  ReplicateIngest(xid, std::move(writes), 0, 0, 0, std::move(on_quorum));
+  ReplicateIngest(xid, std::move(writes), 0, 0, 0, 0, std::move(on_quorum));
 }
 
 void Replicator::ReplicateIngest(const Xid& xid,
                                  std::vector<protocol::ReplWrite> writes,
                                  uint64_t migration_id, uint64_t chunk_seq,
-                                 uint64_t delta_seq,
+                                 uint64_t delta_seq, uint64_t content_hash,
                                  QuorumCallback on_quorum) {
   GEOTP_CHECK(IsLeader(), "ReplicateIngest on non-leader");
   auto it = commit_entries_.find(xid.txn_id);
@@ -139,6 +190,7 @@ void Replicator::ReplicateIngest(const Xid& xid,
   entry.ingest_migration_id = migration_id;
   entry.ingest_chunk_seq = chunk_seq;
   entry.ingest_delta_seq = delta_seq;
+  entry.ingest_content_hash = content_hash;
   const uint64_t index =
       shipper_.AppendAndShip(std::move(entry), std::move(on_quorum));
   commit_entries_[xid.txn_id] = index;
@@ -208,9 +260,16 @@ std::optional<uint64_t> Replicator::CommitEntryIndex(TxnId txn) const {
 
 bool Replicator::HandleMessage(sim::MessageBase* msg) {
   switch (msg->type()) {
-    case sim::MessageType::kReplAppendRequest:
-      OnAppend(static_cast<ReplAppendRequest&>(*msg));
+    case sim::MessageType::kReplAppendRequest: {
+      auto& req = static_cast<ReplAppendRequest&>(*msg);
+      if (!protocol::OpenAppendPayload(&req)) {
+        // Corrupt envelope (hash or bounds check failed): drop the whole
+        // frame. No ack — the leader's heartbeat retransmit recovers.
+        return true;
+      }
+      OnAppend(req);
       return true;
+    }
     case sim::MessageType::kReplAppendAck:
       OnAppendAck(static_cast<ReplAppendAck&>(*msg));
       return true;
@@ -226,11 +285,30 @@ bool Replicator::HandleMessage(sim::MessageBase* msg) {
     case sim::MessageType::kShardSnapshotChunk: {
       // migration_id == 0 marks a replication bootstrap snapshot; shard
       // migration chunks fall through to the ShardMigrator.
-      const auto& chunk = static_cast<protocol::ShardSnapshotChunk&>(*msg);
+      auto& chunk = static_cast<protocol::ShardSnapshotChunk&>(*msg);
       if (chunk.migration_id != 0 || chunk.group != group_.logical) {
         return false;
       }
+      if (!protocol::OpenChunkPayload(&chunk)) {
+        return true;  // corrupt: drop; the next re-offer round recovers
+      }
       OnBootstrapSnapshot(chunk);
+      return true;
+    }
+    case sim::MessageType::kShardSeedOffer: {
+      const auto& offer = static_cast<protocol::ShardSeedOffer&>(*msg);
+      if (offer.migration_id != 0 || offer.group != group_.logical) {
+        return false;  // migration-resume offer: the ShardMigrator handles it
+      }
+      OnSeedOffer(offer);
+      return true;
+    }
+    case sim::MessageType::kShardSeedDecline: {
+      const auto& decline = static_cast<protocol::ShardSeedDecline&>(*msg);
+      if (decline.migration_id != 0 || decline.group != group_.logical) {
+        return false;
+      }
+      OnSeedDecline(decline);
       return true;
     }
     default:
@@ -244,6 +322,7 @@ void Replicator::OnAppend(const ReplAppendRequest& req) {
   ack->from = self();
   ack->to = req.from;
   ack->group = group_.logical;
+  ack->codec_mask = LocalCodecMask();
   if (req.epoch < election_.epoch()) {
     // Stale leader: tell it the current epoch so it steps down.
     ack->epoch = election_.epoch();
@@ -447,28 +526,190 @@ void Replicator::OnFollowerRead(const FollowerReadRequest& req) {
 // ---------------------------------------------------------------------------
 
 void Replicator::SendBootstrapSnapshot(NodeId follower) {
-  auto chunk = std::make_unique<protocol::ShardSnapshotChunk>();
-  chunk->from = self();
-  chunk->to = follower;
-  chunk->migration_id = 0;  // bootstrap, not a shard migration
-  chunk->group = group_.logical;
-  chunk->epoch = election_.epoch();
-  // Position the follower's empty log at our compaction boundary: the
-  // snapshot covers every compacted entry's effects (it is our CURRENT
-  // committed state, so re-applying the retained tail is idempotent).
-  chunk->base_index = log_.first_index() - 1;
-  chunk->base_epoch = log_.EpochAt(chunk->base_index);
-  // Committed state only: live branches' in-place writes stay out — their
-  // prepare entries are pinned above the compaction point and ship with
-  // the tail.
-  for (const auto& [key, value] : node_->engine().CommittedRecords()) {
-    chunk->records.push_back(protocol::ReplWrite{key, value});
+  // The shipper re-fires this every heartbeat while the follower's next
+  // entry stays compacted away; an offer round takes a couple of round
+  // trips, so only re-offer after a quiet period. A re-offer is harmless
+  // beyond the bytes: the follower re-declines (now including any chunks
+  // it applied from the interrupted round) and the leader ships the rest.
+  auto it = bootstrap_streams_.find(follower);
+  if (it != bootstrap_streams_.end() &&
+      loop()->Now() - it->second.offered_at <
+          2 * group_.config.heartbeat_interval) {
+    return;
   }
-  GEOTP_INFO("replica " << self() << ": bootstrap snapshot (base "
-                        << chunk->base_index << ", "
-                        << chunk->records.size() << " records) -> "
-                        << follower);
-  network()->Send(std::move(chunk));
+  BootstrapStream& stream = bootstrap_streams_[follower];
+  stream.offered_at = loop()->Now();
+  // Position the follower's empty log at our compaction boundary: the
+  // offered chunks cover every compacted entry's effects (they are our
+  // CURRENT committed state, so re-applying the retained tail is
+  // idempotent). Committed state only: live branches' in-place writes
+  // stay out — their prepare entries are pinned above the compaction
+  // point and ship with the tail.
+  stream.base_index = log_.first_index() - 1;
+  stream.base_epoch = log_.EpochAt(stream.base_index);
+  stream.digests.clear();
+  const std::vector<protocol::ReplWrite> records =
+      SortedCommittedRecords(node_->engine());
+  const size_t per_chunk =
+      std::max<uint64_t>(1, node_->config().migration_chunk_records);
+  for (size_t offset = 0; offset < records.size(); offset += per_chunk) {
+    const size_t count = std::min(per_chunk, records.size() - offset);
+    const std::vector<protocol::ReplWrite> slice(
+        records.begin() + static_cast<ptrdiff_t>(offset),
+        records.begin() + static_cast<ptrdiff_t>(offset + count));
+    protocol::SeedDigest digest;
+    digest.seq = stream.digests.size() + 1;
+    digest.hash = common::ContentHash64(protocol::PackWrites(slice));
+    digest.lo = slice.front().key;
+    digest.hi = slice.back().key;
+    digest.last = offset + count == records.size();
+    stream.digests.push_back(digest);
+  }
+  auto offer = std::make_unique<protocol::ShardSeedOffer>();
+  offer->from = self();
+  offer->to = follower;
+  offer->migration_id = 0;  // bootstrap, not a shard migration
+  offer->group = group_.logical;
+  offer->epoch = election_.epoch();
+  offer->base_index = stream.base_index;
+  offer->base_epoch = stream.base_epoch;
+  offer->digests = stream.digests;
+  stats_.bootstrap_offers_sent++;
+  GEOTP_INFO("replica " << self() << ": bootstrap offer (base "
+                        << stream.base_index << ", "
+                        << stream.digests.size() << " chunks, "
+                        << records.size() << " records) -> " << follower);
+  network()->Send(std::move(offer));
+}
+
+void Replicator::OnSeedOffer(const protocol::ShardSeedOffer& offer) {
+  if (offer.epoch < election_.epoch()) return;  // stale leader
+  const bool epoch_changed = offer.epoch > election_.epoch();
+  if (epoch_changed || election_.leader() != offer.from ||
+      election_.role() != Role::kFollower) {
+    election_.AdoptLeader(offer.from, offer.epoch);
+    SyncRoleState();
+  }
+  last_leader_contact_ = loop()->Now();
+  if (offer.base_index <= applied_index_) {
+    // Already past the snapshot point (e.g. the previous round finished
+    // and this is a straggler re-offer): a plain ack resumes normal
+    // shipping of the retained tail.
+    pending_bootstrap_.reset();
+    auto ack = std::make_unique<ReplAppendAck>();
+    ack->from = self();
+    ack->to = offer.from;
+    ack->group = group_.logical;
+    ack->epoch = election_.epoch();
+    ack->codec_mask = LocalCodecMask();
+    ack->ok = true;
+    ack->ack_index = consistent_prefix_;
+    network()->Send(std::move(ack));
+    return;
+  }
+  // Decline every chunk whose span this store already holds
+  // byte-identically (journaled applies that survived a log wipe, or a
+  // previous interrupted seed round). Keys are never deleted, so span
+  // content matching the digest hash means the chunk is fully present.
+  auto decline = std::make_unique<protocol::ShardSeedDecline>();
+  decline->from = self();
+  decline->to = offer.from;
+  decline->migration_id = 0;
+  decline->group = group_.logical;
+  decline->epoch = election_.epoch();
+  decline->codec_mask = LocalCodecMask();
+  PendingBootstrap pending;
+  pending.base_index = offer.base_index;
+  pending.base_epoch = offer.base_epoch;
+  for (const protocol::SeedDigest& digest : offer.digests) {
+    if (SpanHash(node_->engine(), digest.lo, digest.hi) == digest.hash) {
+      decline->declined.push_back(digest.seq);
+    } else {
+      pending.missing.insert(digest.seq);
+    }
+  }
+  GEOTP_INFO("replica " << self() << ": seed offer (base "
+                        << offer.base_index << "): declining "
+                        << decline->declined.size() << "/"
+                        << offer.digests.size() << " chunks");
+  pending_bootstrap_ = std::move(pending);
+  network()->Send(std::move(decline));
+  if (pending_bootstrap_->missing.empty()) {
+    // Everything declined (or an empty store offered): install directly.
+    FinishBootstrapInstall();
+  }
+}
+
+void Replicator::OnSeedDecline(const protocol::ShardSeedDecline& decline) {
+  if (!IsLeader() || decline.epoch != election_.epoch()) return;
+  auto it = bootstrap_streams_.find(decline.from);
+  if (it == bootstrap_streams_.end()) return;  // no offer outstanding
+  const BootstrapStream& stream = it->second;
+  stats_.bootstrap_chunks_declined += decline.declined.size();
+  const std::set<uint64_t> declined(decline.declined.begin(),
+                                    decline.declined.end());
+  const common::WireCodec codec = common::PickWireCodec(
+      decline.codec_mask, node_->config().wan_compression);
+  for (const protocol::SeedDigest& digest : stream.digests) {
+    if (declined.count(digest.seq) > 0) continue;
+    auto chunk = std::make_unique<protocol::ShardSnapshotChunk>();
+    chunk->from = self();
+    chunk->to = decline.from;
+    chunk->migration_id = 0;
+    chunk->group = group_.logical;
+    chunk->epoch = election_.epoch();
+    chunk->seq = digest.seq;
+    chunk->last = digest.last;
+    chunk->base_index = stream.base_index;
+    chunk->base_epoch = stream.base_epoch;
+    // Fresh scan of the span: content may have drifted since the offer
+    // (commits keep landing), which is safe — values are absolute and
+    // anything newer than base_index re-applies from the retained tail.
+    for (const auto& [key, value] : node_->engine().CommittedRecords(
+             [&digest](const RecordKey& key) {
+               return !KeyLess(key, digest.lo) && !KeyLess(digest.hi, key);
+             })) {
+      chunk->records.push_back(protocol::ReplWrite{key, value});
+    }
+    std::sort(chunk->records.begin(), chunk->records.end(),
+              [](const protocol::ReplWrite& a, const protocol::ReplWrite& b) {
+                return KeyLess(a.key, b.key);
+              });
+    const protocol::EnvelopeBytes bytes =
+        protocol::SealChunkPayload(codec, chunk.get());
+    stats_.wan_bytes_raw += bytes.raw;
+    stats_.wan_bytes_wire += bytes.wire;
+    stats_.bootstrap_chunks_sent++;
+    network()->Send(std::move(chunk));
+  }
+}
+
+void Replicator::FinishBootstrapInstall() {
+  GEOTP_CHECK(pending_bootstrap_.has_value(), "no bootstrap pending");
+  const uint64_t base_index = pending_bootstrap_->base_index;
+  const uint64_t base_epoch = pending_bootstrap_->base_epoch;
+  pending_bootstrap_.reset();
+  if (base_index > applied_index_) {
+    log_.ResetTo(base_index, base_epoch);
+    consistent_prefix_ = base_index;
+    follower_watermark_ = base_index;
+    applied_index_ = base_index;
+    compact_floor_ = std::max(compact_floor_, base_index);
+    unresolved_prepares_.clear();
+    commit_entries_.clear();
+    unresolved_migrations_.clear();
+    fresh_as_of_ = loop()->Now();
+    stats_.snapshot_installs++;
+  }
+  auto ack = std::make_unique<ReplAppendAck>();
+  ack->from = self();
+  ack->to = election_.leader();
+  ack->group = group_.logical;
+  ack->epoch = election_.epoch();
+  ack->codec_mask = LocalCodecMask();
+  ack->ok = true;
+  ack->ack_index = consistent_prefix_;
+  network()->Send(std::move(ack));
 }
 
 void Replicator::OnBootstrapSnapshot(
@@ -481,6 +722,23 @@ void Replicator::OnBootstrapSnapshot(
     SyncRoleState();
   }
   last_leader_contact_ = loop()->Now();
+  if (chunk.seq != 0) {
+    // A chunk of the offered seed stream. Records apply immediately (the
+    // store persists them even across a crash, turning them into declines
+    // on the next offer round); the log repositions only once the last
+    // missing chunk lands, exactly like the legacy whole-store install.
+    if (!pending_bootstrap_.has_value() ||
+        pending_bootstrap_->base_index != chunk.base_index) {
+      return;  // stale stream; the next offer round resynchronizes
+    }
+    for (const protocol::ReplWrite& w : chunk.records) {
+      node_->engine().store().Apply(w.key, w.value);
+    }
+    pending_bootstrap_->missing.erase(chunk.seq);
+    if (pending_bootstrap_->missing.empty()) FinishBootstrapInstall();
+    return;
+  }
+  // Legacy monolithic snapshot (seq == 0) from a mixed-version leader.
   if (chunk.base_index > applied_index_) {
     for (const protocol::ReplWrite& w : chunk.records) {
       node_->engine().store().Apply(w.key, w.value);
@@ -501,6 +759,7 @@ void Replicator::OnBootstrapSnapshot(
   ack->to = chunk.from;
   ack->group = group_.logical;
   ack->epoch = election_.epoch();
+  ack->codec_mask = LocalCodecMask();
   ack->ok = true;
   ack->ack_index = consistent_prefix_;
   network()->Send(std::move(ack));
@@ -517,6 +776,11 @@ void Replicator::WipeForBootstrap() {
   unresolved_prepares_.clear();
   commit_entries_.clear();
   unresolved_migrations_.clear();
+  pending_bootstrap_.reset();
+  // NOTE: the committed store is deliberately KEPT (only the log device
+  // is gone). The next seed offer hashes it span by span, so everything
+  // journaled before the wipe comes back as declined chunks instead of
+  // re-crossing the WAN.
 }
 
 // ---------------------------------------------------------------------------
@@ -748,6 +1012,13 @@ void Replicator::ApplyEntry(const ReplEntry& entry) {
       for (const protocol::ReplWrite& w : entry.writes) {
         engine.store().Apply(w.key, w.value);
       }
+      // Migration-ingest provenance: feed the migrator's journal so a
+      // promoted destination leader can decline re-offered chunks.
+      if (entry.ingest_migration_id != 0) {
+        node_->OnIngestApplied(entry.ingest_migration_id,
+                               entry.ingest_chunk_seq, entry.ingest_delta_seq,
+                               entry.ingest_content_hash);
+      }
       break;
     case ReplEntryType::kAbort:
       if (state == storage::TxnState::kPrepared ||
@@ -779,6 +1050,7 @@ void Replicator::OnCrash() {
   }
   election_.StepDown();
   RetireLeadership();
+  pending_bootstrap_.reset();  // reassembly state is volatile
 }
 
 void Replicator::OnRestart() {

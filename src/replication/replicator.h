@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -48,6 +49,13 @@ struct ReplicatorStats {
   uint64_t snapshot_installs = 0;  ///< bootstrap snapshots applied
   uint64_t migration_records_appended = 0;  ///< Begin/Cutover/End journaled
   uint64_t migration_handoffs = 0;  ///< unresolved migrations at promotion
+  // Incremental follower re-seed (hash offer/decline instead of one
+  // monolithic store snapshot) + its WAN accounting.
+  uint64_t bootstrap_offers_sent = 0;
+  uint64_t bootstrap_chunks_declined = 0;  ///< chunks the follower held
+  uint64_t bootstrap_chunks_sent = 0;
+  uint64_t wan_bytes_raw = 0;   ///< packed bootstrap-chunk bytes pre-codec
+  uint64_t wan_bytes_wire = 0;  ///< bytes actually shipped
 };
 
 class Replicator {
@@ -107,12 +115,15 @@ class Replicator {
                        QuorumCallback on_quorum);
 
   /// Destination-side migration ingest: a commit entry tagged with the
-  /// stream position it covers (chunk or delta seq), so the chunk ack the
-  /// migrator sends on quorum is journaled in the group log.
+  /// stream position it covers (chunk or delta seq) and the chunk's
+  /// content hash, so the chunk ack the migrator sends on quorum is
+  /// journaled in the group log — and a promoted destination leader can
+  /// later decline exactly those chunks when the source re-offers them.
   void ReplicateIngest(const Xid& xid,
                        std::vector<protocol::ReplWrite> writes,
                        uint64_t migration_id, uint64_t chunk_seq,
-                       uint64_t delta_seq, QuorumCallback on_quorum);
+                       uint64_t delta_seq, uint64_t content_hash,
+                       QuorumCallback on_quorum);
 
   /// Source-side migration control records (Begin / Cutover / End).
   /// Epoch-fenced like prepares: unresolved records (Begin without End)
@@ -173,12 +184,30 @@ class Replicator {
   void OnVoteRequest(const protocol::ReplVoteRequest& req);
   void OnVoteResponse(const protocol::ReplVoteResponse& resp);
   void OnFollowerRead(const protocol::FollowerReadRequest& req);
-  /// Leader side: ships the committed store + log position to a follower
-  /// whose next entry was compacted away (shares the shard migration's
-  /// snapshot-install message).
+  /// Leader side: re-seeds a follower whose next entry was compacted
+  /// away. Instead of one monolithic store snapshot it sends a
+  /// ShardSeedOffer — the chunked content hashes of the committed store —
+  /// and ships only the chunks the follower does not decline. Throttled:
+  /// the shipper re-fires this every heartbeat while the follower lags,
+  /// but a fresh offer goes out at most every two heartbeats (each
+  /// re-offer is idempotent and picks up partially applied chunks as new
+  /// declines, so interrupted re-seeds resume incrementally for free).
   void SendBootstrapSnapshot(NodeId follower);
-  /// Follower side: installs a bootstrap snapshot (migration_id == 0).
+  /// Follower side: installs bootstrap snapshot chunks (migration_id ==
+  /// 0). seq != 0 marks a chunk of the offered stream; seq == 0 is the
+  /// legacy monolithic install, kept for mixed-version peers.
   void OnBootstrapSnapshot(const protocol::ShardSnapshotChunk& chunk);
+  /// Follower side: hashes its own store spans against the offer and
+  /// declines every chunk it already holds byte-identically.
+  void OnSeedOffer(const protocol::ShardSeedOffer& offer);
+  /// Leader side: ships the chunks the follower did not decline.
+  void OnSeedDecline(const protocol::ShardSeedDecline& decline);
+  /// Follower side: every expected chunk arrived — position the log at
+  /// the snapshot boundary exactly as the legacy install did, and ack.
+  void FinishBootstrapInstall();
+  /// Codecs this replica decodes, as advertised on acks/declines (raw
+  /// only when the node's wan_compression knob is off).
+  uint32_t LocalCodecMask() const;
 
   /// Epoch of the last log entry (0 for an empty log) — the first half of
   /// the (epoch, index) log-position pair elections compare.
@@ -256,6 +285,26 @@ class Replicator {
   std::unordered_map<uint64_t, MigrationTrack> unresolved_migrations_;
   /// Commit entry per transaction (for idempotent decision retries).
   std::unordered_map<TxnId, uint64_t> commit_entries_;
+
+  // ----- incremental bootstrap re-seed state -----
+  /// Leader side, per lagging follower: the offer currently outstanding.
+  /// Kept until overwritten (offers are cheap); cleared with leadership.
+  struct BootstrapStream {
+    uint64_t base_index = 0;
+    uint64_t base_epoch = 0;
+    Micros offered_at = 0;  ///< re-offer throttle (2x heartbeat)
+    std::vector<protocol::SeedDigest> digests;
+  };
+  std::unordered_map<NodeId, BootstrapStream> bootstrap_streams_;
+  /// Follower side: the install in progress (volatile — a crash mid-seed
+  /// keeps the partially applied store, and the next offer turns that
+  /// progress into declines).
+  struct PendingBootstrap {
+    uint64_t base_index = 0;
+    uint64_t base_epoch = 0;
+    std::set<uint64_t> missing;  ///< chunk seqs not declined, not yet here
+  };
+  std::optional<PendingBootstrap> pending_bootstrap_;
 
   sim::EventId election_timer_ = sim::kInvalidEvent;
   sim::EventId heartbeat_timer_ = sim::kInvalidEvent;

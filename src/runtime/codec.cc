@@ -192,6 +192,7 @@ void PutEntry(Writer& w, const protocol::ReplEntry& e) {
   w.U64(e.ingest_migration_id);
   w.U64(e.ingest_chunk_seq);
   w.U64(e.ingest_delta_seq);
+  w.U64(e.ingest_content_hash);
 }
 protocol::ReplEntry GetEntry(Reader& r) {
   protocol::ReplEntry e;
@@ -211,7 +212,37 @@ protocol::ReplEntry GetEntry(Reader& r) {
   e.ingest_migration_id = r.U64();
   e.ingest_chunk_seq = r.U64();
   e.ingest_delta_seq = r.U64();
+  e.ingest_content_hash = r.U64();
   return e;
+}
+
+void PutDigest(Writer& w, const protocol::SeedDigest& d) {
+  w.U64(d.seq);
+  w.U64(d.hash);
+  PutKey(w, d.lo);
+  PutKey(w, d.hi);
+  w.Bool(d.last);
+}
+protocol::SeedDigest GetDigest(Reader& r) {
+  protocol::SeedDigest d;
+  d.seq = r.U64();
+  d.hash = r.U64();
+  d.lo = GetKey(r);
+  d.hi = GetKey(r);
+  d.last = r.Bool();
+  return d;
+}
+
+void PutU64Vec(Writer& w, const std::vector<uint64_t>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (uint64_t item : v) w.U64(item);
+}
+std::vector<uint64_t> GetU64Vec(Reader& r) {
+  const uint32_t n = r.Count();
+  std::vector<uint64_t> v;
+  v.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) v.push_back(r.U64());
+  return v;
 }
 
 void PutStagedOp(Writer& w, const baselines::StagedOp& op) {
@@ -408,6 +439,10 @@ std::string EncodeMessage(const MessageBase& msg) {
       PutVec(w, m.entries, PutEntry);
       w.U64(m.commit_watermark);
       w.U64(m.compact_floor);
+      w.U8(m.payload_codec);
+      w.U32(m.payload_uncompressed_len);
+      w.U64(m.payload_hash);
+      w.Str(m.payload);
       break;
     }
     case MessageType::kReplAppendAck: {
@@ -416,6 +451,7 @@ std::string EncodeMessage(const MessageBase& msg) {
       w.U64(m.epoch);
       w.U64(m.ack_index);
       w.Bool(m.ok);
+      w.U32(m.codec_mask);
       break;
     }
     case MessageType::kReplVoteRequest: {
@@ -493,6 +529,10 @@ std::string EncodeMessage(const MessageBase& msg) {
       w.U64(m.base_index);
       w.U64(m.base_epoch);
       PutVec(w, m.records, PutWrite);
+      w.U8(m.payload_codec);
+      w.U32(m.payload_uncompressed_len);
+      w.U64(m.content_hash);
+      w.Str(m.payload);
       break;
     }
     case MessageType::kShardSnapshotAck: {
@@ -500,6 +540,7 @@ std::string EncodeMessage(const MessageBase& msg) {
       w.U64(m.migration_id);
       w.U64(m.seq);
       w.U64(m.credit);
+      w.U32(m.codec_mask);
       break;
     }
     case MessageType::kShardDeltaBatch: {
@@ -525,6 +566,28 @@ std::string EncodeMessage(const MessageBase& msg) {
     case MessageType::kShardMigrateAborted: {
       const auto& m = static_cast<const protocol::ShardMigrateAborted&>(msg);
       w.U64(m.migration_id);
+      break;
+    }
+    case MessageType::kShardSeedOffer: {
+      const auto& m = static_cast<const protocol::ShardSeedOffer&>(msg);
+      w.U64(m.migration_id);
+      w.I32(m.group);
+      PutRange(w, m.range);
+      w.U64(m.epoch);
+      w.U64(m.base_index);
+      w.U64(m.base_epoch);
+      PutVec(w, m.digests, PutDigest);
+      break;
+    }
+    case MessageType::kShardSeedDecline: {
+      const auto& m = static_cast<const protocol::ShardSeedDecline&>(msg);
+      w.U64(m.migration_id);
+      w.I32(m.group);
+      w.U64(m.epoch);
+      PutU64Vec(w, m.declined);
+      w.U64(m.delta_seq);
+      w.U64(m.credit);
+      w.U32(m.codec_mask);
       break;
     }
     case MessageType::kShardMapUpdate: {
@@ -771,6 +834,10 @@ std::unique_ptr<MessageBase> DecodeMessage(const std::string& bytes) {
       m->entries = GetVec<protocol::ReplEntry>(r, GetEntry);
       m->commit_watermark = r.U64();
       m->compact_floor = r.U64();
+      m->payload_codec = r.U8();
+      m->payload_uncompressed_len = r.U32();
+      m->payload_hash = r.U64();
+      m->payload = r.Str();
       out = std::move(m);
       break;
     }
@@ -780,6 +847,7 @@ std::unique_ptr<MessageBase> DecodeMessage(const std::string& bytes) {
       m->epoch = r.U64();
       m->ack_index = r.U64();
       m->ok = r.Bool();
+      m->codec_mask = r.U32();
       out = std::move(m);
       break;
     }
@@ -866,6 +934,10 @@ std::unique_ptr<MessageBase> DecodeMessage(const std::string& bytes) {
       m->base_index = r.U64();
       m->base_epoch = r.U64();
       m->records = GetVec<protocol::ReplWrite>(r, GetWrite);
+      m->payload_codec = r.U8();
+      m->payload_uncompressed_len = r.U32();
+      m->content_hash = r.U64();
+      m->payload = r.Str();
       out = std::move(m);
       break;
     }
@@ -874,6 +946,7 @@ std::unique_ptr<MessageBase> DecodeMessage(const std::string& bytes) {
       m->migration_id = r.U64();
       m->seq = r.U64();
       m->credit = r.U64();
+      m->codec_mask = r.U32();
       out = std::move(m);
       break;
     }
@@ -903,6 +976,30 @@ std::unique_ptr<MessageBase> DecodeMessage(const std::string& bytes) {
     case MessageType::kShardMigrateAborted: {
       auto m = std::make_unique<protocol::ShardMigrateAborted>();
       m->migration_id = r.U64();
+      out = std::move(m);
+      break;
+    }
+    case MessageType::kShardSeedOffer: {
+      auto m = std::make_unique<protocol::ShardSeedOffer>();
+      m->migration_id = r.U64();
+      m->group = r.I32();
+      m->range = GetRange(r);
+      m->epoch = r.U64();
+      m->base_index = r.U64();
+      m->base_epoch = r.U64();
+      m->digests = GetVec<protocol::SeedDigest>(r, GetDigest);
+      out = std::move(m);
+      break;
+    }
+    case MessageType::kShardSeedDecline: {
+      auto m = std::make_unique<protocol::ShardSeedDecline>();
+      m->migration_id = r.U64();
+      m->group = r.I32();
+      m->epoch = r.U64();
+      m->declined = GetU64Vec(r);
+      m->delta_seq = r.U64();
+      m->credit = r.U64();
+      m->codec_mask = r.U32();
       out = std::move(m);
       break;
     }

@@ -77,6 +77,9 @@ enum class MessageType : uint16_t {
   kYbResolveRequest,
   // Overload control (appended so earlier wire values stay stable).
   kOverloadedResponse,
+  // Incremental re-seed handshake (appended likewise).
+  kShardSeedOffer,
+  kShardSeedDecline,
 };
 
 /// Base class for anything sent between actors. Concrete message types

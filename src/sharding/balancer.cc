@@ -58,7 +58,37 @@ void ShardBalancer::Tick() {
   if (dm_->crashed()) return;
   stats_.ticks++;
   CancelExpired();
+  RepointFailedDestinations();
   PlanRangeOps();
+}
+
+void ShardBalancer::RepointFailedDestinations() {
+  middleware::Catalog& catalog = dm_->catalog();
+  for (Migration& m : in_flight_) {
+    const uint64_t dest_epoch = catalog.EpochOf(m.dest);
+    if (dest_epoch == m.dest_leader_epoch) continue;
+    // The destination group elected a new leader mid-stream. The old
+    // leader's ordering buffer died with it, but every acked chunk and
+    // delta is quorum-durable in the group's log — so instead of letting
+    // the timeout cancel-and-restart the whole transfer, point the source
+    // at the new leader. It re-offers the sent chunks' content hashes and
+    // the new leader declines the prefix its ingest journal holds; only
+    // the tail re-crosses the WAN. The timeout stays armed as backstop.
+    m.dest_leader_epoch = dest_epoch;
+    stats_.migrations_repointed++;
+    GEOTP_INFO("balancer: re-pointing migration "
+               << m.id << " at new leader of group " << m.dest);
+    auto req = std::make_unique<ShardMigrateRequest>();
+    req->from = dm_->id();
+    req->to = catalog.LeaderOf(m.source);
+    req->migration_id = m.id;
+    req->range = m.range;
+    req->dest = m.dest;
+    req->dest_leader = catalog.LeaderOf(m.dest);
+    req->new_version = m.new_version;
+    req->timeout = config_.migration_timeout;
+    dm_->network()->Send(std::move(req));
+  }
 }
 
 uint64_t ShardBalancer::MintVersion() {

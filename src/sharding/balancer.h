@@ -124,6 +124,10 @@ struct BalancerStats {
   /// (ShardMigrateAborted), cancelled here without waiting for the
   /// timeout.
   uint64_t aborted_by_source = 0;
+  /// In-flight migrations re-pointed at a new destination leader after a
+  /// failover there — the source re-offers sent-chunk hashes and resumes
+  /// past the declined prefix instead of waiting for the timeout cancel.
+  uint64_t migrations_repointed = 0;
 };
 
 class ShardBalancer {
@@ -192,6 +196,10 @@ class ShardBalancer {
   void ArmTick(uint64_t generation);
   void Tick();
   void CancelExpired();
+  /// Detects a destination-leader epoch change on an in-flight migration
+  /// and re-sends the ShardMigrateRequest with the new leader; the source
+  /// treats the duplicate as a re-point and re-seeds by hash decline.
+  void RepointFailedDestinations();
   /// One round of range maintenance: at most one split OR one merge
   /// (publishing the new boundaries), else migration planning. A split's
   /// hot child is put up for migration in the same tick — it inherits the

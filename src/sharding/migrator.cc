@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/compress.h"
 #include "common/logging.h"
 #include "datasource/data_source.h"
+#include "protocol/wan_codec.h"
 
 namespace geotp {
 namespace sharding {
@@ -19,8 +21,21 @@ using protocol::ShardMapUpdate;
 using protocol::ShardMigrateAborted;
 using protocol::ShardMigrateCancel;
 using protocol::ShardMigrateRequest;
+using protocol::ShardSeedDecline;
+using protocol::ShardSeedOffer;
 using protocol::ShardSnapshotAck;
 using protocol::ShardSnapshotChunk;
+
+namespace {
+
+/// Codecs this node accepts on inbound chunk payloads, advertised on
+/// every ack/decline so the sender can compress.
+uint32_t LocalCodecMask(const datasource::DataSourceNode* node) {
+  return node->config().wan_compression ? common::SupportedCodecMask()
+                                        : common::kCodecRawBit;
+}
+
+}  // namespace
 
 bool ShardMigrator::HandleMessage(sim::MessageBase* msg) {
   switch (msg->type()) {
@@ -30,9 +45,15 @@ bool ShardMigrator::HandleMessage(sim::MessageBase* msg) {
     case sim::MessageType::kShardMigrateCancel:
       OnMigrateCancel(static_cast<ShardMigrateCancel&>(*msg));
       return true;
-    case sim::MessageType::kShardSnapshotChunk:
-      OnSnapshotChunk(static_cast<ShardSnapshotChunk&>(*msg));
+    case sim::MessageType::kShardSnapshotChunk: {
+      auto& chunk = static_cast<ShardSnapshotChunk&>(*msg);
+      // A corrupt envelope is dropped whole — never half-applied; the
+      // source's resend timer recovers it. (Bootstrap chunks were already
+      // consumed — and opened — by the Replicator.)
+      if (!protocol::OpenChunkPayload(&chunk)) return true;
+      OnSnapshotChunk(chunk);
       return true;
+    }
     case sim::MessageType::kShardSnapshotAck:
       OnSnapshotAck(static_cast<ShardSnapshotAck&>(*msg));
       return true;
@@ -44,6 +65,12 @@ bool ShardMigrator::HandleMessage(sim::MessageBase* msg) {
       return true;
     case sim::MessageType::kShardMapUpdate:
       OnMapUpdate(static_cast<ShardMapUpdate&>(*msg));
+      return true;
+    case sim::MessageType::kShardSeedOffer:
+      OnSeedOffer(static_cast<ShardSeedOffer&>(*msg));
+      return true;
+    case sim::MessageType::kShardSeedDecline:
+      OnSeedDecline(static_cast<ShardSeedDecline&>(*msg));
       return true;
     default:
       return false;
@@ -109,7 +136,20 @@ void ShardMigrator::OnMigrateRequest(const ShardMigrateRequest& req) {
   // timeout cancels it.
   replication::Replicator* repl = node_->replicator();
   if (repl != nullptr && !repl->IsLeader()) return;
-  if (FindOutbound(req.migration_id) != nullptr) return;  // duplicate
+  if (Outbound* existing = FindOutbound(req.migration_id)) {
+    // Duplicate — unless the balancer re-pointed the stream at a new
+    // destination leader (the old one failed over). Instead of cancelling
+    // and restarting cold, re-offer the sent chunks' content hashes: the
+    // new leader declines what its replicated ingest journal already
+    // holds and the stream resumes past the declined prefix.
+    if (req.dest_leader != kInvalidNode &&
+        req.dest_leader != existing->dest_leader) {
+      existing->dest_leader = req.dest_leader;
+      existing->peer_codec_mask = 0;  // renegotiate with the new leader
+      SendSeedOffer(*existing);
+    }
+    return;
+  }
   stats_.migrations_started++;
   Outbound out;
   out.id = req.migration_id;
@@ -213,6 +253,11 @@ void ShardMigrator::PumpChunks(uint64_t migration_id) {
     stats_.snapshot_chunks_sent++;
     stats_.snapshot_records_sent += records.size();
     SendChunk(*out, seq, records, last);
+    // SendChunk recorded the chunk's content hash; pin the resume point
+    // that follows it (a decline of [1..seq] restarts the scan here).
+    Outbound::SentDigest& digest = out->sent_digests[seq];
+    digest.next_cursor = out->scan_cursor;
+    digest.exhausted = out->scan_exhausted;
     if (obs::GlobalTracer().enabled()) {
       out->chunk_spans[seq] = obs::GlobalTracer().BeginSpan(
           obs::SystemContext(), "migrate.chunk", node_->id(),
@@ -226,7 +271,7 @@ void ShardMigrator::PumpChunks(uint64_t migration_id) {
   ArmResendTimer(migration_id);
 }
 
-void ShardMigrator::SendChunk(const Outbound& out, uint64_t seq,
+void ShardMigrator::SendChunk(Outbound& out, uint64_t seq,
                               const std::vector<ReplWrite>& records,
                               bool last) {
   auto chunk = std::make_unique<ShardSnapshotChunk>();
@@ -238,6 +283,16 @@ void ShardMigrator::SendChunk(const Outbound& out, uint64_t seq,
   chunk->seq = seq;
   chunk->last = last;
   chunk->records = records;
+  // Seal under whatever the destination advertised (raw until its first
+  // ack). Sealing always stamps the content hash — raw chunks too — so
+  // the receiver's journal has the identity a later re-offer compares.
+  const protocol::EnvelopeBytes bytes = protocol::SealChunkPayload(
+      common::PickWireCodec(out.peer_codec_mask,
+                            node_->config().wan_compression),
+      chunk.get());
+  stats_.wan_bytes_raw += bytes.raw;
+  stats_.wan_bytes_wire += bytes.wire;
+  out.sent_digests[seq].hash = chunk->content_hash;
   node_->network()->Send(std::move(chunk));
 }
 
@@ -277,6 +332,7 @@ void ShardMigrator::OnSnapshotAck(const ShardSnapshotAck& ack) {
   if (ack.seq >= out->acked_chunk_seq) {
     out->credit = std::max<uint64_t>(1, ack.credit);
   }
+  out->peer_codec_mask = ack.codec_mask;
   if (ack.seq > out->acked_chunk_seq) {
     out->acked_chunk_seq = ack.seq;
     out->unacked.erase(out->unacked.begin(),
@@ -308,6 +364,7 @@ void ShardMigrator::OnMigrateCancel(const ShardMigrateCancel& req) {
   // range. Records already applied stay in the store as unreachable
   // garbage (the map never moved).
   inbound_.erase(req.migration_id);
+  ingest_journal_.erase(req.migration_id);
   retired_inbound_.insert(req.migration_id);
   for (auto it = outbound_.begin(); it != outbound_.end(); ++it) {
     if (it->id == req.migration_id) {
@@ -357,7 +414,10 @@ void ShardMigrator::OnCommittedWrites(
     batch->seq = out.next_seq++;
     stats_.delta_batches_sent++;
     stats_.delta_writes_sent += intersecting.size();
-    batch->writes = std::move(intersecting);
+    batch->writes = intersecting;
+    // Kept until acked: a destination-leader failover resends the suffix
+    // past the new leader's journaled delta position.
+    out.unacked_deltas[batch->seq] = std::move(intersecting);
     node_->network()->Send(std::move(batch));
   }
 }
@@ -366,6 +426,9 @@ void ShardMigrator::OnDeltaAck(const ShardDeltaAck& ack) {
   Outbound* out = FindOutbound(ack.migration_id);
   if (out == nullptr) return;
   out->acked_seq = std::max(out->acked_seq, ack.seq);
+  out->unacked_deltas.erase(
+      out->unacked_deltas.begin(),
+      out->unacked_deltas.upper_bound(out->acked_seq));
   MaybeReportCutover(*out);
 }
 
@@ -550,7 +613,7 @@ void ShardMigrator::OnInheritedMigrations(
 
 void ShardMigrator::ApplyRecords(std::vector<ReplWrite> records,
                                  uint64_t migration_id, uint64_t chunk_seq,
-                                 uint64_t delta_seq,
+                                 uint64_t delta_seq, uint64_t content_hash,
                                  std::function<bool()> still_valid,
                                  std::function<void()> done) {
   // Bulk ingest takes real engine time, charged per chunk (per-record
@@ -564,7 +627,7 @@ void ShardMigrator::ApplyRecords(std::vector<ReplWrite> records,
       node_->config().migration_apply_cost;
   node_->loop()->Schedule(
       cost, [this, records = std::move(records), migration_id, chunk_seq,
-             delta_seq, still_valid = std::move(still_valid),
+             delta_seq, content_hash, still_valid = std::move(still_valid),
              done = std::move(done)]() mutable {
         if (node_->crashed()) return;
         if (!still_valid()) return;  // cancelled during the ingest delay
@@ -589,7 +652,8 @@ void ShardMigrator::ApplyRecords(std::vector<ReplWrite> records,
                             ++synthetic_seq_),
               node_->logical_id()};
           repl->ReplicateIngest(xid, std::move(records), migration_id,
-                                chunk_seq, delta_seq, std::move(done));
+                                chunk_seq, delta_seq, content_hash,
+                                std::move(done));
           return;
         }
         done();
@@ -611,6 +675,7 @@ void ShardMigrator::SendChunkAck(uint64_t migration_id, NodeId source) {
   // room for. Never zero — the grant rides on an apply ack, so at least
   // one slot just freed.
   ack->credit = window > buffered ? window - buffered : 1;
+  ack->codec_mask = LocalCodecMask(node_);
   node_->network()->Send(std::move(ack));
 }
 
@@ -640,6 +705,7 @@ void ShardMigrator::OnSnapshotChunk(const ShardSnapshotChunk& chunk) {
   Inbound::BufferedChunk& buffered = in.pending_chunks[chunk.seq];
   buffered.records = chunk.records;
   buffered.last = chunk.last;
+  buffered.content_hash = chunk.content_hash;
   stats_.peak_buffered_chunks = std::max<uint64_t>(
       stats_.peak_buffered_chunks, in.pending_chunks.size());
   DrainIngest(id, source);
@@ -682,7 +748,8 @@ void ShardMigrator::DrainIngest(uint64_t migration_id, NodeId source) {
     if (!in.stream_complete) {
       for (const ReplWrite& w : writes) in.delta_written.insert(w.key);
     }
-    ApplyRecords(std::move(writes), migration_id, 0, seq, still_inbound,
+    ApplyRecords(std::move(writes), migration_id, 0, seq,
+                 /*content_hash=*/0, still_inbound,
                  [this, source, migration_id, seq]() {
                    auto live = inbound_.find(migration_id);
                    if (live == inbound_.end()) return;  // cancelled
@@ -731,7 +798,11 @@ void ShardMigrator::DrainIngest(uint64_t migration_id, NodeId source) {
     const bool last = chunk.last;
     const size_t record_count = records.size();
     in.applying = true;
-    ApplyRecords(std::move(records), migration_id, seq, 0, still_inbound,
+    // The journaled hash is the FULL chunk's identity (pre-supersede):
+    // that is what the source's digest for this seq carries, so that is
+    // what a re-offer after a leader failover must match against.
+    ApplyRecords(std::move(records), migration_id, seq, 0,
+                 chunk.content_hash, still_inbound,
                  [this, migration_id, source, seq, last, record_count]() {
                    auto live = inbound_.find(migration_id);
                    if (live == inbound_.end()) return;  // cancelled
@@ -752,6 +823,162 @@ void ShardMigrator::DrainIngest(uint64_t migration_id, NodeId source) {
     return;
   }
 
+}
+
+// ---------------------------------------------------------------------------
+// Hash-decline resume: re-seed a re-pointed stream instead of restarting
+// ---------------------------------------------------------------------------
+
+void ShardMigrator::NoteIngestApplied(uint64_t migration_id,
+                                      uint64_t chunk_seq, uint64_t delta_seq,
+                                      uint64_t content_hash) {
+  if (retired_inbound_.count(migration_id) > 0) return;
+  IngestJournal& journal = ingest_journal_[migration_id];
+  if (chunk_seq != 0) journal.chunk_hashes[chunk_seq] = content_hash;
+  journal.max_delta_seq = std::max(journal.max_delta_seq, delta_seq);
+}
+
+void ShardMigrator::SendSeedOffer(Outbound& out) {
+  stats_.seed_offers_sent++;
+  auto offer = std::make_unique<ShardSeedOffer>();
+  offer->from = node_->id();
+  offer->to = out.dest_leader;
+  offer->migration_id = out.id;
+  offer->group = out.dest;
+  offer->range = out.range;
+  // Replay the ORIGINAL hashes, not fresh scans: the destination's journal
+  // holds what was actually sent, and values here may have moved on.
+  for (const auto& [seq, sent] : out.sent_digests) {
+    protocol::SeedDigest digest;
+    digest.seq = seq;
+    digest.hash = sent.hash;
+    digest.last = sent.exhausted;
+    offer->digests.push_back(digest);
+  }
+  node_->network()->Send(std::move(offer));
+}
+
+void ShardMigrator::OnSeedOffer(const ShardSeedOffer& offer) {
+  // migration_id == 0 offers are replication bootstrap re-seeds; on a
+  // replicated node the Replicator consumed them before this handler.
+  if (offer.migration_id == 0) return;
+  replication::Replicator* repl = node_->replicator();
+  if (repl != nullptr && !repl->IsLeader()) return;
+  if (retired_inbound_.count(offer.migration_id) > 0) return;  // done here
+  const uint64_t id = offer.migration_id;
+  Inbound& in = inbound_[id];
+  if (in.range.hi == 0) in.range = offer.range;
+  // Walk the offered digests: extend the held prefix with every chunk the
+  // replicated ingest journal holds under the SAME content hash — those
+  // are quorum-durable on this replica set and need not re-cross the WAN.
+  const auto journal_it = ingest_journal_.find(id);
+  uint64_t held = in.applied_chunk_seq;
+  bool exhausted_at_held = in.stream_complete;
+  for (const protocol::SeedDigest& digest : offer.digests) {
+    if (digest.seq <= held) continue;
+    if (digest.seq != held + 1) break;  // gap: prefix cannot extend
+    if (journal_it == ingest_journal_.end()) break;
+    const auto hash_it = journal_it->second.chunk_hashes.find(digest.seq);
+    if (hash_it == journal_it->second.chunk_hashes.end() ||
+        hash_it->second != digest.hash) {
+      break;
+    }
+    held = digest.seq;
+    exhausted_at_held = digest.last;
+  }
+  in.applied_chunk_seq = held;
+  if (journal_it != ingest_journal_.end()) {
+    in.applied_seq =
+        std::max(in.applied_seq, journal_it->second.max_delta_seq);
+  }
+  in.pending_chunks.erase(in.pending_chunks.begin(),
+                          in.pending_chunks.upper_bound(held));
+  if (exhausted_at_held && !in.stream_complete) {
+    in.stream_complete = true;
+    in.delta_written.clear();
+  }
+  auto decline = std::make_unique<ShardSeedDecline>();
+  decline->from = node_->id();
+  decline->to = offer.from;
+  decline->migration_id = id;
+  decline->group = offer.group;
+  for (uint64_t seq = 1; seq <= held; ++seq) {
+    decline->declined.push_back(seq);
+  }
+  decline->delta_seq = in.applied_seq;
+  const uint64_t window =
+      std::max<uint64_t>(1, node_->config().migration_stream_window);
+  const uint64_t buffered = in.pending_chunks.size();
+  decline->credit = window > buffered ? window - buffered : 1;
+  decline->codec_mask = LocalCodecMask(node_);
+  node_->network()->Send(std::move(decline));
+}
+
+void ShardMigrator::OnSeedDecline(const ShardSeedDecline& decline) {
+  if (decline.migration_id == 0) return;  // bootstrap path (Replicator's)
+  Outbound* out = FindOutbound(decline.migration_id);
+  if (out == nullptr) return;
+  out->peer_codec_mask = decline.codec_mask;
+  stats_.chunks_declined += decline.declined.size();
+  // The new leader's journaled delta position supersedes the old ack
+  // trail; resend only the unacked suffix past it.
+  out->acked_seq = std::max(out->acked_seq, decline.delta_seq);
+  out->unacked_deltas.erase(
+      out->unacked_deltas.begin(),
+      out->unacked_deltas.upper_bound(out->acked_seq));
+  for (const auto& [seq, writes] : out->unacked_deltas) {
+    auto batch = std::make_unique<ShardDeltaBatch>();
+    batch->from = node_->id();
+    batch->to = out->dest_leader;
+    batch->migration_id = out->id;
+    batch->seq = seq;
+    batch->writes = writes;
+    stats_.delta_batches_sent++;
+    node_->network()->Send(std::move(batch));
+  }
+  if (!out->stream_complete) {
+    // Rewind the chunk stream to the end of the declined prefix. Chunks
+    // past it are re-scanned fresh (values may have moved on — absolute
+    // values keep the duplicate application idempotent) rather than
+    // replayed from a buffer.
+    const uint64_t held =
+        decline.declined.empty() ? 0 : decline.declined.back();
+    out->acked_chunk_seq = std::max(out->acked_chunk_seq, held);
+    out->next_chunk_seq = out->acked_chunk_seq + 1;
+    out->unacked.clear();
+    for (auto& [seq, span] : out->chunk_spans) {
+      obs::GlobalTracer().EndSpan(span, node_->loop()->Now());
+    }
+    out->chunk_spans.clear();
+    const auto digest = out->sent_digests.find(out->acked_chunk_seq);
+    if (digest != out->sent_digests.end()) {
+      out->scan_cursor = digest->second.next_cursor;
+      out->scan_exhausted = digest->second.exhausted;
+    } else {
+      out->scan_cursor = out->range.lo;
+      out->scan_exhausted = false;
+    }
+    out->last_chunk_seq =
+        out->scan_exhausted ? out->acked_chunk_seq : 0;
+    out->sent_digests.erase(
+        out->sent_digests.upper_bound(out->acked_chunk_seq),
+        out->sent_digests.end());
+    out->credit = std::max<uint64_t>(1, decline.credit);
+    out->last_progress_at = node_->loop()->Now();
+    if (out->last_chunk_seq != 0 &&
+        out->acked_chunk_seq >= out->last_chunk_seq) {
+      // Everything was declined and the scan had finished: the stream is
+      // complete without another chunk crossing the WAN.
+      out->stream_complete = true;
+      stats_.streams_completed++;
+      FenceRange(*out);
+      MaybeReportCutover(*out);
+      return;
+    }
+    PumpChunks(out->id);
+    return;
+  }
+  MaybeReportCutover(*out);
 }
 
 // ---------------------------------------------------------------------------
@@ -785,6 +1012,7 @@ void ShardMigrator::OnMapUpdate(const ShardMapUpdate& update) {
                           range->version >= it->second.range.version;
     if (complete) {
       retired_inbound_.insert(it->first);
+      ingest_journal_.erase(it->first);
       it = inbound_.erase(it);
     } else {
       ++it;
@@ -795,6 +1023,10 @@ void ShardMigrator::OnMapUpdate(const ShardMapUpdate& update) {
 void ShardMigrator::OnCrash() {
   outbound_.clear();
   inbound_.clear();
+  // The ingest journal is volatile by design: a replica that crashed
+  // rebuilds it only from entries applied after restart, so a leader
+  // promoted from it declines nothing and takes the full resend instead.
+  ingest_journal_.clear();
 }
 
 }  // namespace sharding

@@ -98,6 +98,14 @@ struct ShardMigratorStats {
   // Failover path (replicated migration state).
   uint64_t migration_resumes = 0;         ///< cutover re-reported from log
   uint64_t migration_aborts_from_log = 0; ///< Begin-only inherited, aborted
+  // WAN-frugal streaming: compressed chunks + hash-decline resume.
+  uint64_t seed_offers_sent = 0;  ///< re-point offers (source role)
+  /// Chunks a re-pointed destination leader declined because its
+  /// replicated ingest journal already held them — bytes the failover
+  /// did NOT re-cross the WAN with.
+  uint64_t chunks_declined = 0;
+  uint64_t wan_bytes_raw = 0;   ///< packed chunk bytes before the codec
+  uint64_t wan_bytes_wire = 0;  ///< chunk bytes actually sent (incl. resends)
 };
 
 class ShardMigrator {
@@ -152,6 +160,14 @@ class ShardMigrator {
   /// unreplicated ones time out at the balancer and are cancelled.
   void OnCrash();
 
+  /// Replicator apply hook (via DataSourceNode::OnIngestApplied): a
+  /// migration-ingest entry landed on this replica. The per-migration
+  /// journal built here is what a freshly promoted destination leader
+  /// answers a ShardSeedOffer with — chunks whose hash it holds are
+  /// declined instead of re-crossing the WAN.
+  void NoteIngestApplied(uint64_t migration_id, uint64_t chunk_seq,
+                         uint64_t delta_seq, uint64_t content_hash);
+
   const ShardMap& map() const { return map_; }
   const ShardMigratorStats& stats() const { return stats_; }
   /// Chunks currently unacked on any outbound stream (test/bench probe).
@@ -175,8 +191,25 @@ class ShardMigrator {
     bool scan_exhausted = false;
     bool stream_complete = false;  ///< every chunk acked
     /// Sent-but-unacked chunks, kept for retransmit. The stream's only
-    /// source-side memory; flow control bounds it to the credit window.
+    /// bulk source-side memory; flow control bounds it to the credit
+    /// window.
     std::map<uint64_t, std::vector<protocol::ReplWrite>> unacked;
+    /// Codecs the destination advertised (ShardSnapshotAck /
+    /// ShardSeedDecline); 0 until the first ack — chunks ship raw.
+    uint32_t peer_codec_mask = 0;
+    /// Per-chunk send record, kept PAST the ack (a few words per chunk):
+    /// a destination-leader failover re-offer must replay the ORIGINAL
+    /// hashes the old leader journaled, and resuming after the declined
+    /// prefix needs the scan cursor that followed each chunk.
+    struct SentDigest {
+      uint64_t hash = 0;
+      uint64_t next_cursor = 0;   ///< scan_cursor after this chunk
+      bool exhausted = false;     ///< scan ended with this chunk
+    };
+    std::map<uint64_t, SentDigest> sent_digests;
+    /// Sent-but-unacked delta batches: a re-pointed stream resends the
+    /// suffix past the new destination leader's journaled delta position.
+    std::map<uint64_t, std::vector<protocol::ReplWrite>> unacked_deltas;
     /// "migrate.chunk" system spans (first send -> ack), keyed like
     /// `unacked`; retransmits extend the original span.
     std::map<uint64_t, obs::SpanHandle> chunk_spans;
@@ -205,6 +238,7 @@ class ShardMigrator {
     struct BufferedChunk {
       std::vector<protocol::ReplWrite> records;
       bool last = false;
+      uint64_t content_hash = 0;  ///< journaled with the ingest entry
     };
     /// Out-of-order chunks, bounded by the credit window we advertise.
     std::map<uint64_t, BufferedChunk> pending_chunks;
@@ -223,12 +257,22 @@ class ShardMigrator {
   void OnDeltaBatch(const protocol::ShardDeltaBatch& batch);
   void OnDeltaAck(const protocol::ShardDeltaAck& ack);
   void OnMapUpdate(const protocol::ShardMapUpdate& update);
+  /// Destination side of a re-pointed stream: declines the journaled
+  /// prefix, adopts the resume position, and grants credit for the rest.
+  void OnSeedOffer(const protocol::ShardSeedOffer& offer);
+  /// Source side: rewinds the stream to the declined prefix's end and
+  /// resumes pumping (fresh scans) toward the new destination leader.
+  void OnSeedDecline(const protocol::ShardSeedDecline& decline);
+  /// Re-offers the sent-chunk digests to the (new) destination leader.
+  void SendSeedOffer(Outbound& out);
 
   Outbound* FindOutbound(uint64_t migration_id);
   /// Builds + sends chunks while the receiver's credit window allows.
   void PumpChunks(uint64_t migration_id);
-  /// Sends one already-built chunk (fresh or retransmit).
-  void SendChunk(const Outbound& out, uint64_t seq,
+  /// Sends one already-built chunk (fresh or retransmit): seals it into
+  /// the negotiated WAN envelope, counts the bytes, and records the
+  /// content hash in `sent_digests`.
+  void SendChunk(Outbound& out, uint64_t seq,
                  const std::vector<protocol::ReplWrite>& records, bool last);
   /// Arms the per-migration retransmit check chain.
   void ArmResendTimer(uint64_t migration_id);
@@ -257,7 +301,8 @@ class ShardMigrator {
   /// range may have landed newer values by then).
   void ApplyRecords(std::vector<protocol::ReplWrite> records,
                     uint64_t migration_id, uint64_t chunk_seq,
-                    uint64_t delta_seq, std::function<bool()> still_valid,
+                    uint64_t delta_seq, uint64_t content_hash,
+                    std::function<bool()> still_valid,
                     std::function<void()> done);
   /// Applies the next buffered ingest (chunk in seq order first, else
   /// delta in seq order), one at a time.
@@ -275,6 +320,15 @@ class ShardMigrator {
   /// later migration of the same range. Migration ids are globally unique
   /// and few, so the set stays small.
   std::unordered_set<uint64_t> retired_inbound_;
+  /// Per-migration record of quorum-durable ingests applied on THIS
+  /// replica (fed by the replicator's apply path). Volatile — a crash
+  /// clears it and a promoted leader simply declines nothing, falling
+  /// back to a full resend. Pruned when the migration retires.
+  struct IngestJournal {
+    std::map<uint64_t, uint64_t> chunk_hashes;  ///< chunk seq -> hash
+    uint64_t max_delta_seq = 0;
+  };
+  std::map<uint64_t, IngestJournal> ingest_journal_;  ///< by migration id
   uint64_t synthetic_seq_ = 0;  ///< synthetic txn ids for record applies
   ShardMigratorStats stats_;
 };

@@ -212,6 +212,10 @@ ExperimentResult RunExperimentInner(const ExperimentConfig& config) {
     result.migration.chunk_records_superseded += ms.chunk_records_superseded;
     result.migration.migration_resumes += ms.migration_resumes;
     result.migration.migration_aborts_from_log += ms.migration_aborts_from_log;
+    result.migration.seed_offers_sent += ms.seed_offers_sent;
+    result.migration.chunks_declined += ms.chunks_declined;
+    result.migration.wan_bytes_raw += ms.wan_bytes_raw;
+    result.migration.wan_bytes_wire += ms.wan_bytes_wire;
     result.migration.peak_unacked_chunks = std::max(
         result.migration.peak_unacked_chunks, ms.peak_unacked_chunks);
     result.migration.peak_buffered_chunks = std::max(

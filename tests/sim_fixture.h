@@ -48,6 +48,9 @@ class MiniCluster {
     /// Hook to tweak every data source's config after the preset is
     /// applied (migration stream knobs, apply costs, ...).
     std::function<void(datasource::DataSourceConfig*)> ds_tweak;
+    /// Per-node variant of ds_tweak (applied after it), for asymmetric
+    /// deployments — e.g. mixed-version WAN codec negotiation tests.
+    std::function<void(NodeId, datasource::DataSourceConfig*)> ds_tweak_node;
   };
 
   MiniCluster() : MiniCluster(Options()) {}
@@ -140,6 +143,7 @@ class MiniCluster {
         config.early_abort = options.dm.early_abort;
         config.group_commit = options.group_commit;
         if (options.ds_tweak) options.ds_tweak(&config);
+        if (options.ds_tweak_node) options.ds_tweak_node(replica, &config);
         auto node = std::make_unique<datasource::DataSourceNode>(
             replica, network_.get(), config);
         if (rf > 1) {

@@ -711,5 +711,237 @@ TEST_P(StreamingShardChaosTest, MidStreamCrashesResumeOrAbortFromTheLog) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamingShardChaosTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
 
+// ---------------------------------------------------------------------------
+// Directed destination-failover chaos: the same streaming setup, but the
+// injected crash specifically kills the DESTINATION group's leader while a
+// migration is in flight (at a seed-randomized point mid-stream). The
+// balancer must detect the destination epoch change, re-point the
+// migration at the promoted leader, and the source must resume by hash
+// decline — the new leader's replicated ingest journal declines the
+// quorum-applied chunk prefix instead of re-pulling the whole range (and
+// instead of the old behavior, waiting out the migration-timeout cancel).
+// Invariants are the StreamingShardChaosTest set, plus: the re-point
+// happened, chunks were declined, and a migration still completed.
+// ---------------------------------------------------------------------------
+
+class DestFailoverStreamingShardChaosTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DestFailoverStreamingShardChaosTest, ResumesViaHashDeclineReoffer) {
+  const uint64_t seed = GetParam();
+  const std::string repro = ReproLine(seed);
+
+  MiniCluster::Options options;
+  options.num_data_sources = 2;
+  options.rtts_ms = {10.0, 100.0};
+  options.replication_factor = 3;
+  options.num_middlewares = 2;
+  options.sharding = true;
+  options.chunks_per_source = 4;
+  options.dm = MiddlewareConfig::GeoTP();
+  options.dm.balancer.enabled = true;
+  options.dm.balancer.interval = MsToMicros(150);
+  options.dm.balancer.min_heat = 3;
+  options.dm.balancer.min_rtt_gain = MsToMicros(40);
+  // Generous: the whole point is that resume beats the timeout cancel.
+  options.dm.balancer.migration_timeout = SecToMicros(6);
+  options.dm.balancer.range_cooldown = SecToMicros(2);
+  options.dm.balancer.max_concurrent = 1;
+  options.dm.balancer.split_enabled = false;
+  // Long streams (250 records, 16-record chunks, 2-chunk window) with a
+  // slow bulk ingest, so the directed crash always lands mid-stream with
+  // a quorum-applied prefix for the promoted leader to decline.
+  options.ds_tweak = [](datasource::DataSourceConfig* ds) {
+    ds->migration_chunk_records = 16;
+    ds->migration_stream_window = 2;
+    ds->migration_resend_timeout = MsToMicros(400);
+    ds->migration_apply_cost = 2000;
+  };
+  MiniCluster cluster(options);
+  cluster.PreloadRange(0, 1000);
+  cluster.PreloadRange(1, 1000);
+  Rng rng(0xDE57F000 + seed);
+
+  constexpr int kAccounts = 24;  // per source
+  constexpr int kTxns = 40;
+  sharding::ShardBalancer* balancer = cluster.dm().balancer();
+  ASSERT_NE(balancer, nullptr) << repro;
+
+  // Heat concentrates on group 1's low keys (the far source at 100 ms
+  // RTT), so the balancer migrates its hot chunk toward group 0 — the
+  // crash target below is therefore always the destination group.
+  auto skewed_offset = [&rng]() {
+    const double u = rng.NextDouble();
+    return static_cast<uint64_t>(static_cast<double>(kAccounts) *
+                                 (u * u * u));
+  };
+
+  uint64_t tag = 1;
+  std::vector<bool> commit_sent(kTxns + 1, false);
+  struct Leg {
+    RecordKey a;
+    RecordKey b;
+    int64_t amount = 0;
+  };
+  std::map<uint64_t, Leg> ledger;
+  bool dest_crashed = false;
+  for (int i = 0; i < kTxns; ++i) {
+    const uint64_t off_a = skewed_offset();
+    const int node_b = static_cast<int>(rng.NextU64(2));
+    uint64_t off_b = rng.NextU64(kAccounts);
+    if (node_b == 1 && off_a == off_b) off_b = (off_b + 1) % kAccounts;
+    const int64_t amount = static_cast<int64_t>(rng.NextU64(50)) + 1;
+    cluster.SendRound(tag, {
+        MiniCluster::Write(cluster.KeyOn(1, off_a), -amount, true),
+        MiniCluster::Write(cluster.KeyOn(node_b, off_b), amount, true),
+    }, true);
+    ledger[tag] = Leg{cluster.KeyOn(1, off_a), cluster.KeyOn(node_b, off_b),
+                      amount};
+    ++tag;
+    cluster.RunFor(rng.NextU64(60));
+
+    for (uint64_t t = 1; t < tag; ++t) {
+      auto& txn = cluster.txn(t);
+      if (!commit_sent[t] && !txn.has_result && !txn.round_responses.empty() &&
+          rng.NextBool(0.85)) {
+        cluster.SendCommit(t);
+        commit_sent[t] = true;
+      }
+    }
+
+    // The directed fault: once, the first time a migration is in flight,
+    // kill the destination leader a random slice into the stream — but
+    // only after a couple of chunks are quorum-applied there (chunk acks
+    // follow quorum replication), so the promoted leader's rebuilt ingest
+    // journal has a prefix to decline.
+    if (!dest_crashed && balancer->InFlight() > 0) {
+      for (int spin = 0; spin < 40; ++spin) {
+        if (cluster.source(0).migrator().stats().snapshot_chunks_applied >= 2) {
+          break;
+        }
+        cluster.RunFor(25);
+      }
+      cluster.RunFor(50 + rng.NextU64(150));
+      auto* dest_leader = cluster.leader_of(0);
+      if (dest_leader != nullptr && balancer->InFlight() > 0) {
+        dest_leader->Crash();
+        dest_crashed = true;
+        cluster.RunFor(400 + rng.NextU64(300));
+        dest_leader->Restart();
+      }
+    }
+
+    ASSERT_TRUE(cluster.dm().catalog().shard_map().IsPartition(options.table))
+        << repro << " (step " << i << ")";
+  }
+  ASSERT_TRUE(dest_crashed) << repro << " (no migration ever started)";
+
+  // Settle: commit stragglers, drain streams / elections / re-points.
+  for (int pass = 0; pass < 4; ++pass) {
+    cluster.RunFor(8000);
+    for (uint64_t t = 1; t < tag; ++t) {
+      auto& txn = cluster.txn(t);
+      if (!commit_sent[t] && !txn.has_result && !txn.round_responses.empty()) {
+        cluster.SendCommit(t);
+        commit_sent[t] = true;
+      }
+    }
+  }
+  cluster.RunFor(8000);
+
+  // --- The directed scenario actually exercised the resume path ---
+  EXPECT_GE(balancer->stats().migrations_repointed, 1u) << repro;
+  uint64_t declined = 0, offers = 0;
+  for (auto* src : cluster.source_ptrs()) {
+    declined += src->migrator().stats().chunks_declined;
+    offers += src->migrator().stats().seed_offers_sent;
+  }
+  EXPECT_GE(offers, 1u) << repro;
+  EXPECT_GT(declined, 0u) << repro;
+  EXPECT_GE(balancer->stats().migrations_completed, 1u) << repro;
+
+  // --- Invariant: every actor's shard map converged to the balancer's ---
+  const sharding::ShardMap& authority = cluster.dm().catalog().shard_map();
+  ASSERT_TRUE(authority.IsPartition(options.table)) << repro;
+  auto expect_same_map = [&](const sharding::ShardMap& map,
+                             const std::string& who) {
+    if (map.empty() && authority.epoch() == 0) return;
+    ASSERT_EQ(map.size(), authority.size()) << repro << " at " << who;
+    for (size_t r = 0; r < authority.size(); ++r) {
+      const sharding::ShardRange& a = authority.ranges()[r];
+      const sharding::ShardRange& b = map.ranges()[r];
+      EXPECT_TRUE(a.SameSpan(b) && a.owner == b.owner &&
+                  a.version == b.version)
+          << repro << " at " << who << ": " << a.ToString() << " vs "
+          << b.ToString();
+    }
+  };
+  expect_same_map(cluster.dm(1).catalog().shard_map(), "dm2");
+  for (auto* src : cluster.source_ptrs()) {
+    ASSERT_FALSE(src->crashed()) << repro;
+    expect_same_map(src->migrator().map(),
+                    "source " + std::to_string(src->id()));
+  }
+
+  // --- Invariant: no committed write lost, none resurrected ---
+  std::map<uint64_t, int64_t> expected;
+  for (uint64_t t = 1; t < tag; ++t) {
+    auto& txn = cluster.txn(t);
+    ASSERT_TRUE(txn.has_result) << repro << " (txn " << t << " unresolved)";
+    if (!txn.result.ok()) continue;
+    expected[ledger[t].a.key] -= ledger[t].amount;
+    expected[ledger[t].b.key] += ledger[t].amount;
+  }
+  int64_t sum = 0;
+  for (int node = 0; node < 2; ++node) {
+    for (uint64_t off = 0; off < kAccounts; ++off) {
+      const RecordKey key = cluster.KeyOn(node, off);
+      const NodeId owner = cluster.dm().catalog().Route(key);
+      ASSERT_TRUE(owner == 2 || owner == 3) << repro;
+      auto* leader = cluster.leader_of(static_cast<int>(owner) - 2);
+      ASSERT_NE(leader, nullptr) << repro << " (group " << owner << ")";
+      auto rec = leader->engine().store().Get(key);
+      const int64_t got = rec ? rec->value : 0;
+      EXPECT_EQ(got, expected[key.key])
+          << repro << " (key " << key.key << " at owner " << owner << ")";
+      sum += got;
+    }
+  }
+  EXPECT_EQ(sum, 0) << repro;
+
+  // --- Invariant: nothing left prepared/active on any current leader ---
+  for (int group = 0; group < 2; ++group) {
+    auto* leader = cluster.leader_of(group);
+    ASSERT_NE(leader, nullptr) << repro;
+    EXPECT_TRUE(leader->engine().PreparedXids().empty())
+        << repro << " (group " << group << ")";
+    EXPECT_EQ(leader->engine().ActiveCount(), 0u)
+        << repro << " (group " << group << ")";
+  }
+
+  std::fprintf(stderr,
+               "[dest-failover-chaos] seed %llu: %llu seed offers, %llu "
+               "chunks declined, %llu re-points, %llu migrations completed, "
+               "%llu cancelled, epoch %llu\n",
+               static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(offers),
+               static_cast<unsigned long long>(declined),
+               static_cast<unsigned long long>(
+                   balancer->stats().migrations_repointed),
+               static_cast<unsigned long long>(
+                   balancer->stats().migrations_completed),
+               static_cast<unsigned long long>(
+                   balancer->stats().migrations_cancelled),
+               static_cast<unsigned long long>(authority.epoch()));
+  if (::testing::Test::HasFailure()) {
+    std::fprintf(stderr, "[dest-failover-chaos] FAILED %s\n", repro.c_str());
+  }
+}
+
+// 6 fixed seeds — matched by the CI chaos step's *StreamingShardChaos*
+// filter alongside the undirected streaming set.
+INSTANTIATE_TEST_SUITE_P(Seeds, DestFailoverStreamingShardChaosTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
 }  // namespace
 }  // namespace geotp

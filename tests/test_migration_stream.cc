@@ -307,5 +307,68 @@ TEST(MigrationStream, JournaledCutoverSurvivesSourceFailover) {
   EXPECT_EQ(c.source(0).engine().store().Get(c.KeyOn(1, 5))->value, 56);
 }
 
+// ---------------------------------------------------------------------------
+// Destination-leader failover mid-stream: the promoted destination leader
+// rebuilt its ingest journal from the replicated ingest provenance, so
+// when the balancer re-points the migration at it, the source re-offers
+// every sent chunk's hash and the new leader declines the quorum-applied
+// prefix — the stream resumes past it instead of restarting (or waiting
+// for the timeout cancel).
+// ---------------------------------------------------------------------------
+
+TEST(MigrationStream, DestLeaderCrashMidStreamResumesViaHashDecline) {
+  MiniCluster::Options options = StreamOptions();
+  options.replication_factor = 3;
+  options.ds_tweak = [](datasource::DataSourceConfig* ds) {
+    ds->migration_chunk_records = 16;  // 250 records -> 16 chunks
+    ds->migration_stream_window = 2;
+    ds->migration_apply_cost = 2000;  // 32 ms per chunk: a long stream
+  };
+  MiniCluster c(options);
+  c.PreloadRange(1, 250);
+
+  StartMigration(c, 107);
+  c.RunFor(250);  // several chunks quorum-applied at the destination
+  ASSERT_GT(c.source(0).migrator().stats().snapshot_chunks_applied, 0u);
+  ASSERT_EQ(c.source(1).migrator().stats().streams_completed, 0u);
+
+  c.source(0).Crash();  // destination leader dies mid-stream
+  c.RunFor(3000);       // election in the destination group
+  auto* promoted = c.leader_of(0);
+  ASSERT_NE(promoted, nullptr);
+  EXPECT_NE(promoted->id(), c.source(0).id());
+
+  // The balancer detects the epoch change and re-points the in-flight
+  // migration (same id, new dest leader); this test plays balancer.
+  auto repoint = std::make_unique<ShardMigrateRequest>();
+  repoint->from = 0;
+  repoint->to = 3;
+  repoint->migration_id = 107;
+  repoint->range = ShardRange{1, kRangeLo, kRangeHi, 3, 0};
+  repoint->dest = 2;
+  repoint->dest_leader = promoted->id();
+  repoint->new_version = 1;
+  c.network().Send(std::move(repoint));
+  c.RunFor(6000);
+
+  const auto& src = c.source(1).migrator().stats();
+  // The source re-offered its sent-chunk hashes; the promoted leader
+  // declined the prefix its journal proves quorum-applied, and the stream
+  // resumed past it to completion.
+  EXPECT_GE(src.seed_offers_sent, 1u);
+  EXPECT_GT(src.chunks_declined, 0u);
+  EXPECT_EQ(src.streams_completed, 1u);
+  ASSERT_EQ(c.cutovers().size(), 1u);
+  EXPECT_EQ(c.cutovers()[0].migration_id, 107u);
+  EXPECT_EQ(c.cutovers()[0].range.owner, 2);
+
+  // Every record crossed exactly once overall: nothing lost at the new
+  // leader, declined chunks were already there via replication.
+  for (uint64_t off = 0; off < 250; off += 31) {
+    EXPECT_TRUE(promoted->engine().store().Get(c.KeyOn(1, off)).has_value())
+        << "offset " << off;
+  }
+}
+
 }  // namespace
 }  // namespace geotp

@@ -3,7 +3,12 @@
 // follower reads, and rejoin/catch-up of a restarted leader.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "replication/log_shipper.h"
+#include "replication/replicator.h"
 #include "sim_fixture.h"
 
 namespace geotp {
@@ -468,6 +473,145 @@ TEST(ReplicationTest, WipedFollowerBootstrapsFromStoreSnapshot) {
   ASSERT_TRUE(
       cluster.RunTxn(100, {MiniCluster::Write(cluster.KeyOn(0, 50), 7)})
           .ok());
+}
+
+// ---------------------------------------------------------------------------
+// WAN codec negotiation + incremental re-seed
+// ---------------------------------------------------------------------------
+
+// Committed store contents in a canonical order, for byte-identical
+// store comparisons across replicas.
+std::vector<std::pair<RecordKey, int64_t>> SortedStore(
+    datasource::DataSourceNode& node) {
+  auto records = node.engine().CommittedRecords();
+  std::sort(records.begin(), records.end(),
+            [](const std::pair<RecordKey, int64_t>& a,
+               const std::pair<RecordKey, int64_t>& b) {
+              if (a.first.table != b.first.table) {
+                return a.first.table < b.first.table;
+              }
+              return a.first.key < b.first.key;
+            });
+  return records;
+}
+
+TEST(ReplicationTest, MixedVersionFollowersNegotiateRawShipping) {
+  MiniCluster::Options options = ReplicatedOptions();
+  // The followers (ids >= 4 with two groups of three) run a build without
+  // WAN compression: their acks advertise only the raw codec, so the
+  // leader must keep shipping plain entry batches to them.
+  options.ds_tweak_node = [](NodeId id, datasource::DataSourceConfig* config) {
+    if (id >= 4) config->wan_compression = false;
+  };
+  MiniCluster cluster(options);
+
+  for (uint64_t t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(
+        cluster.RunTxn(t, {MiniCluster::Write(cluster.KeyOn(0, t), 5)}).ok());
+  }
+  cluster.RunFor(1000);
+
+  // Replication stays fully functional across the version skew...
+  for (int k = 0; k < 2; ++k) {
+    auto record =
+        cluster.follower(0, k).engine().store().Get(cluster.KeyOn(0, 3));
+    ASSERT_TRUE(record.has_value()) << "follower " << k;
+    EXPECT_EQ(record->value, 5) << "follower " << k;
+  }
+  // ...but every shipped batch was negotiated down to raw: wire == raw.
+  const replication::LogShipperStats& raw_ship =
+      cluster.source(0).replicator()->shipper_stats();
+  EXPECT_GT(raw_ship.wan_bytes_raw, 0u);
+  EXPECT_EQ(raw_ship.wan_bytes_wire, raw_ship.wan_bytes_raw);
+
+  // Control: the same traffic against an all-new-version cluster ships
+  // compressed batches — strictly fewer wire bytes than packed bytes.
+  MiniCluster compressed(ReplicatedOptions());
+  for (uint64_t t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(
+        compressed.RunTxn(t, {MiniCluster::Write(compressed.KeyOn(0, t), 5)})
+            .ok());
+  }
+  compressed.RunFor(1000);
+  const replication::LogShipperStats& zip_ship =
+      compressed.source(0).replicator()->shipper_stats();
+  EXPECT_GT(zip_ship.wan_bytes_raw, 0u);
+  EXPECT_LT(zip_ship.wan_bytes_wire, zip_ship.wan_bytes_raw);
+}
+
+// Drives one wiped-follower bootstrap and reports the leader-side WAN
+// accounting plus whether the follower converged byte-identically.
+// `warm` controls whether the wiped follower kept its committed store
+// (the log device is always lost — WipeForBootstrap).
+void RunReseed(bool warm, uint64_t* wire_bytes, uint64_t* chunks_declined,
+               bool* identical) {
+  MiniCluster::Options options = ReplicatedOptions();
+  options.ds_tweak = [](datasource::DataSourceConfig* config) {
+    config->migration_chunk_records = 64;  // 512 seeded records -> 8 chunks
+  };
+  MiniCluster cluster(options);
+
+  // Seed a large committed range directly. The bootstrapping follower
+  // holds it only in the warm run; its quorum peers always do.
+  for (uint64_t off = 0; off < 512; ++off) {
+    cluster.source(0).engine().store().Apply(cluster.KeyOn(0, off), 0);
+    cluster.follower(0, 1).engine().store().Apply(cluster.KeyOn(0, off), 0);
+    if (warm) {
+      cluster.follower(0, 0).engine().store().Apply(cluster.KeyOn(0, off), 0);
+    }
+  }
+
+  for (uint64_t t = 1; t <= 6; ++t) {
+    ASSERT_TRUE(
+        cluster.RunTxn(t, {MiniCluster::Write(cluster.KeyOn(0, t), 10)})
+            .ok());
+  }
+  cluster.RunFor(2000);
+  auto* leader_repl = cluster.source(0).replicator();
+  ASSERT_GT(leader_repl->log().first_index(), 1u);  // compaction settled
+
+  auto& wiped = cluster.follower(0, 0);
+  wiped.Crash();
+  wiped.replicator()->WipeForBootstrap();
+
+  // More committed traffic while the follower is down; the touched keys
+  // all land in the first 64-record chunk, so the remaining chunks stay
+  // byte-identical to what a warm store already holds.
+  for (uint64_t t = 10; t <= 14; ++t) {
+    ASSERT_TRUE(
+        cluster.RunTxn(t, {MiniCluster::Write(cluster.KeyOn(0, t), 33)})
+            .ok());
+  }
+
+  wiped.Restart();
+  cluster.RunFor(4000);  // heartbeat -> gap nack -> offer/decline -> chunks
+
+  const replication::ReplicatorStats& stats = leader_repl->stats();
+  EXPECT_GE(stats.bootstrap_offers_sent, 1u);
+  *wire_bytes = stats.wan_bytes_wire;
+  *chunks_declined = stats.bootstrap_chunks_declined;
+  EXPECT_GE(wiped.replicator()->applied_index(),
+            leader_repl->commit_watermark());
+  *identical = SortedStore(wiped) == SortedStore(cluster.source(0));
+}
+
+TEST(ReplicationTest, ReseedWithHeldStoreDeclinesChunksAndShipsLess) {
+  uint64_t cold_wire = 0, warm_wire = 0;
+  uint64_t cold_declined = 0, warm_declined = 0;
+  bool cold_identical = false, warm_identical = false;
+  RunReseed(/*warm=*/false, &cold_wire, &cold_declined, &cold_identical);
+  RunReseed(/*warm=*/true, &warm_wire, &warm_declined, &warm_identical);
+
+  // Cold: nothing to decline, the whole range re-crosses the WAN.
+  EXPECT_EQ(cold_declined, 0u);
+  EXPECT_GT(cold_wire, 0u);
+  // Warm: every chunk outside the dirtied head is declined by hash and
+  // never shipped, so the resumed seed is strictly cheaper.
+  EXPECT_GT(warm_declined, 0u);
+  EXPECT_LT(warm_wire, cold_wire);
+  // Both end byte-identical to the leader's committed store.
+  EXPECT_TRUE(cold_identical);
+  EXPECT_TRUE(warm_identical);
 }
 
 }  // namespace

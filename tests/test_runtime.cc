@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "baselines/store_messages.h"
+#include "common/compress.h"
 #include "gtest/gtest.h"
 #include "protocol/messages.h"
+#include "protocol/wan_codec.h"
 #include "runtime/codec.h"
 #include "runtime/loopback_runtime.h"
 #include "runtime/runtime.h"
@@ -353,6 +355,7 @@ protocol::ReplEntry SampleEntry(bool with_migration) {
   }
   entry.ingest_migration_id = 8;
   entry.ingest_chunk_seq = 2;
+  entry.ingest_content_hash = 0x9e3779b97f4a7c15ull;
   return entry;
 }
 
@@ -502,11 +505,27 @@ TEST(RuntimeCodecTest, ReplicationMessagesRoundTrip) {
   append->compact_floor = 5;
   ExpectRoundTrip(*append);
 
+  // The sealed shape: entries packed and compressed into the envelope.
+  // Framing must carry the codec/length/hash fields bit-stably — they are
+  // what the receiver's bounds and corruption checks run against.
+  auto sealed = Stamped<protocol::ReplAppendRequest>();
+  sealed->group = 2;
+  sealed->epoch = 3;
+  sealed->prev_index = 10;
+  sealed->prev_epoch = 2;
+  for (int i = 0; i < 8; ++i) sealed->entries.push_back(SampleEntry(false));
+  sealed->commit_watermark = 9;
+  protocol::SealAppendPayload(common::WireCodec::kBlock, sealed.get());
+  EXPECT_TRUE(sealed->entries.empty());
+  EXPECT_FALSE(sealed->payload.empty());
+  ExpectRoundTrip(*sealed);
+
   auto append_ack = Stamped<protocol::ReplAppendAck>();
   append_ack->group = 2;
   append_ack->epoch = 3;
   append_ack->ack_index = 12;
   append_ack->ok = false;
+  append_ack->codec_mask = common::SupportedCodecMask();
   ExpectRoundTrip(*append_ack);
 
   auto vote_req = Stamped<protocol::ReplVoteRequest>();
@@ -579,11 +598,55 @@ TEST(RuntimeCodecTest, ShardingMessagesRoundTrip) {
   chunk->records = {protocol::ReplWrite{RecordKey{1, 7}, 70}};
   ExpectRoundTrip(*chunk);
 
+  // Sealed (compressed) chunk: the envelope fields ride the same frame.
+  auto sealed_chunk = Stamped<protocol::ShardSnapshotChunk>();
+  sealed_chunk->migration_id = 8;
+  sealed_chunk->group = 5;
+  sealed_chunk->range = SampleRange();
+  sealed_chunk->seq = 4;
+  for (uint64_t k = 0; k < 64; ++k) {
+    sealed_chunk->records.push_back(
+        protocol::ReplWrite{RecordKey{1, 100 + k}, static_cast<int64_t>(k)});
+  }
+  protocol::SealChunkPayload(common::WireCodec::kBlock, sealed_chunk.get());
+  EXPECT_TRUE(sealed_chunk->records.empty());
+  EXPECT_NE(sealed_chunk->content_hash, 0u);
+  ExpectRoundTrip(*sealed_chunk);
+
   auto chunk_ack = Stamped<protocol::ShardSnapshotAck>();
   chunk_ack->migration_id = 8;
   chunk_ack->seq = 3;
   chunk_ack->credit = 4;
+  chunk_ack->codec_mask = common::SupportedCodecMask();
   ExpectRoundTrip(*chunk_ack);
+
+  auto offer = Stamped<protocol::ShardSeedOffer>();
+  offer->migration_id = 8;
+  offer->group = 5;
+  offer->range = SampleRange();
+  offer->epoch = 2;
+  offer->base_index = 40;
+  offer->base_epoch = 2;
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    protocol::SeedDigest digest;
+    digest.seq = seq;
+    digest.hash = 0x1000 + seq;
+    digest.lo = RecordKey{1, 100 * seq};
+    digest.hi = RecordKey{1, 100 * seq + 99};
+    digest.last = seq == 3;
+    offer->digests.push_back(digest);
+  }
+  ExpectRoundTrip(*offer);
+
+  auto decline = Stamped<protocol::ShardSeedDecline>();
+  decline->migration_id = 8;
+  decline->group = 5;
+  decline->epoch = 2;
+  decline->declined = {1, 2};
+  decline->delta_seq = 7;
+  decline->credit = 3;
+  decline->codec_mask = common::SupportedCodecMask();
+  ExpectRoundTrip(*decline);
 
   auto delta = Stamped<protocol::ShardDeltaBatch>();
   delta->migration_id = 8;
@@ -710,8 +773,8 @@ TEST(RuntimeCodecTest, MalformedInputDecodesToNull) {
 // The enum is the codec's checklist: if someone appends a MessageType
 // this static count forces them here (and into codec.cc) on the same PR.
 TEST(RuntimeCodecTest, EveryMessageTypeIsCovered) {
-  // kOverloadedResponse is the last enumerator; 0 is kUnknown.
-  EXPECT_EQ(static_cast<int>(MessageType::kOverloadedResponse), 43);
+  // kShardSeedDecline is the last enumerator; 0 is kUnknown.
+  EXPECT_EQ(static_cast<int>(MessageType::kShardSeedDecline), 45);
 }
 
 }  // namespace
